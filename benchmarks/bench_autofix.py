@@ -1,0 +1,45 @@
+"""Corpus-scale auto-remediation benchmark (ours).
+
+The capstone what-if experiment: apply the verified sanitizer-insertion
+fixes to every phpSAFE finding across the whole 2014 corpus, re-analyze
+the patched corpus, and measure how much of the vulnerability
+population the automated remediation eliminates.  This exercises the
+parser, printer, rewriter and analyzer end-to-end on every plugin.
+"""
+
+from repro.core import PhpSafe
+from repro.core.autofix import apply_fixes
+
+
+def test_autofix_whole_corpus(benchmark, corpus_2014):
+    tool = PhpSafe()
+    original_reports = {
+        plugin.name: tool.analyze(plugin) for plugin in corpus_2014.plugins
+    }
+    total_before = sum(len(r.findings) for r in original_reports.values())
+    assert total_before > 400
+
+    def fix_everything():
+        patched_plugins = []
+        for plugin in corpus_2014.plugins:
+            report = original_reports[plugin.name]
+            patched, _proposals = apply_fixes(plugin, report.findings)
+            patched_plugins.append(patched)
+        return patched_plugins
+
+    patched_plugins = benchmark.pedantic(fix_everything, rounds=1, iterations=1)
+
+    total_after = 0
+    for patched in patched_plugins:
+        total_after += len(tool.analyze(patched).findings)
+
+    eliminated = total_before - total_after
+    print(
+        f"\nauto-fix across 35 plugins: {total_before} findings -> "
+        f"{total_after} ({eliminated} eliminated, "
+        f"{eliminated / total_before * 100:.0f}%)"
+    )
+    # the rewriter must clear the overwhelming majority of sinks; the
+    # remainder are sinks in files the printer/parser normalizes in ways
+    # the single-pass rewriter does not cover (tracked, not hidden)
+    assert eliminated >= 0.9 * total_before

@@ -1,0 +1,42 @@
+"""Benchmark + reproduction of Fig. 2 (detection-overlap Venn diagram).
+
+Measured operation: partitioning the union of confirmed detections into
+exclusive per-tool-combination regions.  Shape checks: the union totals
+(394 / 586 distinct vulnerabilities, +~50% growth) and the qualitative
+region structure the paper draws.
+"""
+
+from repro.evaluation import compute_overlap, growth_percent, render_fig2
+
+
+def test_fig2_overlap_regions(benchmark, evaluations):
+    older_eval = evaluations["2012"]
+    newer_eval = evaluations["2014"]
+
+    def compute():
+        return compute_overlap(older_eval), compute_overlap(newer_eval)
+
+    older, newer = benchmark(compute)
+
+    # headline numbers (Section V.B)
+    assert older.union_total == 394
+    assert newer.union_total == 586
+    assert 45 <= growth_percent(older, newer) <= 55  # paper: +51%
+
+    for analysis in (older, newer):
+        # every tool has an exclusive region ("no silver bullet")
+        for tool in ("phpSAFE", "RIPS", "Pixy"):
+            assert analysis.region(tool) > 0
+        # some vulnerabilities are found by all three
+        assert analysis.shared_by_all() > 0
+        # phpSAFE's exclusive region is the largest (its OOP advantage)
+        assert analysis.region("phpSAFE") == max(
+            analysis.region(tool) for tool in ("phpSAFE", "RIPS", "Pixy")
+        )
+        # per-tool totals equal the Table I Global TP rows
+        assert sum(region.count for region in analysis.regions) == (
+            analysis.union_total
+        )
+
+    print()
+    print(render_fig2(older, newer))

@@ -1,0 +1,50 @@
+"""Benchmark + reproduction of Section V.A's OOP claim (experiment E6).
+
+"phpSAFE found 151 vulnerabilities related to the use of WordPress
+objects in 10 plugins of the 2012 version, and 179 vulnerabilities in 7
+plugins of the 2014 version.  RIPS and Pixy were not able to detect any
+vulnerability of this kind."
+
+Measured operation: phpSAFE's analysis of the OOP-vulnerability plugins
+only (the OOP resolution hot path).  Shape checks: the counts above.
+"""
+
+import pytest
+
+from repro.core import PhpSafe
+from repro.evaluation import PAPER_OOP
+
+EXPECTED = {"2012": (151, 10), "2014": (179, 7)}
+
+
+@pytest.mark.parametrize("version", ["2012", "2014"])
+def test_oop_vulnerability_detection(
+    benchmark, corpus_2012, corpus_2014, evaluations, version
+):
+    corpus = corpus_2012 if version == "2012" else corpus_2014
+    oop_entries = [
+        entry for entry in corpus.truth.vulnerabilities() if entry.spec.via_oop
+    ]
+    oop_ids = {entry.spec.spec_id for entry in oop_entries}
+    oop_plugins = sorted({entry.plugin for entry in oop_entries})
+    expected_count, expected_plugins = EXPECTED[version]
+    assert len(oop_ids) == expected_count == PAPER_OOP[version][0]
+    assert len(oop_plugins) == expected_plugins == PAPER_OOP[version][1]
+
+    tool = PhpSafe()
+    targets = [plugin for plugin in corpus.plugins if plugin.name in oop_plugins]
+
+    def analyze_oop_plugins():
+        return [tool.analyze(plugin) for plugin in targets]
+
+    benchmark.pedantic(analyze_oop_plugins, rounds=1, iterations=1)
+
+    evaluation = evaluations[version]
+    assert oop_ids <= evaluation.tools["phpSAFE"].match.detected_ids
+    assert not oop_ids & evaluation.tools["RIPS"].match.detected_ids
+    assert not oop_ids & evaluation.tools["Pixy"].match.detected_ids
+    print(
+        f"\nOOP vulnerabilities {version}: {len(oop_ids)} in "
+        f"{len(oop_plugins)} plugins (paper: {PAPER_OOP[version]}), "
+        "detected by phpSAFE only"
+    )

@@ -1,0 +1,55 @@
+"""Benchmark + reproduction of Section V.E robustness.
+
+"RIPS succeeded in completing the analysis of all files, while phpSAFE
+was unable to analyze one file in the 2012 version and three files in
+the 2014 version.  Pixy failed to complete the analysis on 32 files.
+Moreover, Pixy raised one error message in the 2012 versions and 37 in
+the 2014 versions."
+
+Measured operation: analysis of the robustness-critical plugins (the
+ones holding oversized include closures and PHP-5-only constructs).
+"""
+
+import pytest
+
+from repro.baselines import PixyLike, RipsLike
+from repro.core import PhpSafe
+from repro.evaluation import PAPER_FAILED_FILES, render_robustness
+
+EXPECTED_FAILED = {
+    ("2012", "phpSAFE"): 1,
+    ("2012", "RIPS"): 0,
+    ("2012", "Pixy"): 1,
+    ("2014", "phpSAFE"): 3,
+    ("2014", "RIPS"): 0,
+    ("2014", "Pixy"): 31,
+}
+EXPECTED_PIXY_ERRORS = {"2012": 1, "2014": 37}
+
+
+@pytest.mark.parametrize("version", ["2012", "2014"])
+def test_robustness_failed_files(
+    benchmark, corpus_2012, corpus_2014, evaluations, version
+):
+    corpus = corpus_2012 if version == "2012" else corpus_2014
+    # the failed-file plugin exercises the budget/robustness machinery
+    target = corpus.plugin("wp-bulk-manager")
+    tools = [PhpSafe(), RipsLike(), PixyLike()]
+
+    def analyze_critical():
+        return [tool.analyze(target) for tool in tools]
+
+    benchmark.pedantic(analyze_critical, rounds=1, iterations=1)
+
+    evaluation = evaluations[version]
+    for tool in ("phpSAFE", "RIPS", "Pixy"):
+        failed = len(evaluation.tools[tool].failed_files)
+        assert failed == EXPECTED_FAILED[(version, tool)] == (
+            PAPER_FAILED_FILES[tool][version]
+        )
+    assert (
+        evaluation.tools["Pixy"].error_messages == EXPECTED_PIXY_ERRORS[version]
+    )
+    if version == "2014":
+        print()
+        print(render_robustness(evaluations))

@@ -1,0 +1,39 @@
+"""Benchmark fixtures.
+
+The corpus scale is configurable: ``REPRO_BENCH_SCALE=1.0`` runs the
+paper-sized corpora (89,560 / 180,801 LOC); the default keeps CI fast.
+Tool evaluations are shared session-wide; benches that measure *timing*
+(Table III) re-run the tools inside the benchmark loop instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines import PixyLike, RipsLike
+from repro.core import PhpSafe
+from repro.corpus import build_corpus
+from repro.evaluation import evaluate_both
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+def make_tools():
+    return [PhpSafe(), RipsLike(), PixyLike()]
+
+
+@pytest.fixture(scope="session")
+def corpus_2012():
+    return build_corpus("2012", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def corpus_2014():
+    return build_corpus("2014", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def evaluations(corpus_2012, corpus_2014):
+    return evaluate_both([corpus_2012, corpus_2014], make_tools)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Code-coverage facts and statistical comparison of the tools.
+
+Two supporting claims of the paper, made tangible:
+
+1. Section II: static analysis "may achieve 100% code coverage, being
+   able to analyze all the possible execution paths" — the CFG substrate
+   quantifies what that means for a plugin (functions, entry points the
+   plugin never calls itself, acyclic path counts, dead code).
+2. Section V: the tool ranking.  The paper reports point estimates; the
+   statistics module adds bootstrap confidence intervals and McNemar
+   paired tests showing the ranking is not a small-sample artifact.
+
+Run:  python examples/coverage_and_statistics.py   (about a minute)
+"""
+
+from repro import PhpSafe, PixyLike, Plugin, RipsLike, build_corpus
+from repro.core.review import coverage_summary
+from repro.evaluation import (
+    evaluate_version,
+    pairwise_comparisons,
+    tool_intervals,
+)
+
+PLUGIN = Plugin(
+    name="event-list",
+    version="0.9",
+    files={
+        "event-list.php": """<?php
+function el_shortcode($atts) {
+    $n = intval($atts['n']);
+    if ($n < 1) { return ''; }
+    el_render($n);
+}
+function el_render($n) {
+    global $wpdb;
+    $rows = $wpdb->get_results('SELECT * FROM wp_events LIMIT ' . $n);
+    foreach ($rows as $row) {
+        echo '<li>' . esc_html($row->title) . '</li>';
+    }
+}
+function el_admin_hook() {
+    // entry point WordPress calls; the plugin itself never does
+    if ($_POST['action'] == 'purge') {
+        echo 'purged ' . $_POST['count'] . ' events';
+    } else {
+        echo 'no action';
+    }
+    return;
+    echo 'unreachable tail';  // dead code the CFG flags
+}
+""",
+    },
+)
+
+
+def main() -> None:
+    # --- 1. coverage facts (CFG substrate) ------------------------------
+    summary = coverage_summary(PLUGIN)
+    print("static-coverage facts for", PLUGIN.slug)
+    for key, value in summary.items():
+        print(f"  {key:28s} {value}")
+    assert summary["entry_points_never_called"] >= 1  # el_admin_hook
+    assert summary["dead_blocks"] >= 1  # the unreachable echo
+    print()
+
+    # --- 2. statistics over the corpus comparison ------------------------
+    print("running the 2012 corpus comparison for the statistics...")
+    corpus = build_corpus("2012", scale=0.02)
+    evaluation = evaluate_version(corpus, [PhpSafe(), RipsLike(), PixyLike()])
+
+    print("\nbootstrap 95% confidence intervals (paper convention):")
+    for tool in ("phpSAFE", "RIPS", "Pixy"):
+        intervals = tool_intervals(evaluation, tool)
+        print(
+            f"  {tool:8s} precision {str(intervals['precision']):24s} "
+            f"recall {intervals['recall']}"
+        )
+
+    print("\nMcNemar paired tests over the confirmed-vulnerability union:")
+    for comparison in pairwise_comparisons(evaluation, ("phpSAFE", "RIPS", "Pixy")):
+        marker = "significant" if comparison.significant else "not significant"
+        print(f"  {comparison}  -> {marker}")
+
+    comparisons = {
+        (c.tool_a, c.tool_b): c
+        for c in pairwise_comparisons(evaluation, ("phpSAFE", "RIPS", "Pixy"))
+    }
+    assert comparisons[("phpSAFE", "RIPS")].significant
+    assert comparisons[("phpSAFE", "Pixy")].significant
+    print(
+        "\nthe paper's ranking (phpSAFE > RIPS > Pixy) is statistically "
+        "significant on the reproduced corpus."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Plugin-security evolution over two years (paper Sections V.B–V.D).
+
+Generates both corpus snapshots, runs the three tools, and reports:
+the growth in distinct vulnerabilities (+~50%), the Table II root-cause
+breakdown, and the fix-inertia numbers — how many 2014 vulnerabilities
+were already disclosed to developers in the 2012 round.
+
+Run:  python examples/evolution_study.py
+"""
+
+from repro import PhpSafe, PixyLike, RipsLike, build_both
+from repro.evaluation import (
+    analyze_inertia,
+    both_versions_breakdown,
+    compute_overlap,
+    evaluate_both,
+    render_inertia,
+    render_table2,
+    tier_shares,
+    vector_breakdown,
+)
+
+
+def main() -> None:
+    older, newer = build_both(scale=0.05)
+    evaluations = evaluate_both(
+        [older, newer], lambda: [PhpSafe(), RipsLike(), PixyLike()]
+    )
+    eval12, eval14 = evaluations["2012"], evaluations["2014"]
+
+    # --- growth (Section V.B) ------------------------------------------
+    overlap12 = compute_overlap(eval12)
+    overlap14 = compute_overlap(eval14)
+    growth = (overlap14.union_total - overlap12.union_total) / overlap12.union_total
+    print(
+        f"distinct vulnerabilities: {overlap12.union_total} (2012) -> "
+        f"{overlap14.union_total} (2014), {growth:+.0%} "
+        "(paper: 394 -> 586, +51%)\n"
+    )
+
+    # --- root causes (Section V.C / Table II) ---------------------------
+    breakdown12 = vector_breakdown(eval12)
+    breakdown14 = vector_breakdown(eval14)
+    both = both_versions_breakdown(eval12, eval14)
+    print(render_table2(breakdown12, breakdown14, both))
+    shares = tier_shares(breakdown14)
+    print(
+        f"\nexploitability tiers 2014: {shares[1]:.0%} directly "
+        f"attacker-controlled, {shares[2]:.0%} via the database, "
+        f"{shares[3]:.0%} files/functions/arrays"
+        "  (paper: 36% / 62% / 1.8%)\n"
+    )
+
+    # --- fix inertia (Section V.D) ---------------------------------------
+    inertia = analyze_inertia(eval12, eval14)
+    print(render_inertia(inertia))
+
+    assert growth > 0.4
+    assert shares[2] > shares[1] > shares[3]  # DB dominates
+    assert inertia.carried_share > 0.3
+    print(
+        "\nconclusion (as in the paper): plugin vulnerability counts grew "
+        "~50% in two years,\nthe database is the dominant attack vector, "
+        "and ~40% of known vulnerabilities\nremained unfixed a year after "
+        "disclosure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""The full secure-development workflow the paper envisions.
+
+Section III: "the use of phpSAFE can be part of the software development
+lifecycle of a company"; Section VI: developers "may use it for
+approving third-party plugins before allowing their integration" and
+the tool should track "the evolution of plugin security ... over time".
+
+This example chains every stage on a plugin that evolves over three
+releases:
+
+1. **scan** each release statically (phpSAFE),
+2. **confirm** the findings dynamically (simulated attack runtime),
+3. **record** the scan in the history store and diff against the
+   previous release (new / fixed / persistent findings),
+4. **gate** the release with the approval policy,
+5. for the final release, **auto-fix** the remaining flaw and show the
+   patched version finally passing the gate.
+
+Run:  python examples/secure_development_workflow.py
+"""
+
+from repro import PhpSafe, Plugin
+from repro.core.autofix import apply_fixes
+from repro.dynamic import confirm_findings
+from repro.history import ApprovalPolicy, HistoryStore
+
+RELEASES = {
+    # v1.0: two flaws
+    "1.0": """<?php
+echo '<h2>' . $_GET['title'] . '</h2>';
+$wpdb->query("DELETE FROM notes WHERE id = " . $_GET['id']);
+""",
+    # v1.1: the SQLi is fixed (prepare), the XSS persists, nothing new
+    "1.1": """<?php
+echo '<h2>' . $_GET['title'] . '</h2>';
+$wpdb->query($wpdb->prepare("DELETE FROM notes WHERE id = %d", $_GET['id']));
+""",
+    # v1.2: the XSS persists AND a new stored XSS is introduced
+    "1.2": """<?php
+echo '<h2>' . $_GET['title'] . '</h2>';
+$wpdb->query($wpdb->prepare("DELETE FROM notes WHERE id = %d", $_GET['id']));
+$rows = $wpdb->get_results("SELECT * FROM " . $wpdb->prefix . "notes");
+foreach ($rows as $row) { echo '<li>' . $row->body . '</li>'; }
+""",
+}
+
+SCAN_DATES = {"1.0": "2012-11-01", "1.1": "2013-11-01", "1.2": "2014-11-01"}
+
+
+def main() -> None:
+    tool = PhpSafe()
+    store = HistoryStore()
+    policy = ApprovalPolicy()
+
+    previous_record = None
+    for version, source in RELEASES.items():
+        plugin = Plugin(name="notes-widget", version=version,
+                        files={"notes-widget.php": source})
+        report = tool.analyze(plugin)
+        verdicts = confirm_findings(plugin, report.findings)
+        confirmed = sum(1 for verdict in verdicts if verdict.confirmed)
+        record = store.record(report, version=version,
+                              scanned_at=SCAN_DATES[version])
+
+        print(f"=== notes-widget {version} ({SCAN_DATES[version]}) ===")
+        print(f"  static findings: {len(report.findings)}, "
+              f"dynamically confirmed: {confirmed}")
+        diff = store.diff_latest("notes-widget")
+        if diff is not None:
+            print(f"  vs previous: {diff.summary()}")
+        decision = policy.evaluate(record, previous=previous_record)
+        print(f"  gate: {decision}")
+        print()
+        previous_record = record
+
+    evolution = store.evolution("notes-widget")
+    print("evolution:", " → ".join(f"v{v}:{n}" for v, n in evolution))
+
+    # the persistent XSS (the paper's Section V.D inertia, in miniature)
+    final_diff = store.diff_latest("notes-widget")
+    assert final_diff is not None
+    assert final_diff.persistent, "the reflected XSS was never fixed"
+
+    # --- auto-remediate the final release and re-gate --------------------
+    print("\nauto-fixing release 1.2 ...")
+    plugin = Plugin(name="notes-widget", version="1.2-patched",
+                    files={"notes-widget.php": RELEASES["1.2"]})
+    report = tool.analyze(plugin)
+    patched, proposals = apply_fixes(plugin, report.findings)
+    for proposal in proposals:
+        print(f"  {proposal.description}")
+    patched_report = tool.analyze(patched)
+    record = store.record(patched_report, version="1.2-patched",
+                          scanned_at="2014-11-02")
+    decision = policy.evaluate(record)
+    print(f"  re-gate: {decision}")
+    assert decision.approved
+    print("\npatched release passes the integration gate.")
+
+
+if __name__ == "__main__":
+    main()

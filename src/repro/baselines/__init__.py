@@ -1,0 +1,11 @@
+"""Baseline analyzers the paper compares phpSAFE against.
+
+Behavioural reimplementations of the two free tools used in the
+evaluation (Section IV.B step 3): RIPS (OOP-blind but robust and
+inter-procedural) and Pixy (2007-era, OOP-fragile, register_globals).
+"""
+
+from .pixy import PixyLike
+from .rips import RipsLike
+
+__all__ = ["PixyLike", "RipsLike"]

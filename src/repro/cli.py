@@ -1,0 +1,310 @@
+"""Command-line interface: ``phpsafe`` / ``python -m repro``.
+
+Subcommands:
+
+``scan PATH``
+    Analyze a plugin directory (or single ``.php`` file) with phpSAFE
+    and print the findings with their flow traces.
+``compare PATH``
+    Run phpSAFE, RIPS-like and Pixy-like on the same target and print a
+    side-by-side summary.
+``corpus OUTDIR``
+    Generate the synthetic 2012/2014 plugin corpora to disk, with the
+    ground-truth manifest as JSON.
+``evaluate``
+    Run the full paper evaluation (Tables I–III, Fig. 2, Sections
+    V.B–V.E) and print every table, paper-vs-measured.
+``report PATH``
+    Analyze and export a review report (HTML, JSON or text).
+``confirm PATH``
+    Analyze, then dynamically confirm each finding in the simulated
+    attack runtime (the paper's manual exploitation, automated).
+``fix PATH``
+    Analyze and print auto-remediation proposals (patched source goes
+    to ``--out`` when given).
+``approve PATH``
+    Gate a plugin against the integration policy (Section VI workflow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+from .baselines import PixyLike, RipsLike
+from .core import PhpSafe, PhpSafeOptions
+from .corpus import build_corpus
+from .evaluation import (
+    analyze_inertia,
+    both_versions_breakdown,
+    compute_overlap,
+    evaluate_both,
+    render_fig2,
+    render_inertia,
+    render_robustness,
+    render_table1,
+    render_table2,
+    render_table3,
+    vector_breakdown,
+)
+from .plugin import Plugin
+
+
+def _load_target(path: str) -> Plugin:
+    if os.path.isdir(path):
+        return Plugin.load_from(path)
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        source = handle.read()
+    return Plugin(name=os.path.basename(path), files={os.path.basename(path): source})
+
+
+def _make_tool(name: str, no_oop: bool = False, generic: bool = False):
+    if name == "phpsafe":
+        options = PhpSafeOptions(oop=not no_oop, wordpress_config=not generic)
+        return PhpSafe(options=options)
+    if name == "rips":
+        return RipsLike()
+    if name == "pixy":
+        return PixyLike()
+    raise SystemExit(f"unknown tool: {name}")
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    plugin = _load_target(args.path)
+    tool = _make_tool(args.tool, no_oop=args.no_oop, generic=args.generic)
+    report = tool.analyze_timed(plugin)
+    print(
+        f"{tool.name}: {plugin.slug} — {report.files_analyzed} files, "
+        f"{report.loc_analyzed} LOC, {report.seconds:.2f}s"
+    )
+    for finding in report.findings:
+        print(f"  {finding.describe()}")
+        if args.trace:
+            for step in finding.trace:
+                print(f"      {step}")
+    for failure in report.failures:
+        print(f"  ! {failure.file}: {failure.reason}")
+    print(f"{len(report.findings)} finding(s), {len(report.failed_files)} failed file(s)")
+    return 0 if not report.findings else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    plugin = _load_target(args.path)
+    for tool in (PhpSafe(), RipsLike(), PixyLike()):
+        report = tool.analyze_timed(plugin)
+        xss = len([f for f in report.findings if f.kind.value == "xss"])
+        sqli = len(report.findings) - xss
+        print(
+            f"{tool.name:8s} XSS={xss:4d} SQLi={sqli:3d} "
+            f"failed_files={len(report.failed_files):3d} time={report.seconds:.2f}s"
+        )
+        if args.verbose:
+            for finding in report.findings:
+                print(f"    {finding.describe()}")
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    for version in args.versions:
+        corpus = build_corpus(version, scale=args.scale)
+        version_dir = os.path.join(args.outdir, version)
+        os.makedirs(version_dir, exist_ok=True)
+        for plugin in corpus.plugins:
+            plugin.write_to(version_dir)
+        manifest = [
+            {
+                "spec_id": entry.spec.spec_id,
+                "kind": entry.spec.kind.value,
+                "vector": entry.spec.vector.value,
+                "region": entry.spec.region,
+                "vulnerable": entry.spec.is_vulnerable,
+                "carried": entry.spec.carried,
+                "plugin": entry.plugin,
+                "file": entry.file,
+                "line": entry.line,
+            }
+            for entry in corpus.truth.entries
+        ]
+        manifest_path = os.path.join(version_dir, "ground-truth.json")
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+        print(
+            f"{version}: {corpus.total_files} files, {corpus.total_loc} LOC, "
+            f"{corpus.truth.vulnerable_count()} vulnerabilities → {version_dir}"
+        )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    corpora = [build_corpus(version, scale=args.scale) for version in ("2012", "2014")]
+    evaluations = evaluate_both(
+        corpora,
+        lambda: [PhpSafe(), RipsLike(), PixyLike()],
+        timing_repetitions=args.repetitions,
+    )
+    older, newer = evaluations["2012"], evaluations["2014"]
+    print(render_table1(evaluations, convention=args.convention))
+    print()
+    print(render_fig2(compute_overlap(older), compute_overlap(newer)))
+    print()
+    print(
+        render_table2(
+            vector_breakdown(older),
+            vector_breakdown(newer),
+            both_versions_breakdown(older, newer),
+        )
+    )
+    print()
+    print(render_inertia(analyze_inertia(older, newer)))
+    print()
+    print(render_table3(evaluations))
+    print()
+    print(render_robustness(evaluations))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .core.review import to_html, to_json, to_text
+
+    plugin = _load_target(args.path)
+    report = PhpSafe().analyze_timed(plugin)
+    if args.format == "html":
+        rendered = to_html(report, plugin)
+    elif args.format == "json":
+        rendered = to_json(report)
+    else:
+        rendered = to_text(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+def cmd_confirm(args: argparse.Namespace) -> int:
+    from .dynamic import confirm_findings
+
+    plugin = _load_target(args.path)
+    report = PhpSafe().analyze(plugin)
+    if not report.findings:
+        print("no findings to confirm")
+        return 0
+    confirmed = 0
+    for verdict in confirm_findings(plugin, report.findings):
+        print(f"{verdict.status.value:12s} {verdict.finding.describe()}")
+        if verdict.evidence:
+            print(f"             {verdict.evidence}")
+        confirmed += verdict.confirmed
+    print(f"{confirmed} of {len(report.findings)} finding(s) dynamically confirmed")
+    return 1 if confirmed else 0
+
+
+def cmd_fix(args: argparse.Namespace) -> int:
+    from .core.autofix import apply_fixes, verify_fix
+
+    plugin = _load_target(args.path)
+    report = PhpSafe().analyze(plugin)
+    if not report.findings:
+        print("nothing to fix")
+        return 0
+    patched, proposals = apply_fixes(plugin, report.findings)
+    for proposal in proposals:
+        verified = verify_fix(patched, proposal.finding)
+        status = "verified" if verified else "UNVERIFIED"
+        print(f"[{status}] {proposal.description}")
+    if args.out:
+        patched.write_to(args.out)
+        print(f"patched plugin written under {args.out}")
+    return 0
+
+
+def cmd_approve(args: argparse.Namespace) -> int:
+    from .history import ApprovalPolicy, ScanRecord
+
+    plugin = _load_target(args.path)
+    report = PhpSafe().analyze(plugin)
+    record = ScanRecord.from_report(
+        report, version=plugin.version or "unversioned", scanned_at=args.date
+    )
+    policy = ApprovalPolicy(max_xss=args.max_xss, max_sqli=args.max_sqli)
+    decision = policy.evaluate(record)
+    print(decision)
+    for reason in decision.reasons:
+        print(f"  - {reason}")
+    return 0 if decision.approved else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="phpsafe",
+        description="phpSAFE reproduction: XSS/SQLi static analysis of PHP plugins",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="analyze a plugin directory or PHP file")
+    scan.add_argument("path")
+    scan.add_argument("--tool", choices=("phpsafe", "rips", "pixy"), default="phpsafe")
+    scan.add_argument("--no-oop", action="store_true", help="disable OOP resolution")
+    scan.add_argument(
+        "--generic", action="store_true", help="generic PHP profile (no WordPress)"
+    )
+    scan.add_argument("--trace", action="store_true", help="print flow traces")
+    scan.set_defaults(func=cmd_scan)
+
+    compare = sub.add_parser("compare", help="run all three tools on a target")
+    compare.add_argument("path")
+    compare.add_argument("-v", "--verbose", action="store_true")
+    compare.set_defaults(func=cmd_compare)
+
+    corpus = sub.add_parser("corpus", help="generate the synthetic corpora to disk")
+    corpus.add_argument("outdir")
+    corpus.add_argument(
+        "--versions", nargs="+", choices=("2012", "2014"), default=["2012", "2014"]
+    )
+    corpus.add_argument("--scale", type=float, default=0.25)
+    corpus.set_defaults(func=cmd_corpus)
+
+    evaluate = sub.add_parser("evaluate", help="reproduce the paper's evaluation")
+    evaluate.add_argument("--scale", type=float, default=0.1)
+    evaluate.add_argument("--repetitions", type=int, default=1)
+    evaluate.add_argument("--convention", choices=("paper", "exact"), default="paper")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    report = sub.add_parser("report", help="export a review report")
+    report.add_argument("path")
+    report.add_argument("--format", choices=("html", "json", "text"), default="text")
+    report.add_argument("--out", help="write to a file instead of stdout")
+    report.set_defaults(func=cmd_report)
+
+    confirm = sub.add_parser("confirm", help="dynamically confirm findings")
+    confirm.add_argument("path")
+    confirm.set_defaults(func=cmd_confirm)
+
+    fix = sub.add_parser("fix", help="propose and verify auto-remediations")
+    fix.add_argument("path")
+    fix.add_argument("--out", help="directory to write the patched plugin to")
+    fix.set_defaults(func=cmd_fix)
+
+    approve = sub.add_parser("approve", help="gate a plugin for integration")
+    approve.add_argument("path")
+    approve.add_argument("--max-xss", type=int, default=0)
+    approve.add_argument("--max-sqli", type=int, default=0)
+    approve.add_argument("--date", default="1970-01-01",
+                         help="scan date recorded in the decision")
+    approve.set_defaults(func=cmd_approve)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

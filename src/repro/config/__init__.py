@@ -1,0 +1,34 @@
+"""Knowledge-base package: the paper's configuration stage as data.
+
+Exports the vulnerability taxonomy, the entry dataclasses, and the
+profile factories (``wordpress()`` is phpSAFE's default configuration).
+"""
+
+from .entries import FilterSpec, KnownInstance, RevertSpec, SinkSpec, SourceSpec
+from .profiles import (
+    AnalyzerProfile,
+    drupal,
+    generic_php,
+    joomla,
+    pixy_2007,
+    wordpress,
+)
+from .vulnerability import ALL_KINDS, TABLE2_ROWS, InputVector, VulnKind
+
+__all__ = [
+    "ALL_KINDS",
+    "AnalyzerProfile",
+    "FilterSpec",
+    "InputVector",
+    "KnownInstance",
+    "RevertSpec",
+    "SinkSpec",
+    "SourceSpec",
+    "TABLE2_ROWS",
+    "VulnKind",
+    "drupal",
+    "generic_php",
+    "joomla",
+    "pixy_2007",
+    "wordpress",
+]

@@ -1,0 +1,59 @@
+"""Drupal API knowledge (paper Section VI: "analysis of other CMS
+applications like Drupal or Joomla").
+
+Covers the Drupal 6/7-era procedural API that third-party modules used:
+the ``db_*`` database layer (D6 unparameterized and D7 ``db_query``
+with placeholder arrays), the ``check_plain``/``filter_xss`` output
+escaping family, and the setting/state storage that other users can
+write through the admin UI.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .entries import FilterSpec, KnownInstance, SinkSpec, SourceSpec
+from .vulnerability import ALL_KINDS, InputVector, VulnKind
+
+_XSS = frozenset({VulnKind.XSS})
+_SQLI = frozenset({VulnKind.SQLI})
+
+DRUPAL_SOURCES: Tuple[SourceSpec, ...] = (
+    # database reads: node/comment/user content is user-written
+    SourceSpec("db_query", InputVector.DB),
+    SourceSpec("db_fetch_object", InputVector.DB),
+    SourceSpec("db_fetch_array", InputVector.DB),
+    SourceSpec("db_result", InputVector.DB),
+    SourceSpec("db_select", InputVector.DB),
+    # settings/state storage: editable by semi-privileged users
+    SourceSpec("variable_get", InputVector.DB),
+    SourceSpec("config_get", InputVector.DB),
+    # request helpers
+    SourceSpec("drupal_get_query_parameters", InputVector.GET),
+    SourceSpec("arg", InputVector.GET, description="path component"),
+    SourceSpec("request_uri", InputVector.SERVER),
+)
+
+DRUPAL_FILTERS: Tuple[FilterSpec, ...] = (
+    FilterSpec("check_plain", _XSS),
+    FilterSpec("check_markup", _XSS),
+    FilterSpec("check_url", _XSS),
+    FilterSpec("filter_xss", _XSS),
+    FilterSpec("filter_xss_admin", _XSS),
+    FilterSpec("drupal_clean_css_identifier", ALL_KINDS),
+    FilterSpec("db_escape_string", _SQLI),
+    FilterSpec("db_escape_table", _SQLI),
+    FilterSpec("db_escape_field", _SQLI),
+)
+
+DRUPAL_SINKS: Tuple[SinkSpec, ...] = (
+    SinkSpec("db_query", VulnKind.SQLI, tainted_args=(0,)),
+    SinkSpec("db_query_range", VulnKind.SQLI, tainted_args=(0,)),
+    SinkSpec("drupal_set_message", VulnKind.XSS, tainted_args=(0,)),
+    SinkSpec("drupal_set_title", VulnKind.XSS, tainted_args=(0,)),
+    SinkSpec("form_set_error", VulnKind.XSS, tainted_args=(1,)),
+)
+
+DRUPAL_INSTANCES: Tuple[KnownInstance, ...] = (
+    KnownInstance("user", "stdClass", "the global $user account object"),
+)

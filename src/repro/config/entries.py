@@ -1,0 +1,110 @@
+"""Dataclasses for knowledge-base entries.
+
+phpSAFE's configuration stage (paper Section III.A) loads four groups of
+function data: *sources* (potentially malicious inputs), *filters*
+(sanitization functions), *reverts* (functions undoing sanitization) and
+*sinks* (sensitive output functions).  Entries describe either plain
+functions, superglobal variables, or object methods (the OOP extension of
+Section III.E — e.g. ``$wpdb->get_results``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from .vulnerability import ALL_KINDS, InputVector, VulnKind
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """A taint source: data an attacker may control.
+
+    ``name`` is a function name (``file_get_contents``), a superglobal
+    (``_GET``, stored without the ``$``), or a method name when
+    ``class_name`` is set (``wpdb.get_results``).
+    """
+
+    name: str
+    vector: InputVector
+    kinds: FrozenSet[VulnKind] = ALL_KINDS
+    class_name: Optional[str] = None
+    is_superglobal: bool = False
+    description: str = ""
+
+    @property
+    def qualified(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}::{self.name}"
+        return ("$" if self.is_superglobal else "") + self.name
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A sanitizer: calling it untaints its argument for ``kinds``.
+
+    ``returns_clean`` models filters whose *return value* is safe
+    (``htmlentities($x)``); by-reference cleaning is not used by the
+    knowledge base but kept for extensions.
+    """
+
+    name: str
+    kinds: FrozenSet[VulnKind]
+    class_name: Optional[str] = None
+    description: str = ""
+
+    @property
+    def qualified(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}::{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class RevertSpec:
+    """A function that undoes sanitization (``stripslashes`` & co.).
+
+    Its return value is considered tainted again for ``kinds`` whenever
+    the argument ever carried taint, even if filtered meanwhile.
+    """
+
+    name: str
+    kinds: FrozenSet[VulnKind] = ALL_KINDS
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """A sensitive output: tainted data reaching it is a vulnerability.
+
+    ``kind`` is the vulnerability class this sink manifests (``echo`` is
+    an XSS sink, ``mysql_query`` a SQLi sink).  ``tainted_args`` limits
+    which argument positions are sensitive (``None`` = all).
+    """
+
+    name: str
+    kind: VulnKind
+    class_name: Optional[str] = None
+    tainted_args: Optional[Tuple[int, ...]] = None
+    description: str = ""
+
+    @property
+    def qualified(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}::{self.name}"
+        return self.name
+
+    def arg_is_sensitive(self, index: int) -> bool:
+        return self.tainted_args is None or index in self.tainted_args
+
+
+@dataclass(frozen=True)
+class KnownInstance:
+    """A well-known global object instance, e.g. ``$wpdb`` of class
+    ``wpdb``.  Lets the analyzer resolve ``$wpdb->get_results`` without
+    seeing the instantiation (WordPress creates it in core code the
+    plugin never includes)."""
+
+    var_name: str
+    class_name: str
+    description: str = ""

@@ -1,0 +1,91 @@
+"""Generic sanitizers and revert functions (``class-vulnerable-filter.php``).
+
+A *filter* untaints its argument for the vulnerability kinds it protects
+against; a *revert* (``stripslashes`` & co.) undoes such protection —
+Section III.A of the paper calls these "the functions that revert those
+protections, therefore allowing the attack".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .entries import FilterSpec, RevertSpec
+from .vulnerability import ALL_KINDS, VulnKind
+
+_XSS = frozenset({VulnKind.XSS})
+_SQLI = frozenset({VulnKind.SQLI})
+
+#: Casting/numeric coercions neutralize both XSS and SQLi payloads.
+NUMERIC_FILTERS: Tuple[FilterSpec, ...] = (
+    FilterSpec("intval", ALL_KINDS, description="integer coercion"),
+    FilterSpec("floatval", ALL_KINDS),
+    FilterSpec("doubleval", ALL_KINDS),
+    FilterSpec("boolval", ALL_KINDS),
+    FilterSpec("abs", ALL_KINDS),
+    FilterSpec("count", ALL_KINDS),
+    FilterSpec("sizeof", ALL_KINDS),
+    FilterSpec("strlen", ALL_KINDS),
+    FilterSpec("md5", ALL_KINDS),
+    FilterSpec("sha1", ALL_KINDS),
+    FilterSpec("crc32", ALL_KINDS),
+    FilterSpec("base64_encode", ALL_KINDS),
+    FilterSpec("urlencode", ALL_KINDS),
+    FilterSpec("rawurlencode", ALL_KINDS),
+    FilterSpec("ctype_digit", ALL_KINDS),
+    FilterSpec("ctype_alnum", ALL_KINDS),
+)
+
+#: HTML-context encoders: neutralize XSS, not SQLi.
+XSS_FILTERS: Tuple[FilterSpec, ...] = (
+    FilterSpec("htmlentities", _XSS, description="HTML entity encoding"),
+    FilterSpec("htmlspecialchars", _XSS),
+    FilterSpec("strip_tags", _XSS),
+    FilterSpec("filter_var", _XSS, description="with FILTER_SANITIZE_*"),
+    FilterSpec("json_encode", _XSS),
+    FilterSpec("nl2br", frozenset()),  # NOT a sanitizer; listed to document it
+)
+
+#: SQL escaping: neutralizes SQLi, not XSS (the paper's "blended
+#: attacks" observation — stored XSS passes through these untouched).
+SQLI_FILTERS: Tuple[FilterSpec, ...] = (
+    FilterSpec("mysql_escape_string", _SQLI),
+    FilterSpec("mysql_real_escape_string", _SQLI),
+    FilterSpec("mysqli_real_escape_string", _SQLI),
+    FilterSpec("mysqli_escape_string", _SQLI),
+    FilterSpec("addslashes", _SQLI),
+    FilterSpec("pg_escape_string", _SQLI),
+    FilterSpec("sqlite_escape_string", _SQLI),
+)
+
+_CMDI = frozenset({VulnKind.CMDI})
+_LFI = frozenset({VulnKind.LFI})
+
+#: Shell-argument escaping: neutralizes command injection only.
+CMDI_FILTERS: Tuple[FilterSpec, ...] = (
+    FilterSpec("escapeshellarg", _CMDI),
+    FilterSpec("escapeshellcmd", _CMDI),
+)
+
+#: Path neutralization: ``basename`` strips traversal components.
+LFI_FILTERS: Tuple[FilterSpec, ...] = (
+    FilterSpec("basename", _LFI),
+    FilterSpec("pathinfo", _LFI),
+)
+
+GENERIC_FILTERS: Tuple[FilterSpec, ...] = tuple(
+    spec
+    for spec in NUMERIC_FILTERS + XSS_FILTERS + SQLI_FILTERS + CMDI_FILTERS + LFI_FILTERS
+    if spec.kinds
+)
+
+#: Functions that revert sanitization.
+GENERIC_REVERTS: Tuple[RevertSpec, ...] = (
+    RevertSpec("stripslashes", description="removes escaping backslashes"),
+    RevertSpec("stripcslashes"),
+    RevertSpec("html_entity_decode", frozenset({VulnKind.XSS})),
+    RevertSpec("htmlspecialchars_decode", frozenset({VulnKind.XSS})),
+    RevertSpec("urldecode"),
+    RevertSpec("rawurldecode"),
+    RevertSpec("base64_decode"),
+)

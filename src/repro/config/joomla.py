@@ -1,0 +1,64 @@
+"""Joomla API knowledge (paper Section VI future work).
+
+Joomla extensions are fully OOP: input arrives through the ``JRequest``
+static facade (1.5/2.5 era) or ``JInput``, the database is the
+``JDatabase`` object obtained from the factory, and escaping goes
+through ``JDatabase::quote``/``escape`` and ``htmlspecialchars``.
+The entries below give phpSAFE the same out-of-the-box awareness for
+Joomla components that the WordPress profile provides for plugins.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .entries import FilterSpec, KnownInstance, SinkSpec, SourceSpec
+from .vulnerability import ALL_KINDS, InputVector, VulnKind
+
+_XSS = frozenset({VulnKind.XSS})
+_SQLI = frozenset({VulnKind.SQLI})
+
+JOOMLA_SOURCES: Tuple[SourceSpec, ...] = (
+    # JRequest static facade: attacker-controlled request data
+    SourceSpec("getVar", InputVector.REQUEST, class_name="JRequest"),
+    SourceSpec("getString", InputVector.REQUEST, class_name="JRequest"),
+    SourceSpec("getWord", InputVector.REQUEST, class_name="JRequest"),
+    SourceSpec("getCmd", InputVector.REQUEST, class_name="JRequest"),
+    # JInput object (3.x)
+    SourceSpec("get", InputVector.REQUEST, class_name="JInput"),
+    SourceSpec("getString", InputVector.REQUEST, class_name="JInput"),
+    # database reads
+    SourceSpec("loadResult", InputVector.DB, class_name="JDatabase"),
+    SourceSpec("loadObject", InputVector.DB, class_name="JDatabase"),
+    SourceSpec("loadObjectList", InputVector.DB, class_name="JDatabase"),
+    SourceSpec("loadAssoc", InputVector.DB, class_name="JDatabase"),
+    SourceSpec("loadAssocList", InputVector.DB, class_name="JDatabase"),
+    SourceSpec("loadColumn", InputVector.DB, class_name="JDatabase"),
+)
+
+JOOMLA_FILTERS: Tuple[FilterSpec, ...] = (
+    # JRequest::getInt and friends coerce, neutralizing both classes
+    FilterSpec("getInt", ALL_KINDS, class_name="JRequest"),
+    FilterSpec("getFloat", ALL_KINDS, class_name="JRequest"),
+    FilterSpec("getBool", ALL_KINDS, class_name="JRequest"),
+    FilterSpec("getInt", ALL_KINDS, class_name="JInput"),
+    FilterSpec("quote", _SQLI, class_name="JDatabase"),
+    FilterSpec("escape", _SQLI, class_name="JDatabase"),
+    FilterSpec("quoteName", _SQLI, class_name="JDatabase"),
+    FilterSpec("clean", _XSS, class_name="JFilterInput"),
+)
+
+JOOMLA_SINKS: Tuple[SinkSpec, ...] = (
+    SinkSpec("setQuery", VulnKind.SQLI, class_name="JDatabase", tainted_args=(0,)),
+    SinkSpec("execute", VulnKind.SQLI, class_name="JDatabase", tainted_args=(0,)),
+    SinkSpec("enqueueMessage", VulnKind.XSS, class_name="JApplication",
+             tainted_args=(0,)),
+)
+
+JOOMLA_INSTANCES: Tuple[KnownInstance, ...] = (
+    KnownInstance("db", "JDatabase", "conventional name for the DB object"),
+    KnownInstance("database", "JDatabase", "legacy 1.5 global"),
+    KnownInstance("app", "JApplication", "the application object"),
+    KnownInstance("input", "JInput", "the request input object"),
+    KnownInstance("mainframe", "JApplication", "legacy 1.5 global"),
+)

@@ -1,0 +1,245 @@
+"""Analyzer profiles: assembled knowledge bases (paper Section III.A).
+
+A profile is the loaded form of phpSAFE's configuration stage — the
+union of sources, filters, reverts and sinks a given tool consults while
+analyzing code.  ``wordpress()`` is phpSAFE's out-of-the-box profile;
+``generic_php()`` is what a CMS-unaware tool like RIPS effectively uses;
+``pixy_2007()`` is the dated subset Pixy ships with.
+
+Profiles are plain data: other CMSs (Drupal, Joomla — the paper's future
+work) are supported by building a profile with their API entries, see
+``examples/custom_cms_profile.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from .entries import FilterSpec, KnownInstance, RevertSpec, SinkSpec, SourceSpec
+from .filters import GENERIC_FILTERS, GENERIC_REVERTS
+from .sinks import GENERIC_SINKS
+from .sources import GENERIC_SOURCES
+from .vulnerability import VulnKind
+from .wordpress import (
+    WORDPRESS_FILTERS,
+    WORDPRESS_INSTANCES,
+    WORDPRESS_SINKS,
+    WORDPRESS_SOURCES,
+)
+
+
+@dataclass
+class AnalyzerProfile:
+    """An assembled knowledge base consulted during analysis.
+
+    Lookup dictionaries are precomputed at construction: plain functions
+    and superglobals by name, methods by ``(class name, method name)``.
+    """
+
+    name: str
+    sources: Tuple[SourceSpec, ...] = ()
+    filters: Tuple[FilterSpec, ...] = ()
+    reverts: Tuple[RevertSpec, ...] = ()
+    sinks: Tuple[SinkSpec, ...] = ()
+    instances: Tuple[KnownInstance, ...] = ()
+    #: Pixy-era PHP: uninitialized globals are attacker-settable.
+    register_globals: bool = False
+
+    _function_sources: Dict[str, SourceSpec] = field(default_factory=dict, repr=False)
+    _superglobal_sources: Dict[str, SourceSpec] = field(default_factory=dict, repr=False)
+    _method_sources: Dict[Tuple[str, str], SourceSpec] = field(
+        default_factory=dict, repr=False
+    )
+    _function_filters: Dict[str, FilterSpec] = field(default_factory=dict, repr=False)
+    _method_filters: Dict[Tuple[str, str], FilterSpec] = field(
+        default_factory=dict, repr=False
+    )
+    _reverts: Dict[str, RevertSpec] = field(default_factory=dict, repr=False)
+    _function_sinks: Dict[str, SinkSpec] = field(default_factory=dict, repr=False)
+    _method_sinks: Dict[Tuple[str, str], SinkSpec] = field(default_factory=dict, repr=False)
+    _instances: Dict[str, KnownInstance] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for spec in self.sources:
+            if spec.class_name:
+                self._method_sources[(spec.class_name.lower(), spec.name.lower())] = spec
+            elif spec.is_superglobal:
+                self._superglobal_sources[spec.name] = spec
+            else:
+                self._function_sources[spec.name.lower()] = spec
+        for spec in self.filters:
+            if spec.class_name:
+                self._method_filters[(spec.class_name.lower(), spec.name.lower())] = spec
+            else:
+                self._function_filters[spec.name.lower()] = spec
+        for spec in self.reverts:
+            self._reverts[spec.name.lower()] = spec
+        for spec in self.sinks:
+            if spec.class_name:
+                self._method_sinks[(spec.class_name.lower(), spec.name.lower())] = spec
+            else:
+                self._function_sinks[spec.name.lower()] = spec
+        for instance in self.instances:
+            self._instances[instance.var_name] = instance
+
+    # -- lookups ------------------------------------------------------------
+
+    def superglobal_source(self, name: str) -> Optional[SourceSpec]:
+        """Source spec for superglobal ``name`` (without ``$``)."""
+        return self._superglobal_sources.get(name)
+
+    def function_source(self, name: str) -> Optional[SourceSpec]:
+        return self._function_sources.get(name.lower())
+
+    def method_source(self, class_name: str, method: str) -> Optional[SourceSpec]:
+        return self._method_sources.get((class_name.lower(), method.lower()))
+
+    def function_filter(self, name: str) -> Optional[FilterSpec]:
+        return self._function_filters.get(name.lower())
+
+    def method_filter(self, class_name: str, method: str) -> Optional[FilterSpec]:
+        return self._method_filters.get((class_name.lower(), method.lower()))
+
+    def revert(self, name: str) -> Optional[RevertSpec]:
+        return self._reverts.get(name.lower())
+
+    def function_sink(self, name: str) -> Optional[SinkSpec]:
+        return self._function_sinks.get(name.lower())
+
+    def method_sink(self, class_name: str, method: str) -> Optional[SinkSpec]:
+        return self._method_sinks.get((class_name.lower(), method.lower()))
+
+    def known_instance(self, var_name: str) -> Optional[KnownInstance]:
+        return self._instances.get(var_name)
+
+    # -- composition ------------------------------------------------------------
+
+    def extended(
+        self,
+        name: str,
+        sources: Iterable[SourceSpec] = (),
+        filters: Iterable[FilterSpec] = (),
+        reverts: Iterable[RevertSpec] = (),
+        sinks: Iterable[SinkSpec] = (),
+        instances: Iterable[KnownInstance] = (),
+    ) -> "AnalyzerProfile":
+        """A new profile with extra entries — how "data for other CMSs can
+        be easily added to the configuration" (paper III.A)."""
+        return AnalyzerProfile(
+            name=name,
+            sources=self.sources + tuple(sources),
+            filters=self.filters + tuple(filters),
+            reverts=self.reverts + tuple(reverts),
+            sinks=self.sinks + tuple(sinks),
+            instances=self.instances + tuple(instances),
+            register_globals=self.register_globals,
+        )
+
+
+def generic_php(name: str = "generic-php") -> AnalyzerProfile:
+    """Generic XSS/SQLi knowledge for plain PHP (RIPS-level configuration)."""
+    return AnalyzerProfile(
+        name=name,
+        sources=GENERIC_SOURCES,
+        filters=GENERIC_FILTERS,
+        reverts=GENERIC_REVERTS,
+        sinks=GENERIC_SINKS,
+    )
+
+
+def wordpress() -> AnalyzerProfile:
+    """phpSAFE's out-of-the-box profile: generic PHP + WordPress API."""
+    return generic_php("wordpress").extended(
+        "wordpress",
+        sources=WORDPRESS_SOURCES,
+        filters=WORDPRESS_FILTERS,
+        sinks=WORDPRESS_SINKS,
+        instances=WORDPRESS_INSTANCES,
+    )
+
+
+def drupal() -> AnalyzerProfile:
+    """Generic PHP + the Drupal module API (paper Section VI)."""
+    from .drupal import (
+        DRUPAL_FILTERS,
+        DRUPAL_INSTANCES,
+        DRUPAL_SINKS,
+        DRUPAL_SOURCES,
+    )
+
+    return generic_php("drupal").extended(
+        "drupal",
+        sources=DRUPAL_SOURCES,
+        filters=DRUPAL_FILTERS,
+        sinks=DRUPAL_SINKS,
+        instances=DRUPAL_INSTANCES,
+    )
+
+
+def joomla() -> AnalyzerProfile:
+    """Generic PHP + the Joomla extension API (paper Section VI)."""
+    from .joomla import (
+        JOOMLA_FILTERS,
+        JOOMLA_INSTANCES,
+        JOOMLA_SINKS,
+        JOOMLA_SOURCES,
+    )
+
+    return generic_php("joomla").extended(
+        "joomla",
+        sources=JOOMLA_SOURCES,
+        filters=JOOMLA_FILTERS,
+        sinks=JOOMLA_SINKS,
+        instances=JOOMLA_INSTANCES,
+    )
+
+
+def pixy_2007() -> AnalyzerProfile:
+    """The dated knowledge base of a tool unmaintained since 2007.
+
+    No mysqli/filter_var era functions, no WordPress entries, and the
+    ``register_globals`` source model that produced half of Pixy's
+    findings in the paper's study.
+    """
+    old_filters = tuple(
+        spec
+        for spec in GENERIC_FILTERS
+        if spec.name
+        in {
+            "intval",
+            "floatval",
+            "doubleval",
+            "htmlentities",
+            "htmlspecialchars",
+            "strip_tags",
+            "mysql_escape_string",
+            "mysql_real_escape_string",
+            "addslashes",
+            "md5",
+            "strlen",
+            "count",
+            "urlencode",
+        }
+    )
+    old_sources = tuple(
+        spec
+        for spec in GENERIC_SOURCES
+        if not spec.name.startswith("mysqli")
+        and spec.name not in {"getallheaders", "parse_ini_file", "scandir", "glob"}
+    )
+    old_sinks = tuple(
+        spec
+        for spec in GENERIC_SINKS
+        if not spec.name.startswith("mysqli")
+        and not spec.name.startswith("pg_")
+        and spec.kind in (VulnKind.XSS, VulnKind.SQLI)  # Pixy: XSS/SQLi only
+    )
+    return AnalyzerProfile(
+        name="pixy-2007",
+        sources=old_sources,
+        filters=old_filters,
+        reverts=tuple(spec for spec in GENERIC_REVERTS if spec.name == "stripslashes"),
+        sinks=old_sinks,
+        register_globals=True,
+    )

@@ -1,0 +1,60 @@
+"""Generic sensitive output functions (``class-vulnerable_output.php``).
+
+Each entry "is specific to a given vulnerability type" (paper III.A):
+``echo`` manifests XSS, ``mysql_query`` manifests SQLi.  ``echo``,
+``print`` and ``<?= ?>`` are language constructs handled by dedicated AST
+nodes, but they are kept here too so tools that enumerate the knowledge
+base (and the documentation generator) see the full sink set.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .entries import SinkSpec
+from .vulnerability import VulnKind
+
+XSS_SINKS: Tuple[SinkSpec, ...] = (
+    SinkSpec("echo", VulnKind.XSS, description="language construct"),
+    SinkSpec("print", VulnKind.XSS, description="language construct"),
+    SinkSpec("printf", VulnKind.XSS),
+    SinkSpec("vprintf", VulnKind.XSS),
+    SinkSpec("print_r", VulnKind.XSS, tainted_args=(0,)),
+    SinkSpec("var_dump", VulnKind.XSS),
+    SinkSpec("exit", VulnKind.XSS, description="die($msg) echoes its argument"),
+    SinkSpec("trigger_error", VulnKind.XSS, tainted_args=(0,)),
+)
+
+SQLI_SINKS: Tuple[SinkSpec, ...] = (
+    SinkSpec("mysql_query", VulnKind.SQLI, tainted_args=(0,)),
+    SinkSpec("mysql_db_query", VulnKind.SQLI, tainted_args=(1,)),
+    SinkSpec("mysql_unbuffered_query", VulnKind.SQLI, tainted_args=(0,)),
+    SinkSpec("mysqli_query", VulnKind.SQLI, tainted_args=(1,)),
+    SinkSpec("mysqli_multi_query", VulnKind.SQLI, tainted_args=(1,)),
+    SinkSpec("mysqli_real_query", VulnKind.SQLI, tainted_args=(1,)),
+    SinkSpec("pg_query", VulnKind.SQLI),
+    SinkSpec("pg_send_query", VulnKind.SQLI),
+    SinkSpec("sqlite_query", VulnKind.SQLI),
+    SinkSpec("sqlite_exec", VulnKind.SQLI),
+)
+
+#: OS command execution: extension coverage (VulnKind.CMDI).  The
+#: backtick operator is a language construct handled by the engine.
+CMDI_SINKS: Tuple[SinkSpec, ...] = (
+    SinkSpec("system", VulnKind.CMDI, tainted_args=(0,)),
+    SinkSpec("exec", VulnKind.CMDI, tainted_args=(0,)),
+    SinkSpec("passthru", VulnKind.CMDI, tainted_args=(0,)),
+    SinkSpec("shell_exec", VulnKind.CMDI, tainted_args=(0,)),
+    SinkSpec("popen", VulnKind.CMDI, tainted_args=(0,)),
+    SinkSpec("proc_open", VulnKind.CMDI, tainted_args=(0,)),
+    SinkSpec("pcntl_exec", VulnKind.CMDI, tainted_args=(0,)),
+)
+
+#: File inclusion: ``include``/``require`` are language constructs the
+#: engine checks directly; these are the function-call forms.
+LFI_SINKS: Tuple[SinkSpec, ...] = (
+    SinkSpec("virtual", VulnKind.LFI, tainted_args=(0,)),
+    SinkSpec("set_include_path", VulnKind.LFI, tainted_args=(0,)),
+)
+
+GENERIC_SINKS: Tuple[SinkSpec, ...] = XSS_SINKS + SQLI_SINKS + CMDI_SINKS + LFI_SINKS

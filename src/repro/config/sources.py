@@ -1,0 +1,83 @@
+"""Generic PHP taint sources (the paper's ``class-vulnerable-input.php``).
+
+Three families, mirroring Section III.A: PHP user-input superglobals,
+file-input functions, and database-read functions.  WordPress-specific
+sources live in :mod:`repro.config.wordpress`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .entries import SourceSpec
+from .vulnerability import InputVector
+
+#: PHP superglobals an attacker controls directly.
+SUPERGLOBAL_SOURCES: Tuple[SourceSpec, ...] = (
+    SourceSpec("_GET", InputVector.GET, is_superglobal=True,
+               description="URL query parameters"),
+    SourceSpec("_POST", InputVector.POST, is_superglobal=True,
+               description="HTTP request body fields"),
+    SourceSpec("_COOKIE", InputVector.COOKIE, is_superglobal=True,
+               description="HTTP cookies"),
+    SourceSpec("_REQUEST", InputVector.REQUEST, is_superglobal=True,
+               description="merged GET/POST/COOKIE"),
+    SourceSpec("_SERVER", InputVector.SERVER, is_superglobal=True,
+               description="server/request metadata (partially attacker-set)"),
+    SourceSpec("_FILES", InputVector.FILES, is_superglobal=True,
+               description="uploaded file metadata"),
+    SourceSpec("HTTP_RAW_POST_DATA", InputVector.POST, is_superglobal=True,
+               description="raw request body (deprecated)"),
+)
+
+#: File-reading functions: tier-3 vectors (paper Section V.C type 3).
+FILE_SOURCES: Tuple[SourceSpec, ...] = (
+    SourceSpec("file_get_contents", InputVector.FILE),
+    SourceSpec("file", InputVector.FILE),
+    SourceSpec("fgets", InputVector.FILE),
+    SourceSpec("fgetss", InputVector.FILE),
+    SourceSpec("fread", InputVector.FILE),
+    SourceSpec("fgetc", InputVector.FILE),
+    SourceSpec("readfile", InputVector.FILE),
+    SourceSpec("fscanf", InputVector.FILE),
+    SourceSpec("parse_ini_file", InputVector.FILE),
+    SourceSpec("glob", InputVector.FILE),
+    SourceSpec("scandir", InputVector.FILE),
+    SourceSpec("readdir", InputVector.FILE),
+)
+
+#: Database-read functions: the dominant tier-2 vector (62% in Table II).
+DB_SOURCES: Tuple[SourceSpec, ...] = (
+    SourceSpec("mysql_query", InputVector.DB),
+    SourceSpec("mysql_fetch_array", InputVector.DB),
+    SourceSpec("mysql_fetch_assoc", InputVector.DB),
+    SourceSpec("mysql_fetch_row", InputVector.DB),
+    SourceSpec("mysql_fetch_object", InputVector.DB),
+    SourceSpec("mysql_fetch_field", InputVector.DB),
+    SourceSpec("mysql_result", InputVector.DB),
+    SourceSpec("mysqli_query", InputVector.DB),
+    SourceSpec("mysqli_fetch_array", InputVector.DB),
+    SourceSpec("mysqli_fetch_assoc", InputVector.DB),
+    SourceSpec("mysqli_fetch_row", InputVector.DB),
+    SourceSpec("mysqli_fetch_object", InputVector.DB),
+    SourceSpec("pg_fetch_array", InputVector.DB),
+    SourceSpec("pg_fetch_assoc", InputVector.DB),
+    SourceSpec("pg_fetch_row", InputVector.DB),
+    SourceSpec("sqlite_fetch_array", InputVector.DB),
+)
+
+#: Other functions whose return may carry attacker data.
+MISC_SOURCES: Tuple[SourceSpec, ...] = (
+    SourceSpec("getenv", InputVector.SERVER),
+    SourceSpec("apache_request_headers", InputVector.SERVER),
+    SourceSpec("getallheaders", InputVector.SERVER),
+)
+
+GENERIC_SOURCES: Tuple[SourceSpec, ...] = (
+    SUPERGLOBAL_SOURCES + FILE_SOURCES + DB_SOURCES + MISC_SOURCES
+)
+
+
+def source_index(specs: Tuple[SourceSpec, ...]) -> Dict[str, SourceSpec]:
+    """Index plain-function and superglobal sources by name."""
+    return {spec.name: spec for spec in specs if spec.class_name is None}

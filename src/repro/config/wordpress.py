@@ -1,0 +1,86 @@
+"""WordPress-specific knowledge: the CMS awareness that distinguishes
+phpSAFE from the generic tools (paper Sections III.A and III.E).
+
+Covers the ``$wpdb`` database object (its read methods are DB-vector
+sources, ``query`` is a SQLi sink, ``prepare`` a SQLi filter), the
+``esc_*``/``sanitize_*`` output-escaping API, and WordPress input-ish
+helpers.  "All OOP vulnerabilities we found are, indeed, related with
+WordPress objects and method calls" — resolving these entries is what
+lets phpSAFE find the vulnerabilities RIPS and Pixy miss.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .entries import FilterSpec, KnownInstance, SinkSpec, SourceSpec
+from .vulnerability import ALL_KINDS, InputVector, VulnKind
+
+_XSS = frozenset({VulnKind.XSS})
+_SQLI = frozenset({VulnKind.SQLI})
+
+#: Global object instances WordPress core provides to every plugin.
+WORDPRESS_INSTANCES: Tuple[KnownInstance, ...] = (
+    KnownInstance("wpdb", "wpdb", "the WordPress database abstraction object"),
+    KnownInstance("wp_query", "WP_Query", "the main query object"),
+    KnownInstance("post", "WP_Post", "the current post object"),
+    KnownInstance("current_user", "WP_User", "the logged-in user"),
+)
+
+#: ``$wpdb`` read methods and other WP functions returning external data.
+WORDPRESS_SOURCES: Tuple[SourceSpec, ...] = (
+    SourceSpec("get_results", InputVector.DB, class_name="wpdb"),
+    SourceSpec("get_var", InputVector.DB, class_name="wpdb"),
+    SourceSpec("get_row", InputVector.DB, class_name="wpdb"),
+    SourceSpec("get_col", InputVector.DB, class_name="wpdb"),
+    SourceSpec("query", InputVector.DB, class_name="wpdb"),
+    # option/meta storage: any user with some capability can write these
+    SourceSpec("get_option", InputVector.DB),
+    SourceSpec("get_post_meta", InputVector.DB),
+    SourceSpec("get_user_meta", InputVector.DB),
+    SourceSpec("get_comment_meta", InputVector.DB),
+    SourceSpec("get_term_meta", InputVector.DB),
+    SourceSpec("get_query_var", InputVector.GET),
+    SourceSpec("get_search_query", InputVector.GET, kinds=_XSS),
+    SourceSpec("wp_remote_retrieve_body", InputVector.FILE),
+)
+
+#: WordPress escaping / sanitization API.
+WORDPRESS_FILTERS: Tuple[FilterSpec, ...] = (
+    FilterSpec("esc_html", _XSS),
+    FilterSpec("esc_attr", _XSS),
+    FilterSpec("esc_js", _XSS),
+    FilterSpec("esc_textarea", _XSS),
+    FilterSpec("esc_url", _XSS),
+    FilterSpec("esc_url_raw", _XSS),
+    FilterSpec("tag_escape", _XSS),
+    FilterSpec("sanitize_text_field", ALL_KINDS),
+    FilterSpec("sanitize_key", ALL_KINDS),
+    FilterSpec("sanitize_title", ALL_KINDS),
+    FilterSpec("sanitize_file_name", ALL_KINDS),
+    FilterSpec("sanitize_email", ALL_KINDS),
+    FilterSpec("sanitize_html_class", ALL_KINDS),
+    FilterSpec("sanitize_user", ALL_KINDS),
+    FilterSpec("absint", ALL_KINDS),
+    FilterSpec("wp_kses", _XSS),
+    FilterSpec("wp_kses_post", _XSS),
+    FilterSpec("wp_kses_data", _XSS),
+    FilterSpec("esc_sql", _SQLI),
+    FilterSpec("like_escape", _SQLI),
+    FilterSpec("prepare", _SQLI, class_name="wpdb",
+               description="parameterized query builder"),
+    FilterSpec("escape", _SQLI, class_name="wpdb"),
+)
+
+#: WordPress output sinks ($wpdb->query for SQLi; template echo helpers).
+WORDPRESS_SINKS: Tuple[SinkSpec, ...] = (
+    SinkSpec("query", VulnKind.SQLI, class_name="wpdb", tainted_args=(0,)),
+    SinkSpec("get_results", VulnKind.SQLI, class_name="wpdb", tainted_args=(0,)),
+    SinkSpec("get_var", VulnKind.SQLI, class_name="wpdb", tainted_args=(0,)),
+    SinkSpec("get_row", VulnKind.SQLI, class_name="wpdb", tainted_args=(0,)),
+    SinkSpec("get_col", VulnKind.SQLI, class_name="wpdb", tainted_args=(0,)),
+    SinkSpec("_e", VulnKind.XSS, tainted_args=(0,),
+             description="echoes a translated string"),
+    SinkSpec("the_content", VulnKind.XSS),
+    SinkSpec("comment_text", VulnKind.XSS),
+)

@@ -1,0 +1,86 @@
+"""Incremental analysis cache (paper Section VI: "improvement of
+phpSAFE, mainly regarding performance, memory consumption").
+
+Parsing dominates re-scan cost when a plugin is analyzed repeatedly
+(CI on every commit, the history workflow, the evaluation harness's
+timing repetitions).  :class:`ModelCache` memoizes the per-file
+model-construction products — token stream, AST, LOC, include list —
+keyed by a content hash, so an unchanged file is never re-lexed or
+re-parsed.  ASTs are treated as immutable by the analysis stage, so
+sharing them across runs is safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..php.errors import PhpSyntaxError
+
+
+def content_key(path: str, source: str) -> str:
+    """Cache key: path + content digest (path matters for includes)."""
+    digest = hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+    return f"{path}:{digest}"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ModelCache:
+    """Content-addressed store of parsed file models.
+
+    Also caches *parse failures*: a file that failed to parse will fail
+    identically until its content changes.
+    """
+
+    max_entries: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: Dict[str, object] = field(default_factory=dict, repr=False)
+    _failures: Dict[str, PhpSyntaxError] = field(default_factory=dict, repr=False)
+
+    def lookup(self, path: str, source: str) -> Tuple[object, Optional[PhpSyntaxError]]:
+        """Return ``(file model or None, cached failure or None)``."""
+        key = content_key(path, source)
+        if key in self._entries:
+            self.stats.hits += 1
+            return self._entries[key], None
+        if key in self._failures:
+            self.stats.hits += 1
+            return None, self._failures[key]
+        self.stats.misses += 1
+        return None, None
+
+    def store(self, path: str, source: str, file_model: object) -> None:
+        self._evict_if_full()
+        self._entries[content_key(path, source)] = file_model
+
+    def store_failure(self, path: str, source: str, error: PhpSyntaxError) -> None:
+        self._evict_if_full()
+        self._failures[content_key(path, source)] = error
+
+    def _evict_if_full(self) -> None:
+        """Simple FIFO eviction; cache keys are content-stable."""
+        while len(self._entries) + len(self._failures) >= self.max_entries:
+            if self._entries:
+                self._entries.pop(next(iter(self._entries)))
+            elif self._failures:  # pragma: no cover - failure-only cache
+                self._failures.pop(next(iter(self._failures)))
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._failures.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._failures)

@@ -1,0 +1,1258 @@
+"""Analysis stage: forward taint propagation over the AST.
+
+This is the paper's Section III.C engine.  It follows tainted variables
+"from the moment they enter the application/plugin until they reach the
+output", maintaining the ``parser_variables`` store per scope, applying
+knowledge-base sources/filters/reverts/sinks, summarizing every
+user-defined function once (function summaries), joining branches of
+conditionals and loops, and resolving OOP constructs through the class
+table and the known-instance registry (``$wpdb`` & co.).
+
+The same engine, parameterized by :class:`EngineOptions`, also powers
+the RIPS-like and Pixy-like baselines: their capability envelopes are
+expressed as option/profile differences rather than separate engines,
+which keeps the comparison experiments about *capabilities*, not
+implementation accidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..config.profiles import AnalyzerProfile
+from ..config.vulnerability import ALL_KINDS, InputVector, VulnKind
+from ..php import ast_nodes as ast
+from ..php.htmlcontext import context_at_end
+from ..php.printer import print_expr
+from .model import FunctionInfo, PluginModel
+from .oop import ClassPropertyStore, join_class_names
+from .results import Finding
+from .taint import ConcreteSource, Label, ParamRef, TaintState, VariableRecord
+
+#: Builtins whose return propagates the taint of their arguments.
+PASSTHROUGH_FUNCTIONS = frozenset(
+    {
+        "trim", "ltrim", "rtrim", "strtolower", "strtoupper", "ucfirst", "ucwords",
+        "lcfirst", "substr", "str_replace", "str_ireplace", "preg_replace", "sprintf",
+        "vsprintf", "implode", "join", "str_pad", "str_repeat", "strrev", "nl2br",
+        "wordwrap", "chunk_split", "strtr", "stristr", "strstr", "substr_replace",
+        "array_merge", "array_values", "array_keys", "array_pop", "array_shift",
+        "array_slice", "array_splice", "array_reverse", "array_filter", "array_map",
+        "array_unique", "array_combine", "array_flip", "compact", "current", "reset",
+        "end", "next", "prev", "each", "serialize", "unserialize", "json_decode",
+        "maybe_unserialize", "wp_unslash", "apply_filters", "do_shortcode",
+        "shortcode_atts", "wp_parse_args", "force_balance_tags", "stripslashes_deep",
+        "var_export", "print_r",
+    }
+)
+
+#: Builtins returning clean (numeric/boolean/structural) values.
+CLEAN_FUNCTIONS = frozenset(
+    {
+        "time", "date", "mktime", "rand", "mt_rand", "uniqid", "number_format",
+        "round", "floor", "ceil", "min", "max", "pow", "sqrt", "array_sum",
+        "in_array", "array_search", "array_key_exists", "function_exists",
+        "class_exists", "method_exists", "defined", "is_array", "is_string",
+        "is_numeric", "is_int", "is_object", "is_null", "file_exists", "is_dir",
+        "is_file", "preg_match", "preg_match_all", "strcmp", "strcasecmp", "strpos",
+        "stripos", "strrpos", "version_compare", "checked", "selected", "disabled",
+    }
+)
+
+
+@dataclass
+class EngineOptions:
+    """Capability envelope switches (also the ablation knobs of A1)."""
+
+    #: Resolve OOP: method calls, ``$this``, properties, known instances.
+    oop: bool = True
+    #: Analyze functions never called from plugin code (entry points).
+    analyze_uncalled: bool = True
+    #: When analyzing uncalled code, include class methods (RIPS scans
+    #: method bodies procedurally; Pixy skips them entirely).
+    analyze_methods_standalone: bool = True
+    #: Memoize function summaries (paper: "every function is analyzed
+    #: only the first time it is called").  Off = re-analyze per call.
+    use_summaries: bool = True
+    #: Node-visit budget per plugin; exceeding aborts remaining analysis.
+    step_budget: int = 4_000_000
+    #: Maximum include nesting depth followed inline.
+    max_include_depth: int = 16
+    #: Cap on flow-trace length kept per value (reporting only).
+    max_trace: int = 12
+    #: Kinds checked at language-construct sinks (backticks, include):
+    #: a 2007-era tool like Pixy never looks beyond XSS/SQLi.
+    construct_kinds: frozenset = ALL_KINDS
+    #: What an unknown function call returns: "clean" trusts unknown
+    #: code (phpSAFE: unknown CMS helpers are assumed safe, keeping
+    #: false positives low), "propagate" forwards argument taint (RIPS:
+    #: unknown functions are not sanitizers, so WordPress-escaped flows
+    #: like ``echo esc_html($_GET[...])`` are still reported — the
+    #: false-positive population Table I measures for RIPS).
+    unknown_call_policy: str = "clean"
+
+
+@dataclass
+class Value:
+    """Abstract value of an expression: taint + optional object type."""
+
+    taint: TaintState = field(default_factory=TaintState.clean)
+    class_name: str = ""
+    trace: Tuple[str, ...] = ()
+    name_hint: str = ""
+
+    @classmethod
+    def clean(cls) -> "Value":
+        return cls()
+
+    def joined(self, other: "Value") -> "Value":
+        return Value(
+            taint=self.taint.joined(other.taint),
+            class_name=join_class_names((self.class_name, other.class_name)),
+            trace=_merge_trace(self.trace, other.trace),
+            name_hint=self.name_hint or other.name_hint,
+        )
+
+
+def _merge_trace(left: Tuple[str, ...], right: Tuple[str, ...]) -> Tuple[str, ...]:
+    merged = list(left)
+    for step in right:
+        if step not in merged:
+            merged.append(step)
+    return tuple(merged[-12:])
+
+
+@dataclass
+class SinkEvent:
+    """Tainted data reached a sensitive sink (pre-finding)."""
+
+    kind: VulnKind
+    sink: str
+    file: str
+    line: int
+    variable: str
+    taint: TaintState
+    trace: Tuple[str, ...] = ()
+    via_oop: bool = False
+    markup_context: str = ""
+
+    def substituted(self, mapping: Dict[Label, TaintState]) -> "SinkEvent":
+        return replace(self, taint=self.taint.substituted(mapping))
+
+
+@dataclass
+class FunctionSummary:
+    """Reusable effect of one user-defined function (paper: "the summary
+    of this analysis is reused in subsequent calls")."""
+
+    key: str
+    return_taint: TaintState = field(default_factory=TaintState.clean)
+    return_class: str = ""
+    sink_events: List[SinkEvent] = field(default_factory=list)
+    ref_param_writes: Dict[int, TaintState] = field(default_factory=dict)
+    #: (class lower, prop) -> taint written (may hold ParamRefs, which
+    #: are substituted with the caller's arguments at each call site)
+    prop_writes: Dict[Tuple[str, str], TaintState] = field(default_factory=dict)
+
+
+class Scope:
+    """One lexical scope of ``parser_variables`` records."""
+
+    def __init__(self, name: str = "<main>") -> None:
+        self.name = name
+        self.records: Dict[str, VariableRecord] = {}
+
+    def get(self, name: str) -> Optional[VariableRecord]:
+        return self.records.get(name)
+
+    def set(self, record: VariableRecord) -> None:
+        self.records[record.name] = record
+
+    def copy(self) -> "Scope":
+        clone = Scope(self.name)
+        clone.records = {
+            name: record.updated(taint=record.taint.copy())
+            for name, record in self.records.items()
+        }
+        return clone
+
+    def join_from(self, *branches: "Scope") -> None:
+        """Merge branch outcomes into this scope (taint union)."""
+        names: Set[str] = set(self.records)
+        for branch in branches:
+            names.update(branch.records)
+        for name in names:
+            variants = [
+                scope.records[name]
+                for scope in (self, *branches)
+                if name in scope.records
+            ]
+            taint = variants[0].taint
+            for record in variants[1:]:
+                taint = taint.joined(record.taint)
+            class_name = join_class_names(
+                record.class_name or "" for record in variants
+            )
+            self.records[name] = variants[-1].updated(
+                taint=taint, class_name=class_name or None
+            )
+
+
+class BudgetExceeded(Exception):
+    """Internal signal: plugin-wide step budget exhausted."""
+
+
+class TaintEngine:
+    """Whole-plugin taint analysis over a :class:`PluginModel`."""
+
+    def __init__(
+        self,
+        model: PluginModel,
+        profile: AnalyzerProfile,
+        options: Optional[EngineOptions] = None,
+    ) -> None:
+        self.model = model
+        self.profile = profile
+        self.options = options or EngineOptions()
+        self.globals = Scope("<global>")
+        self.class_props = ClassPropertyStore()
+        for class_info in model.classes.values():
+            if class_info.parent:
+                self.class_props.parents[class_info.name.lower()] = (
+                    class_info.parent.lower()
+                )
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self._in_progress: Set[str] = set()
+        self.events: List[SinkEvent] = []
+        self._steps = 0
+        self._current_file = "<unknown>"
+        self._summary_stack: List[FunctionSummary] = []
+        self._include_stack: List[str] = []
+        self.aborted = False
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        """Analyze the whole plugin and return deduplicated findings."""
+        try:
+            if self.options.analyze_uncalled:
+                self._summarize_all_functions()
+            for path, file_model in sorted(self.model.files.items()):
+                self._current_file = path
+                self._include_stack = [path]
+                self._exec_block(file_model.tree.statements, self.globals)
+            if self.options.analyze_uncalled:
+                self._emit_uncalled_events()
+        except BudgetExceeded:
+            self.aborted = True
+        return self._finalize_findings()
+
+    def _summarize_all_functions(self) -> None:
+        """Pre-analyze plugin entry points (paper: "phpSAFE starts by
+        executing an inter-procedural parsing of the functions that are
+        not called from the source code of the plugin").
+
+        Called functions are summarized lazily at their first call site
+        so globals carry their call-time state."""
+        for info in self.model.uncalled_functions():
+            if info.is_method and not (
+                self.options.oop or self.options.analyze_methods_standalone
+            ):
+                continue
+            self._summarize(info)
+
+    def _emit_uncalled_events(self) -> None:
+        """Report source→sink flows inside never-called functions.
+
+        Every computed summary is scanned (covering corner cases like a
+        function only reachable through its own recursion); flows that
+        depend on the unknown parameters of an entry point are dropped
+        (no caller exists inside the plugin to bind them), and events
+        already emitted at real call sites deduplicate by sink line.
+        """
+        for key, info in sorted(self.model.functions.items()):
+            if key not in self.summaries:
+                if info.is_method and not (
+                    self.options.oop or self.options.analyze_methods_standalone
+                ):
+                    continue
+                self._summarize(info)
+        for summary in list(self.summaries.values()):
+            for event in summary.sink_events:
+                concrete = event.taint.substituted({})  # drop ParamRefs, keep PropRefs
+                if concrete.active or self._has_prop_refs(event.taint):
+                    self.events.append(replace(event, taint=event.taint))
+
+    @staticmethod
+    def _has_prop_refs(taint: TaintState) -> bool:
+        from .taint import PropRef
+
+        return any(
+            isinstance(label, PropRef)
+            for labels in taint.active.values()
+            for label in labels
+        )
+
+    def _finalize_findings(self) -> List[Finding]:
+        """Resolve property placeholders and deduplicate into findings."""
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, str, int]] = set()
+        for event in self.events:
+            resolved = self.class_props.resolve(event.taint)
+            resolved = resolved.substituted({})  # drop any leftover placeholders
+            labels = resolved.active.get(event.kind, set())
+            concrete = [label for label in labels if isinstance(label, ConcreteSource)]
+            if not concrete:
+                continue
+            key = (event.kind.value, event.file, event.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            vectors = tuple(
+                sorted({label.vector for label in concrete}, key=lambda v: v.value)
+            )
+            via_oop = (
+                event.via_oop
+                or any(label.via_oop for label in concrete)
+                or self._has_prop_refs(event.taint)
+            )
+            trace = tuple(sorted(label.describe() for label in concrete))[:4] + event.trace
+            findings.append(
+                Finding(
+                    kind=event.kind,
+                    file=event.file,
+                    line=event.line,
+                    sink=event.sink,
+                    variable=event.variable,
+                    vectors=vectors,
+                    trace=trace[: self.options.max_trace],
+                    via_oop=via_oop,
+                    markup_context=event.markup_context,
+                )
+            )
+        findings.sort(key=lambda finding: (finding.file, finding.line, finding.kind.value))
+        return findings
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.options.step_budget:
+            raise BudgetExceeded()
+
+    def _emit(self, event: SinkEvent) -> None:
+        if self._summary_stack:
+            self._summary_stack[-1].sink_events.append(event)
+        else:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Function summaries
+    # ------------------------------------------------------------------
+
+    def _summarize(self, info: FunctionInfo) -> FunctionSummary:
+        cached = self.summaries.get(info.key)
+        if cached is not None and self.options.use_summaries:
+            return cached
+        if info.key in self._in_progress:
+            # recursion: "functions that are called recursively are
+            # parsed only once to avoid endless loops"
+            return FunctionSummary(key=info.key)
+        self._in_progress.add(info.key)
+        summary = FunctionSummary(key=info.key)
+        scope = Scope(info.key)
+        for index, param in enumerate(info.params):
+            taint = TaintState.from_label(ParamRef(info.key, index))
+            scope.set(
+                VariableRecord(
+                    name=param.name,
+                    file=info.file,
+                    line=info.line,
+                    taint=taint,
+                    is_input=True,
+                )
+            )
+        if info.class_name and self.options.oop:
+            scope.set(
+                VariableRecord(
+                    name="this",
+                    file=info.file,
+                    line=info.line,
+                    class_name=info.class_name,
+                )
+            )
+        previous_file = self._current_file
+        self._current_file = info.file
+        self._summary_stack.append(summary)
+        try:
+            self._exec_block(info.body, scope)
+        finally:
+            self._summary_stack.pop()
+            self._current_file = previous_file
+            self._in_progress.discard(info.key)
+        for index, param in enumerate(info.params):
+            if param.by_ref:
+                record = scope.get(param.name)
+                if record is not None and record.taint.active:
+                    summary.ref_param_writes[index] = record.taint
+        self.summaries[info.key] = summary
+        return summary
+
+    def _apply_summary(
+        self,
+        summary: FunctionSummary,
+        args: Sequence[Value],
+        arg_exprs: Sequence[ast.Expr],
+        scope: Scope,
+        line: int,
+    ) -> Value:
+        """Substitute a summary at a call site (paper: "whenever the
+        function is called, this data flow is added to the
+        parser_variables, which is updated based on the calling
+        arguments")."""
+        mapping: Dict[Label, TaintState] = {}
+        for index, value in enumerate(args):
+            mapping[ParamRef(summary.key, index)] = value.taint
+        for event in summary.sink_events:
+            self._emit(event.substituted(mapping))
+        for (class_lower, prop), taint in summary.prop_writes.items():
+            self._record_prop_write(class_lower, prop, taint.substituted(mapping))
+        for index, taint in summary.ref_param_writes.items():
+            if index < len(arg_exprs) and isinstance(arg_exprs[index], ast.Variable):
+                name = arg_exprs[index].name  # type: ignore[union-attr]
+                record = scope.get(name) or VariableRecord(
+                    name=name, file=self._current_file, line=line
+                )
+                scope.set(record.updated(taint=record.taint.joined(taint.substituted(mapping))))
+        return Value(
+            taint=summary.return_taint.substituted(mapping),
+            class_name=summary.return_class,
+            trace=(f"return of {summary.key}() at {self._current_file}:{line}",),
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _exec_block(self, statements: Sequence[ast.Statement], scope: Scope) -> None:
+        for statement in statements:
+            self._exec(statement, scope)
+
+    def _exec(self, node: ast.Statement, scope: Scope) -> None:  # noqa: C901
+        self._tick()
+        if isinstance(node, ast.ExpressionStatement):
+            self._eval(node.expr, scope)
+        elif isinstance(node, ast.EchoStatement):
+            for expr in node.exprs:
+                self._check_xss_output(expr, scope, sink="echo")
+        elif isinstance(node, ast.InlineHTML):
+            pass
+        elif isinstance(node, ast.Block):
+            self._exec_block(node.statements, scope)
+        elif isinstance(node, ast.IfStatement):
+            self._eval(node.cond, scope)
+            branches = [node.then]
+            for clause in node.elseifs:
+                self._eval(clause.cond, scope)
+                branches.append(clause.body)
+            if node.otherwise is not None:
+                branches.append(node.otherwise)
+            self._exec_branches(branches, scope, exhaustive=node.otherwise is not None)
+        elif isinstance(node, ast.WhileStatement):
+            self._eval(node.cond, scope)
+            self._exec_loop(node.body, scope)
+        elif isinstance(node, ast.DoWhileStatement):
+            self._exec_loop(node.body, scope)
+            self._eval(node.cond, scope)
+        elif isinstance(node, ast.ForStatement):
+            for expr in node.init:
+                self._eval(expr, scope)
+            for expr in node.cond:
+                self._eval(expr, scope)
+            self._exec_loop(node.body + [ast.ExpressionStatement(expr=e) for e in node.update],
+                            scope)
+        elif isinstance(node, ast.ForeachStatement):
+            self._exec_foreach(node, scope)
+        elif isinstance(node, ast.SwitchStatement):
+            self._eval(node.subject, scope)
+            has_default = any(case.test is None for case in node.cases)
+            self._exec_branches(
+                [case.body for case in node.cases], scope, exhaustive=has_default
+            )
+        elif isinstance(node, ast.ReturnStatement):
+            self._exec_return(node, scope)
+        elif isinstance(node, ast.GlobalStatement):
+            self._exec_global(node, scope)
+        elif isinstance(node, ast.StaticVarStatement):
+            for name, default in node.vars:
+                value = self._eval(default, scope) if default is not None else Value.clean()
+                scope.set(
+                    VariableRecord(
+                        name=name, file=self._current_file, line=node.line, taint=value.taint
+                    )
+                )
+        elif isinstance(node, ast.UnsetStatement):
+            # T_UNSET: "the properties of the variable are updated as
+            # untainted and marked as non-vulnerable"
+            for var in node.vars:
+                if isinstance(var, ast.Variable):
+                    scope.set(
+                        VariableRecord(
+                            name=var.name, file=self._current_file, line=node.line
+                        )
+                    )
+        elif isinstance(node, ast.ThrowStatement):
+            self._eval(node.expr, scope)
+        elif isinstance(node, ast.TryStatement):
+            branches = [node.body] + [catch.body for catch in node.catches]
+            self._exec_branches(branches, scope)
+            if node.finally_body is not None:
+                self._exec_block(node.finally_body, scope)
+        elif isinstance(node, (ast.FunctionDecl, ast.ClassDecl)):
+            pass  # declarations were collected by the model stage
+        elif isinstance(node, ast.NamespaceStatement):
+            if node.body is not None:
+                self._exec_block(node.body, scope)
+        elif isinstance(node, ast.DeclareStatement):
+            if node.body is not None:
+                self._exec_block(node.body, scope)
+        elif isinstance(
+            node,
+            (
+                ast.BreakStatement,
+                ast.ContinueStatement,
+                ast.UseStatement,
+                ast.ConstStatement,
+                ast.GotoStatement,
+                ast.LabelStatement,
+            ),
+        ):
+            pass
+        else:  # pragma: no cover - defensive
+            pass
+
+    def _exec_branches(
+        self,
+        branches: List[List[ast.Statement]],
+        scope: Scope,
+        exhaustive: bool = False,
+    ) -> None:
+        """Execute each branch from the pre-state and join the outcomes
+        ("the analysis takes into account all possible paths").
+
+        ``exhaustive`` means the branches cover every path (an ``if``
+        with ``else``, a ``switch`` with ``default``): the pre-state is
+        then not a possible outcome and a variable cleaned on every
+        branch really is clean afterwards.
+        """
+        outcomes: List[Scope] = []
+        for branch in branches:
+            snapshot = scope.copy()
+            self._exec_block(branch, snapshot)
+            outcomes.append(snapshot)
+        if not exhaustive:
+            outcomes.append(scope.copy())
+        if outcomes:
+            joined = outcomes[0]
+            joined.join_from(*outcomes[1:])
+            scope.records = joined.records
+
+    def _exec_loop(self, body: Sequence[ast.Statement], scope: Scope) -> None:
+        """Two joined passes propagate loop-carried taint."""
+        snapshot = scope.copy()
+        self._exec_block(list(body), snapshot)
+        self._exec_block(list(body), snapshot)
+        scope.join_from(snapshot)
+
+    def _exec_foreach(self, node: ast.ForeachStatement, scope: Scope) -> None:
+        subject = self._eval(node.subject, scope)
+        for target in (node.key_var, node.value_var):
+            if isinstance(target, ast.Variable):
+                scope.set(
+                    VariableRecord(
+                        name=target.name,
+                        file=self._current_file,
+                        line=node.line,
+                        taint=subject.taint.copy(),
+                        class_name=None,
+                        trace=subject.trace,
+                    )
+                )
+            elif target is not None:
+                self._assign_to(target, subject, scope, node.line)
+        # element values of a tainted container stay tainted but their
+        # class is unknown; remember the container taint for ->prop reads
+        self._exec_loop(node.body, scope)
+
+    def _exec_return(self, node: ast.ReturnStatement, scope: Scope) -> None:
+        if not self._summary_stack:
+            if node.expr is not None:
+                self._eval(node.expr, scope)
+            return
+        summary = self._summary_stack[-1]
+        if node.expr is None:
+            return
+        value = self._eval(node.expr, scope)
+        summary.return_taint = summary.return_taint.joined(value.taint)
+        summary.return_class = summary.return_class or value.class_name
+
+    def _exec_global(self, node: ast.GlobalStatement, scope: Scope) -> None:
+        """Bind names to the global scope; known CMS instances (e.g.
+        ``global $wpdb``) get their class from the profile."""
+        for name in node.names:
+            record = self.globals.get(name)
+            if record is None:
+                class_name = None
+                if self.options.oop:
+                    instance = self.profile.known_instance(name)
+                    if instance is not None:
+                        class_name = instance.class_name
+                record = VariableRecord(
+                    name=name,
+                    file=self._current_file,
+                    line=node.line,
+                    class_name=class_name,
+                )
+                self.globals.set(record)
+            scope.set(record)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _eval(self, node: Optional[ast.Expr], scope: Scope) -> Value:  # noqa: C901
+        self._tick()
+        if node is None:
+            return Value.clean()
+        if isinstance(node, ast.Literal):
+            return Value.clean()
+        if isinstance(node, ast.Variable):
+            return self._eval_variable(node, scope)
+        if isinstance(node, ast.VariableVariable):
+            self._eval(node.expr, scope)
+            return Value.clean()
+        if isinstance(node, ast.InterpolatedString):
+            value = Value.clean()
+            for part in node.parts:
+                value = value.joined(self._eval(part, scope))
+            value.class_name = ""
+            return value
+        if isinstance(node, ast.ShellExec):
+            value = Value.clean()
+            for part in node.parts:
+                value = value.joined(self._eval(part, scope))
+            if (
+                VulnKind.CMDI in self.options.construct_kinds
+                and value.taint.active.get(VulnKind.CMDI)
+            ):
+                self._emit(
+                    SinkEvent(
+                        kind=VulnKind.CMDI,
+                        sink="`...`",
+                        file=self._current_file,
+                        line=node.line,
+                        variable=value.name_hint,
+                        taint=value.taint,
+                        trace=value.trace,
+                    )
+                )
+            return value
+        if isinstance(node, ast.ArrayLiteral):
+            value = Value.clean()
+            for item in node.items:
+                if item.key is not None:
+                    value = value.joined(self._eval(item.key, scope))
+                value = value.joined(self._eval(item.value, scope))
+            value.class_name = ""
+            return value
+        if isinstance(node, ast.ArrayAccess):
+            return self._eval_array_access(node, scope)
+        if isinstance(node, ast.PropertyAccess):
+            return self._eval_property_access(node, scope)
+        if isinstance(node, ast.StaticPropertyAccess):
+            if self.options.oop:
+                return Value(taint=self.class_props.read(node.class_name, node.name))
+            return Value.clean()
+        if isinstance(node, (ast.ClassConstAccess, ast.ConstFetch)):
+            return Value.clean()
+        if isinstance(node, ast.Assignment):
+            return self._eval_assignment(node, scope)
+        if isinstance(node, ast.Binary):
+            return self._eval_binary(node, scope)
+        if isinstance(node, ast.Unary):
+            inner = self._eval(node.operand, scope)
+            if node.op in ("!", "-", "+", "~"):
+                return Value.clean()
+            return inner  # @-suppression and throw pass the value through
+        if isinstance(node, ast.Ternary):
+            self._eval(node.cond, scope)
+            left = (
+                self._eval(node.if_true, scope)
+                if node.if_true is not None
+                else self._eval(node.cond, scope)
+            )
+            right = self._eval(node.if_false, scope)
+            return left.joined(right)
+        if isinstance(node, ast.Cast):
+            inner = self._eval(node.operand, scope)
+            if node.to in ("int", "float", "bool", "unset"):
+                return Value.clean()
+            return inner
+        if isinstance(node, ast.IncDec):
+            self._eval(node.target, scope)
+            return Value.clean()
+        if isinstance(node, (ast.IssetExpr, ast.EmptyExpr, ast.InstanceofExpr)):
+            return Value.clean()
+        if isinstance(node, ast.ListExpr):
+            value = Value.clean()
+            for target in node.targets:
+                if target is not None:
+                    value = value.joined(self._eval(target, scope))
+            return value
+        if isinstance(node, ast.Closure):
+            return Value.clean()
+        if isinstance(node, ast.FunctionCall):
+            return self._eval_function_call(node, scope)
+        if isinstance(node, ast.MethodCall):
+            return self._eval_method_call(node, scope)
+        if isinstance(node, ast.StaticCall):
+            return self._eval_static_call(node, scope)
+        if isinstance(node, ast.New):
+            return self._eval_new(node, scope)
+        if isinstance(node, ast.Clone):
+            return self._eval(node.expr, scope)
+        if isinstance(node, ast.IncludeExpr):
+            return self._eval_include(node, scope)
+        if isinstance(node, ast.ExitExpr):
+            if node.expr is not None:
+                self._check_xss_output(node.expr, scope, sink="exit")
+            return Value.clean()
+        if isinstance(node, ast.PrintExpr):
+            self._check_xss_output(node.expr, scope, sink="print")
+            return Value.clean()
+        return Value.clean()  # pragma: no cover - defensive
+
+    # -- variables, arrays, properties ------------------------------------
+
+    def _eval_variable(self, node: ast.Variable, scope: Scope) -> Value:
+        name = node.name
+        source = self.profile.superglobal_source(name)
+        if source is not None:
+            label = ConcreteSource(
+                vector=source.vector,
+                name=f"${name}",
+                file=self._current_file,
+                line=node.line,
+            )
+            return Value(
+                taint=TaintState.from_label(label, source.kinds),
+                trace=(f"${name} read at {self._current_file}:{node.line}",),
+                name_hint=f"${name}",
+            )
+        record = scope.get(name)
+        if record is None and scope is not self.globals:
+            pass  # locals do not fall back to globals without `global`
+        if record is None and scope is self.globals:
+            record = self.globals.get(name)
+        if record is None:
+            if self.options.oop:
+                instance = self.profile.known_instance(name)
+                if instance is not None:
+                    return Value(class_name=instance.class_name, name_hint=f"${name}")
+            if self.profile.register_globals and scope is self.globals:
+                # Pixy-era model: uninitialized globals are attacker-set
+                label = ConcreteSource(
+                    vector=InputVector.GET,
+                    name=f"register_globals:${name}",
+                    file=self._current_file,
+                    line=node.line,
+                )
+                return Value(
+                    taint=TaintState.from_label(label),
+                    trace=(f"uninitialized ${name} at {self._current_file}:{node.line}",),
+                    name_hint=f"${name}",
+                )
+            return Value(name_hint=f"${name}")
+        class_name = record.class_name or ""
+        if not class_name and self.options.oop:
+            # conventional names keep their known CMS type even when the
+            # assignment was opaque (e.g. $db = JFactory::getDBO())
+            instance = self.profile.known_instance(name)
+            if instance is not None:
+                class_name = instance.class_name
+        return Value(
+            taint=record.taint.copy(),
+            class_name=class_name,
+            trace=record.trace,
+            name_hint=f"${name}",
+        )
+
+    def _eval_array_access(self, node: ast.ArrayAccess, scope: Scope) -> Value:
+        container = self._eval(node.array, scope)
+        if node.index is not None:
+            # evaluate for side effects; an index rarely carries the
+            # payload into the element value
+            self._eval(node.index, scope)
+        hint = container.name_hint + "[...]" if container.name_hint else ""
+        return Value(
+            taint=container.taint,
+            trace=container.trace,
+            name_hint=hint,
+        )
+
+    def _eval_property_access(self, node: ast.PropertyAccess, scope: Scope) -> Value:
+        obj = self._eval(node.object, scope)
+        prop = node.name if isinstance(node.name, str) else ""
+        if not isinstance(node.name, str) and node.name is not None:
+            self._eval(node.name, scope)
+        hint = f"{obj.name_hint}->{prop}" if obj.name_hint else f"->{prop}"
+        if self.options.oop and obj.class_name and prop:
+            return Value(
+                taint=self.class_props.read(obj.class_name, prop),
+                trace=obj.trace,
+                name_hint=hint,
+            )
+        # property of an untyped value (e.g. a DB result row object):
+        # propagate the container's taint
+        return Value(taint=obj.taint, trace=obj.trace, name_hint=hint)
+
+    # -- assignment -----------------------------------------------------------
+
+    def _eval_assignment(self, node: ast.Assignment, scope: Scope) -> Value:
+        value = self._eval(node.value, scope)
+        if node.op == "=":
+            result = value
+        elif node.op == ".=":
+            current = self._eval(node.target, scope)
+            result = current.joined(value)
+        else:  # arithmetic/bitwise compound: numeric result
+            self._eval(node.target, scope)
+            result = Value.clean()
+        self._assign_to(node.target, result, scope, node.line)
+        return result
+
+    def _assign_to(
+        self, target: Optional[ast.Expr], value: Value, scope: Scope, line: int
+    ) -> None:
+        if isinstance(target, ast.Variable):
+            trace = value.trace + (
+                f"${target.name} assigned at {self._current_file}:{line}",
+            )
+            was_global_alias = (
+                scope is not self.globals
+                and scope.get(target.name) is not None
+                and scope.get(target.name) is self.globals.get(target.name)
+            )
+            scope.set(
+                VariableRecord(
+                    name=target.name,
+                    file=self._current_file,
+                    line=line,
+                    taint=value.taint.copy(),
+                    class_name=value.class_name or None,
+                    trace=trace[-self.options.max_trace:],
+                )
+            )
+            if was_global_alias:
+                # `global $x` alias: write through to the global scope
+                self.globals.set(scope.records[target.name])
+        elif isinstance(target, ast.ArrayAccess):
+            base = target.array
+            while isinstance(base, ast.ArrayAccess):
+                base = base.array
+            if isinstance(base, ast.Variable):
+                record = scope.get(base.name) or VariableRecord(
+                    name=base.name, file=self._current_file, line=line
+                )
+                scope.set(record.updated(taint=record.taint.joined(value.taint)))
+            elif isinstance(base, ast.PropertyAccess):
+                self._assign_to(base, value, scope, line)
+        elif isinstance(target, ast.PropertyAccess):
+            obj = self._eval(target.object, scope)
+            prop = target.name if isinstance(target.name, str) else ""
+            if self.options.oop and obj.class_name and prop:
+                self._record_prop_write(obj.class_name, prop, value.taint)
+            elif isinstance(target.object, ast.Variable):
+                # untyped object: taint the container variable itself
+                record = scope.get(target.object.name) or VariableRecord(
+                    name=target.object.name, file=self._current_file, line=line
+                )
+                scope.set(record.updated(taint=record.taint.joined(value.taint)))
+        elif isinstance(target, ast.StaticPropertyAccess):
+            if self.options.oop:
+                self._record_prop_write(target.class_name, target.name, value.taint)
+        elif isinstance(target, ast.ListExpr):
+            for sub_target in target.targets:
+                if sub_target is not None:
+                    self._assign_to(sub_target, value, scope, line)
+
+    def _declaring_class(self, class_name: str, prop: str) -> str:
+        """Walk up the hierarchy to the ancestor declaring ``prop``.
+
+        Properties are stored under their declaring class so sibling
+        subclasses writing/reading an inherited property share one slot
+        (matching PHP's storage semantics, object-insensitively).
+        """
+        declaring = class_name
+        current: Optional[str] = class_name
+        seen: Set[str] = set()
+        while current and current.lower() not in seen:
+            seen.add(current.lower())
+            info = self.model.lookup_class(current)
+            if info is None:
+                break
+            if prop in info.property_names:
+                declaring = info.name
+            current = info.parent
+        return declaring
+
+    def _record_prop_write(self, class_name: str, prop: str, taint: TaintState) -> None:
+        """Commit a property write.
+
+        Inside a function summary the parameter-dependent part is kept in
+        the summary (substituted per call site); the parameter-free part
+        is committed to the shared class property store immediately so
+        writes by never-called methods are still visible (Section III.E).
+        """
+        class_name = self._declaring_class(class_name, prop)
+        if self._summary_stack:
+            summary = self._summary_stack[-1]
+            key = ClassPropertyStore.key(class_name, prop)
+            existing = summary.prop_writes.get(key)
+            summary.prop_writes[key] = (
+                taint.copy() if existing is None else existing.joined(taint)
+            )
+            self.class_props.write(class_name, prop, taint.drop_param_refs())
+        else:
+            self.class_props.write(class_name, prop, taint)
+
+    # -- binary ------------------------------------------------------------------
+
+    def _eval_binary(self, node: ast.Binary, scope: Scope) -> Value:
+        left = self._eval(node.left, scope)
+        right = self._eval(node.right, scope)
+        if node.op == ".":
+            joined = left.joined(right)
+            joined.class_name = ""
+            return joined
+        if node.op in ("&&", "||", "and", "or", "xor"):
+            return Value.clean()
+        # arithmetic/comparison produce numeric/boolean values
+        return Value.clean()
+
+    # -- calls ----------------------------------------------------------------------
+
+    def _eval_args(self, args: Sequence[ast.Expr], scope: Scope) -> List[Value]:
+        return [self._eval(arg, scope) for arg in args]
+
+    def _eval_function_call(self, node: ast.FunctionCall, scope: Scope) -> Value:
+        if not isinstance(node.name, str):
+            self._eval(node.name, scope)
+            self._eval_args(node.args, scope)
+            return Value.clean()
+        name = node.name
+        lowered = name.lower()
+        values = self._eval_args(node.args, scope)
+
+        sink = self.profile.function_sink(lowered)
+        if sink is not None and lowered not in ("echo", "print", "exit"):
+            self._check_sink(sink.kind, name, node, values, sink_spec=sink)
+
+        filter_spec = self.profile.function_filter(lowered)
+        if filter_spec is not None:
+            joined = Value.clean()
+            for value in values:
+                joined = joined.joined(value)
+            return Value(
+                taint=joined.taint.filtered(filter_spec.kinds),
+                trace=joined.trace + (f"filtered by {name}()",),
+            )
+
+        revert = self.profile.revert(lowered)
+        if revert is not None:
+            joined = Value.clean()
+            for value in values:
+                joined = joined.joined(value)
+            return Value(
+                taint=joined.taint.reverted(revert.kinds),
+                trace=joined.trace + (f"reverted by {name}()",),
+            )
+
+        source = self.profile.function_source(lowered)
+        if source is not None:
+            label = ConcreteSource(
+                vector=source.vector,
+                name=f"{name}()",
+                file=self._current_file,
+                line=node.line,
+            )
+            return Value(
+                taint=TaintState.from_label(label, source.kinds),
+                trace=(f"{name}() read at {self._current_file}:{node.line}",),
+            )
+
+        info = self.model.lookup_function(lowered)
+        if info is not None and not info.is_method:
+            summary = self._summarize(info)
+            return self._apply_summary(summary, values, node.args, scope, node.line)
+
+        if lowered in PASSTHROUGH_FUNCTIONS:
+            joined = Value.clean()
+            for value in values:
+                joined = joined.joined(value)
+            joined.class_name = ""
+            return joined
+        if lowered in CLEAN_FUNCTIONS:
+            return Value.clean()
+        if self.options.unknown_call_policy == "propagate":
+            joined = Value.clean()
+            for value in values:
+                joined = joined.joined(value)
+            joined.class_name = ""
+            return joined
+        return Value.clean()
+
+    def _eval_method_call(self, node: ast.MethodCall, scope: Scope) -> Value:
+        obj = self._eval(node.object, scope)
+        if not isinstance(node.method, str):
+            self._eval_args(node.args, scope)
+            return Value.clean()
+        if not self.options.oop:
+            self._eval_args(node.args, scope)
+            return Value.clean()
+        method = node.method
+        class_name = obj.class_name
+        values = self._eval_args(node.args, scope)
+        if not class_name:
+            return Value(taint=TaintState.clean())
+        return self._dispatch_method(class_name, method, node, values, obj, scope)
+
+    def _eval_static_call(self, node: ast.StaticCall, scope: Scope) -> Value:
+        values = self._eval_args(node.args, scope)
+        if not self.options.oop or not isinstance(node.method, str):
+            return Value.clean()
+        class_name = node.class_name
+        if class_name.startswith("$"):
+            record = scope.get(class_name[1:])
+            class_name = (record.class_name or "") if record else ""
+        if class_name.lower() in ("self", "static", "parent"):
+            this = scope.get("this")
+            current = this.class_name if this and this.class_name else ""
+            if class_name.lower() == "parent" and current:
+                class_info = self.model.lookup_class(current)
+                class_name = (class_info.parent or "") if class_info else ""
+            else:
+                class_name = current
+        if not class_name:
+            return Value.clean()
+        return self._dispatch_method(
+            class_name, node.method, node, values, Value(class_name=class_name), scope
+        )
+
+    def _dispatch_method(
+        self,
+        class_name: str,
+        method: str,
+        node: Union[ast.MethodCall, ast.StaticCall],
+        values: List[Value],
+        obj: Value,
+        scope: Scope,
+    ) -> Value:
+        """Shared resolution for ``->`` and ``::`` calls."""
+        qualified = f"{obj.name_hint or class_name}->{method}"
+
+        sink = self.profile.method_sink(class_name, method)
+        if sink is not None:
+            self._check_sink(
+                sink.kind, qualified, node, values, sink_spec=sink, via_oop=True
+            )
+
+        filter_spec = self.profile.method_filter(class_name, method)
+        if filter_spec is not None:
+            joined = Value.clean()
+            for value in values:
+                joined = joined.joined(value)
+            return Value(
+                taint=joined.taint.filtered(filter_spec.kinds),
+                trace=joined.trace + (f"filtered by {qualified}()",),
+            )
+
+        source = self.profile.method_source(class_name, method)
+        if source is not None:
+            label = ConcreteSource(
+                vector=source.vector,
+                name=f"${class_name.lower()}->{method}()"
+                if not obj.name_hint
+                else f"{obj.name_hint}->{method}()",
+                file=self._current_file,
+                line=node.line,
+                via_oop=True,
+            )
+            return Value(
+                taint=TaintState.from_label(label, source.kinds),
+                trace=(f"{qualified}() read at {self._current_file}:{node.line}",),
+            )
+
+        info = self.model.resolve_method(class_name, method)
+        if info is not None:
+            summary = self._summarize(info)
+            return self._apply_summary(summary, values, node.args, scope, node.line)
+        return Value.clean()
+
+    def _eval_new(self, node: ast.New, scope: Scope) -> Value:
+        values = self._eval_args(node.args, scope)
+        if not isinstance(node.class_name, str):
+            return Value.clean()
+        class_name = node.class_name
+        if self.options.oop:
+            constructor = self.model.resolve_method(class_name, "__construct")
+            if constructor is None:
+                # PHP4-style constructor: method named like the class
+                constructor = self.model.resolve_method(class_name, class_name)
+            if constructor is not None:
+                summary = self._summarize(constructor)
+                self._apply_summary(summary, values, node.args, scope, node.line)
+        return Value(class_name=class_name)
+
+    def _eval_include(self, node: ast.IncludeExpr, scope: Scope) -> Value:
+        """Inline the included file's top level (paper: "as the PHP file
+        can include other PHP files recursively, all of them must be
+        analyzed in order to obtain the complete AST").
+
+        A tainted include path is also a file-inclusion sink (extension
+        kind ``VulnKind.LFI``)."""
+        path_value = self._eval(node.path, scope)
+        if (
+            VulnKind.LFI in self.options.construct_kinds
+            and path_value.taint.active.get(VulnKind.LFI)
+        ):
+            self._emit(
+                SinkEvent(
+                    kind=VulnKind.LFI,
+                    sink=node.kind,
+                    file=self._current_file,
+                    line=node.line,
+                    variable=path_value.name_hint,
+                    taint=path_value.taint,
+                    trace=path_value.trace,
+                )
+            )
+        if self._summary_stack:
+            return Value.clean()  # includes inside functions: skipped
+        from .model import _static_path
+
+        raw = _static_path(node.path)
+        if not raw:
+            return Value.clean()
+        resolved = self.model.resolve_include(raw, self._include_stack[-1])
+        if (
+            resolved is None
+            or resolved in self._include_stack
+            or len(self._include_stack) > self.options.max_include_depth
+        ):
+            return Value.clean()
+        file_model = self.model.files.get(resolved)
+        if file_model is None:
+            return Value.clean()
+        previous_file = self._current_file
+        self._include_stack.append(resolved)
+        self._current_file = resolved
+        try:
+            self._exec_block(file_model.tree.statements, scope)
+        finally:
+            self._include_stack.pop()
+            self._current_file = previous_file
+        return Value.clean()
+
+    # -- sinks ------------------------------------------------------------------------
+
+    def _check_xss_output(
+        self, expr: Optional[ast.Expr], scope: Scope, sink: str
+    ) -> None:
+        """echo/print/<?=: evaluate and flag XSS-tainted output.
+
+        The markup context at the injection point (element text,
+        attribute, script block, URL ...) is derived from the literal
+        markup emitted before the first dynamic part — RIPS's
+        context-sensitive string analysis (paper Section II)."""
+        value = self._eval(expr, scope)
+        if value.taint.active.get(VulnKind.XSS):
+            prefix = _literal_prefix(expr)
+            context = context_at_end(prefix)
+            self._emit(
+                SinkEvent(
+                    kind=VulnKind.XSS,
+                    sink=sink,
+                    file=self._current_file,
+                    line=expr.line if expr is not None else 0,
+                    variable=value.name_hint or _describe_expr(expr),
+                    taint=value.taint,
+                    trace=value.trace,
+                    markup_context=context.value,
+                )
+            )
+
+    def _check_sink(
+        self,
+        kind: VulnKind,
+        sink_name: str,
+        node: ast.Expr,
+        values: Sequence[Value],
+        sink_spec,
+        via_oop: bool = False,
+    ) -> None:
+        for index, value in enumerate(values):
+            if not sink_spec.arg_is_sensitive(index):
+                continue
+            if value.taint.active.get(kind):
+                self._emit(
+                    SinkEvent(
+                        kind=kind,
+                        sink=sink_name,
+                        file=self._current_file,
+                        line=node.line,
+                        variable=value.name_hint,
+                        taint=value.taint,
+                        trace=value.trace,
+                        via_oop=via_oop,
+                    )
+                )
+
+
+def _literal_prefix(expr: Optional[ast.Expr]) -> str:
+    """Concatenated literal markup before the first dynamic part."""
+    parts: List[str] = []
+
+    def collect(node: Optional[ast.Expr]) -> bool:
+        """Append literals in output order; False at first dynamic part."""
+        if node is None:
+            return False
+        if isinstance(node, ast.Literal):
+            parts.append(str(node.value) if node.value is not None else "")
+            return True
+        if isinstance(node, ast.Binary) and node.op == ".":
+            return collect(node.left) and collect(node.right)
+        if isinstance(node, ast.InterpolatedString):
+            for part in node.parts:
+                if not collect(part):
+                    return False
+            return True
+        return False
+
+    collect(expr)
+    return "".join(parts)
+
+
+def _describe_expr(expr: Optional[ast.Expr]) -> str:
+    if expr is None:
+        return ""
+    try:
+        text = print_expr(expr)
+    except TypeError:
+        return type(expr).__name__
+    return text if len(text) <= 60 else text[:57] + "..."

@@ -1,0 +1,313 @@
+"""Model-construction stage (paper Section III.B).
+
+Builds, per plugin: the token stream and AST of every file, the table of
+all user-defined functions and their parameters, the class table (with
+inheritance links), the set of *called* function names, and the include
+graph.  From these it derives the list of functions "that are not called
+from the code of the plugin" — which phpSAFE analyzes anyway, "as they
+may be directly called from the main application".
+
+The stage also enforces the per-file analysis budget that reproduces the
+paper's robustness observations: files whose include closure is too
+large make phpSAFE "unable to analyze" them (Section V.E).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..php import ast_nodes as ast
+from ..php.errors import AnalysisBudgetExceeded, PhpSyntaxError
+from ..php.lexer import count_loc, tokenize_significant
+from ..php.parser import Parser
+from ..php.tokens import Token
+from ..plugin import Plugin
+
+
+@dataclass
+class FunctionInfo:
+    """A user-defined function or method known to the model."""
+
+    key: str  # lower-cased name, or "class::method"
+    name: str
+    params: List[ast.Param]
+    body: List[ast.Statement]
+    file: str
+    line: int
+    class_name: Optional[str] = None
+    visibility: str = "public"
+    static: bool = False
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ClassInfo:
+    """A user-defined class and its members."""
+
+    name: str
+    decl: ast.ClassDecl
+    file: str
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    parent: Optional[str] = None
+
+    @property
+    def property_names(self) -> List[str]:
+        return [prop.name for prop in self.decl.properties]
+
+
+@dataclass
+class FileModel:
+    """One parsed file of the plugin."""
+
+    path: str
+    source: str
+    tokens: List[Token]
+    tree: ast.PhpFile
+    loc: int
+    includes: List[str] = field(default_factory=list)
+
+
+class PluginModel:
+    """The complete model of a plugin, ready for the analysis stage."""
+
+    def __init__(self, plugin: Plugin) -> None:
+        self.plugin = plugin
+        self.files: Dict[str, FileModel] = {}
+        self.parse_failures: Dict[str, PhpSyntaxError] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.called_names: Set[str] = set()
+        self.called_methods: Set[str] = set()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        plugin: Plugin,
+        include_budget: int = 400_000,
+        cache=None,
+    ) -> "PluginModel":
+        """Parse every file and collect the model tables.
+
+        ``include_budget`` caps the cumulative source size (in bytes) of
+        a file plus its transitive includes; exceeding it records the
+        file as an analysis failure (the phpSAFE memory-exhaustion
+        behaviour of Section V.E).  ``cache`` is an optional
+        :class:`~repro.core.cache.ModelCache` that skips re-parsing
+        unchanged files across runs.
+        """
+        model = cls(plugin)
+        for path, source in plugin.iter_files():
+            if cache is not None:
+                cached, cached_error = cache.lookup(path, source)
+                if cached_error is not None:
+                    model.parse_failures[path] = cached_error
+                    continue
+                if cached is not None:
+                    model.files[path] = cached  # type: ignore[assignment]
+                    continue
+            try:
+                tokens = tokenize_significant(source, path)
+                tree = Parser(tokens, path).parse_file()
+            except PhpSyntaxError as error:
+                model.parse_failures[path] = error
+                if cache is not None:
+                    cache.store_failure(path, source, error)
+                continue
+            file_model = FileModel(
+                path=path,
+                source=source,
+                tokens=tokens,
+                tree=tree,
+                loc=count_loc(source),
+                includes=_collect_includes(tree, path),
+            )
+            model.files[path] = file_model
+            if cache is not None:
+                cache.store(path, source, file_model)
+        model._check_include_budgets(include_budget)
+        model._collect_definitions()
+        model._collect_calls()
+        return model
+
+    def _check_include_budgets(self, budget: int) -> None:
+        """Fail files whose transitive include closure exceeds budget.
+
+        All closure sizes are computed against the full file set first,
+        so a failing library also fails every file that includes it."""
+        sizes = {path: self._closure_size(path, set()) for path in self.files}
+        for path, size in sizes.items():
+            if size > budget:
+                self.parse_failures[path] = AnalysisBudgetExceeded(  # type: ignore[assignment]
+                    path, budget, size
+                )
+                del self.files[path]
+
+    def _closure_size(self, path: str, seen: Set[str]) -> int:
+        if path in seen or path not in self.files:
+            return 0
+        seen.add(path)
+        model = self.files[path]
+        size = len(model.source)
+        for include in model.includes:
+            resolved = self.resolve_include(include, path)
+            if resolved:
+                size += self._closure_size(resolved, seen)
+        return size
+
+    def _collect_definitions(self) -> None:
+        for path, file_model in self.files.items():
+            for node in ast.walk(file_model.tree):
+                if isinstance(node, ast.FunctionDecl):
+                    info = FunctionInfo(
+                        key=node.name.lower(),
+                        name=node.name,
+                        params=node.params,
+                        body=node.body,
+                        file=path,
+                        line=node.line,
+                    )
+                    self.functions.setdefault(info.key, info)
+                elif isinstance(node, ast.ClassDecl) and node.kind in ("class", "trait"):
+                    class_info = ClassInfo(
+                        name=node.name, decl=node, file=path, parent=node.parent
+                    )
+                    for method in node.methods:
+                        if method.body is None:
+                            continue
+                        method_info = FunctionInfo(
+                            key=f"{node.name.lower()}::{method.name.lower()}",
+                            name=method.name,
+                            params=method.params,
+                            body=method.body,
+                            file=path,
+                            line=method.line,
+                            class_name=node.name,
+                            visibility=method.visibility,
+                            static=method.static,
+                        )
+                        class_info.methods[method.name.lower()] = method_info
+                        self.functions.setdefault(method_info.key, method_info)
+                    self.classes.setdefault(node.name.lower(), class_info)
+
+    def _collect_calls(self) -> None:
+        for file_model in self.files.values():
+            for node in ast.walk(file_model.tree):
+                if isinstance(node, ast.FunctionCall) and isinstance(node.name, str):
+                    self.called_names.add(node.name.lower())
+                elif isinstance(node, ast.MethodCall) and isinstance(node.method, str):
+                    self.called_methods.add(node.method.lower())
+                elif isinstance(node, ast.StaticCall) and isinstance(node.method, str):
+                    self.called_methods.add(node.method.lower())
+                elif isinstance(node, ast.New) and isinstance(node.class_name, str):
+                    # constructors count as called methods
+                    self.called_methods.add("__construct")
+                    self.called_names.add(node.class_name.lower())
+
+    # -- queries ---------------------------------------------------------------
+
+    def lookup_function(self, name: str) -> Optional[FunctionInfo]:
+        return self.functions.get(name.lower())
+
+    def lookup_class(self, name: str) -> Optional[ClassInfo]:
+        return self.classes.get(name.lower())
+
+    def resolve_method(self, class_name: str, method: str) -> Optional[FunctionInfo]:
+        """Find ``method`` on ``class_name`` or its ancestors."""
+        seen: Set[str] = set()
+        current: Optional[str] = class_name
+        while current and current.lower() not in seen:
+            seen.add(current.lower())
+            class_info = self.lookup_class(current)
+            if class_info is None:
+                return None
+            info = class_info.methods.get(method.lower())
+            if info is not None:
+                return info
+            # trait methods are looked up like inherited ones
+            for trait in class_info.decl.uses:
+                trait_info = self.lookup_class(trait)
+                if trait_info and method.lower() in trait_info.methods:
+                    return trait_info.methods[method.lower()]
+            current = class_info.parent
+        return None
+
+    def uncalled_functions(self) -> List[FunctionInfo]:
+        """Functions/methods never invoked from plugin code.
+
+        These are plugin entry points (hooks, callbacks) the main
+        application calls; phpSAFE analyzes them to reach 100% coverage
+        (Section III.C) — "this is a feature that all tools prepared for
+        analyzing plugins should have" (Section V.A).
+        """
+        out: List[FunctionInfo] = []
+        for info in self.functions.values():
+            if info.is_method:
+                if info.name.lower() not in self.called_methods:
+                    out.append(info)
+            elif info.key not in self.called_names:
+                out.append(info)
+        return sorted(out, key=lambda info: (info.file, info.line))
+
+    def resolve_include(self, raw_path: str, from_file: str) -> Optional[str]:
+        """Map an include path to a plugin file, tolerating the common
+        ``dirname(__FILE__) . '/x.php'`` and plain-relative idioms."""
+        candidate = raw_path.replace("\\", "/").lstrip("/")
+        base = os.path.dirname(from_file)
+        options = [
+            os.path.normpath(os.path.join(base, candidate)),
+            os.path.normpath(candidate),
+        ]
+        for option in options:
+            if option in self.files:
+                return option
+        basename = os.path.basename(candidate)
+        matches = [path for path in self.files if os.path.basename(path) == basename]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    @property
+    def total_loc(self) -> int:
+        return sum(file_model.loc for file_model in self.files.values())
+
+
+def _collect_includes(tree: ast.PhpFile, path: str) -> List[str]:
+    """Extract statically-resolvable include targets from a file."""
+    includes: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.IncludeExpr):
+            target = _static_path(node.path)
+            if target:
+                includes.append(target)
+    return includes
+
+
+def _static_path(expr: Optional[ast.Expr]) -> Optional[str]:
+    """Best-effort constant folding of include path expressions."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.Binary) and expr.op == ".":
+        left = _static_path(expr.left)
+        right = _static_path(expr.right)
+        if right is None:
+            return None
+        # `dirname(__FILE__) . '/inc.php'` — keep the literal tail
+        return (left or "") + right
+    if isinstance(expr, ast.FunctionCall) and expr.name in ("dirname", "plugin_dir_path"):
+        return ""
+    if isinstance(expr, ast.ConstFetch):
+        return ""
+    if isinstance(expr, ast.InterpolatedString):
+        parts = [part.value for part in expr.parts if isinstance(part, ast.Literal)]
+        if parts:
+            return "".join(str(part) for part in parts)
+    return None

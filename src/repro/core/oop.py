@@ -1,0 +1,99 @@
+"""OOP resolution support (paper Section III.E).
+
+phpSAFE distinguishes variables from properties and functions from
+methods, obtaining "the full name by adding the name of the object"
+(following ``T_OBJECT_OPERATOR`` / ``T_DOUBLE_COLON``).  We reproduce
+this with an object-insensitive *class property store*: one taint state
+per ``(class, property)`` pair, shared by all instances — properties are
+parsed "as variables" whose full name is class-qualified.
+
+The store supports placeholder resolution: property reads evaluate to a
+:class:`~repro.core.taint.PropRef` placeholder which is substituted
+against the final store once the whole plugin has been analyzed, so a
+method storing tainted data in ``$this->data`` and another method
+echoing it are connected regardless of analysis order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from .taint import Label, PropRef, TaintState
+
+
+class ClassPropertyStore:
+    """Taint per ``(class name, property name)``, object-insensitive."""
+
+    def __init__(self) -> None:
+        self._taints: Dict[Tuple[str, str], TaintState] = {}
+        #: child class (lower) -> parent class (lower), for read-through
+        self.parents: Dict[str, str] = {}
+
+    @staticmethod
+    def key(class_name: str, prop: str) -> Tuple[str, str]:
+        return (class_name.lower(), prop)
+
+    def read(self, class_name: str, prop: str) -> TaintState:
+        """Placeholder read: resolved later against the final store."""
+        return TaintState.from_label(PropRef(class_name.lower(), prop))
+
+    def write(self, class_name: str, prop: str, taint: TaintState) -> None:
+        """Weak update: join (never kill) — any instance may hold taint."""
+        key = self.key(class_name, prop)
+        current = self._taints.get(key)
+        self._taints[key] = taint.copy() if current is None else current.joined(taint)
+
+    def snapshot(self) -> Dict[Tuple[str, str], TaintState]:
+        return {key: taint.copy() for key, taint in self._taints.items()}
+
+    def resolve(self, taint: TaintState, max_depth: int = 8) -> TaintState:
+        """Substitute ``PropRef`` placeholders transitively.
+
+        Property values may themselves reference other properties
+        (``$this->a = $this->b``); resolution iterates to a fixed point
+        with a depth cap guarding against reference cycles.
+        """
+        current = taint
+        for _ in range(max_depth):
+            placeholders = self._collect_prop_refs(current)
+            if not placeholders:
+                return current
+            mapping: Dict[Label, TaintState] = {}
+            for ref in placeholders:
+                mapping[ref] = self._lookup_chain(ref.class_name, ref.prop)
+            substituted = current.substituted(mapping)
+            if substituted.signature() == current.signature():
+                return substituted
+            current = substituted
+        # depth exhausted: drop unresolved placeholders
+        return current.substituted({})
+
+    def _lookup_chain(self, class_name: str, prop: str) -> TaintState:
+        """Read a property through the inheritance chain: the taint of
+        ``$this->prop`` joins every ancestor's stored state (properties
+        are shared storage between parent and child methods)."""
+        result = TaintState.clean()
+        current: str = class_name
+        seen: Set[str] = set()
+        while current and current not in seen:
+            seen.add(current)
+            stored = self._taints.get((current, prop))
+            if stored is not None:
+                result = result.joined(stored)
+            current = self.parents.get(current, "")
+        return result
+
+    @staticmethod
+    def _collect_prop_refs(taint: TaintState) -> Set[PropRef]:
+        refs: Set[PropRef] = set()
+        for labels in taint.active.values():
+            refs.update(label for label in labels if isinstance(label, PropRef))
+        for labels in taint.suppressed.values():
+            refs.update(label for label in labels if isinstance(label, PropRef))
+        return refs
+
+
+def join_class_names(names: Iterable[str]) -> str:
+    """Pick a representative class name when branches disagree."""
+    unique = sorted({name for name in names if name})
+    return unique[0] if len(unique) == 1 else ""

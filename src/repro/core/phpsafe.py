@@ -1,0 +1,107 @@
+"""The phpSAFE facade: the paper's single ``PHP-SAFE`` class.
+
+"Since phpSAFE is developed in OOP, its functions become accessible
+through the instantiation of a single PHP class called PHP-SAFE, which
+receives as input the PHP file to be analyzed and delivers the results
+in the properties of the object instantiated from the PHP-SAFE class."
+(Section III) — this module is that class, in Python: construct a
+:class:`PhpSafe` (optionally customizing the profile or feature flags),
+call :meth:`analyze` on a plugin or :meth:`analyze_source` on a single
+file, read the findings off the returned report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config.profiles import AnalyzerProfile, generic_php, wordpress
+from ..plugin import Plugin
+from .cache import ModelCache
+from .engine import EngineOptions, TaintEngine
+from .model import PluginModel
+from .results import FileFailure, ToolReport
+from .tool import AnalyzerTool
+
+
+@dataclass
+class PhpSafeOptions:
+    """Feature flags — also the ablation knobs of experiment A1."""
+
+    #: Load the WordPress-specific configuration (sources/filters/sinks
+    #: and known instances like ``$wpdb``) on top of generic PHP.
+    wordpress_config: bool = True
+    #: Parse OOP constructs: properties, methods, ``new``, ``$this``.
+    oop: bool = True
+    #: Analyze functions never called from plugin code (entry points).
+    analyze_uncalled: bool = True
+    #: Memoize function summaries (parse each function only once).
+    use_summaries: bool = True
+    #: Cumulative include-closure budget per file, in source bytes;
+    #: reproduces the paper's memory-exhaustion failures (Section V.E).
+    include_budget: int = 120_000
+    engine: EngineOptions = field(default_factory=EngineOptions)
+
+
+class PhpSafe(AnalyzerTool):
+    """phpSAFE: OOP-aware XSS/SQLi static analyzer for PHP plugins."""
+
+    name = "phpSAFE"
+
+    def __init__(
+        self,
+        profile: Optional[AnalyzerProfile] = None,
+        options: Optional[PhpSafeOptions] = None,
+        cache: Optional[ModelCache] = None,
+    ) -> None:
+        self.options = options or PhpSafeOptions()
+        #: optional cross-run parse cache (Section VI performance work)
+        self.cache = cache
+        if profile is not None:
+            self.profile = profile
+        elif self.options.wordpress_config:
+            self.profile = wordpress()
+        else:
+            self.profile = generic_php()
+
+    def analyze(self, plugin: Plugin) -> ToolReport:
+        """Run the four stages on every file of ``plugin``."""
+        report = ToolReport(tool=self.name, plugin=plugin.slug)
+        model = PluginModel.build(
+            plugin, include_budget=self.options.include_budget, cache=self.cache
+        )
+        for path, error in sorted(model.parse_failures.items()):
+            report.failures.append(
+                FileFailure(file=path, reason=str(error), is_error=False)
+            )
+        engine_options = EngineOptions(
+            oop=self.options.oop,
+            analyze_uncalled=self.options.analyze_uncalled,
+            analyze_methods_standalone=True,
+            use_summaries=self.options.use_summaries,
+            **{
+                key: getattr(self.options.engine, key)
+                for key in ("step_budget", "max_include_depth", "max_trace")
+            },
+        )
+        engine = TaintEngine(model, self.profile, engine_options)
+        for finding in engine.run():
+            report.add_finding(finding)
+        if engine.aborted:
+            report.failures.append(
+                FileFailure(
+                    file="<plugin>",
+                    reason="analysis step budget exhausted",
+                    is_error=True,
+                )
+            )
+        report.files_analyzed = len(model.files)
+        report.loc_analyzed = model.total_loc
+        # reviewer resources (paper Section III.D): final variable dump
+        report.variables = dict(engine.globals.records)
+        return report
+
+    def analyze_source(self, source: str, filename: str = "input.php") -> ToolReport:
+        """Convenience: analyze a single PHP source string."""
+        plugin = Plugin(name=filename, files={filename: source})
+        return self.analyze(plugin)

@@ -1,0 +1,119 @@
+"""Results-processing stage: findings, per-file failures, reports.
+
+The output of an analysis run is a :class:`ToolReport`: the list of
+:class:`Finding` records (one per vulnerable sink reached by tainted
+data), the per-file failures used by the robustness evaluation
+(Section V.E), and bookkeeping such as analysis wall time and the full
+variable dump phpSAFE exposes for manual review (Section III.D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config.vulnerability import InputVector, VulnKind
+from .taint import VariableRecord
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported vulnerability.
+
+    ``file``/``line`` locate the sensitive sink; ``vectors`` lists the
+    input vectors of every source that can reach it (Table II taxonomy);
+    ``trace`` is the variable-to-variable flow phpSAFE shows reviewers.
+    """
+
+    kind: VulnKind
+    file: str
+    line: int
+    sink: str
+    variable: str = ""
+    vectors: Tuple[InputVector, ...] = ()
+    trace: Tuple[str, ...] = ()
+    via_oop: bool = False
+    #: markup context for XSS findings ("html", "attribute", "url",
+    #: "script", ...) — empty for non-XSS kinds
+    markup_context: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """Dedup/matching identity: kind + sink location."""
+        return (self.kind.value, self.file, self.line)
+
+    @property
+    def primary_vector(self) -> Optional[InputVector]:
+        """The most attacker-reachable vector (lowest tier wins)."""
+        if not self.vectors:
+            return None
+        return min(self.vectors, key=lambda vector: (vector.tier, vector.value))
+
+    def describe(self) -> str:
+        vectors = "/".join(vector.value for vector in self.vectors) or "?"
+        return (
+            f"{self.kind} at {self.file}:{self.line} via {self.sink}"
+            f" (input: {vectors}, variable: {self.variable or '?'})"
+        )
+
+
+@dataclass(frozen=True)
+class FileFailure:
+    """A robustness incident on one file (Section V.E).
+
+    ``completed=False`` means the tool skipped the file entirely;
+    ``completed=True`` with ``is_error=True`` models Pixy's "raised an
+    error message" cases where analysis still finished.
+    """
+
+    file: str
+    reason: str
+    is_error: bool = False  # the tool emitted an error message
+    completed: bool = False  # analysis of the file still completed
+
+
+@dataclass
+class ToolReport:
+    """Everything a tool produced for one plugin."""
+
+    tool: str
+    plugin: str
+    findings: List[Finding] = field(default_factory=list)
+    failures: List[FileFailure] = field(default_factory=list)
+    files_analyzed: int = 0
+    loc_analyzed: int = 0
+    seconds: float = 0.0
+    #: phpSAFE's reviewer resources: the final parser_variables dump.
+    variables: Dict[str, VariableRecord] = field(default_factory=dict)
+
+    def add_finding(self, finding: Finding) -> bool:
+        """Append ``finding`` unless an identical sink was already
+        reported; returns True when added."""
+        if any(existing.key == finding.key for existing in self.findings):
+            return False
+        self.findings.append(finding)
+        return True
+
+    def findings_of(self, kind: VulnKind) -> List[Finding]:
+        return [finding for finding in self.findings if finding.kind is kind]
+
+    @property
+    def failed_files(self) -> List[str]:
+        """Files whose analysis did not complete."""
+        return [failure.file for failure in self.failures if not failure.completed]
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for failure in self.failures if failure.is_error)
+
+    def merged(self, other: "ToolReport") -> "ToolReport":
+        """Combine reports of two plugins (used for whole-corpus totals)."""
+        merged = ToolReport(tool=self.tool, plugin=f"{self.plugin}+{other.plugin}")
+        merged.findings = list(self.findings)
+        for finding in other.findings:
+            merged.add_finding(finding)
+        merged.failures = self.failures + other.failures
+        merged.files_analyzed = self.files_analyzed + other.files_analyzed
+        merged.loc_analyzed = self.loc_analyzed + other.loc_analyzed
+        merged.seconds = self.seconds + other.seconds
+        return merged

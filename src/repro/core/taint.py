@@ -1,0 +1,248 @@
+"""Taint labels and taint states.
+
+The analysis stage tracks, for every variable and intermediate value, a
+*taint state*: per vulnerability kind, the set of labels explaining where
+attacker-controlled data could have come from.  Labels are either
+
+- :class:`ConcreteSource` — data entered through a knowledge-base source
+  (``$_GET``, ``$wpdb->get_results`` ...), carrying the input vector and
+  origin location that findings report, or
+- :class:`ParamRef` — a placeholder for "the taint of the N-th argument"
+  used while summarizing a user-defined function, substituted with the
+  caller's actual taint at each call site, or
+- :class:`PropRef` — a placeholder for the taint of an object property,
+  resolved against the class property map (object-insensitive, matching
+  phpSAFE's textual full-name handling of properties).
+
+Filtering (sanitization) moves labels from the *active* set to a
+*suppressed* set instead of deleting them, so revert functions
+(``stripslashes`` & co., paper Section III.A) can restore them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
+
+from ..config.vulnerability import ALL_KINDS, InputVector, VulnKind
+
+
+@dataclass(frozen=True)
+class ConcreteSource:
+    """Taint that entered through a configured source.
+
+    ``via_oop`` marks sources that require OOP resolution to see — e.g.
+    a ``$wpdb->get_results`` method call (paper Section III.E).
+    """
+
+    vector: InputVector
+    name: str
+    file: str
+    line: int
+    via_oop: bool = False
+
+    def describe(self) -> str:
+        return f"{self.name} [{self.vector.value}] at {self.file}:{self.line}"
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    """Placeholder: taint of parameter ``index`` of ``function_key``."""
+
+    function_key: str
+    index: int
+
+    def describe(self) -> str:
+        return f"param #{self.index} of {self.function_key}()"
+
+
+@dataclass(frozen=True)
+class PropRef:
+    """Placeholder: taint of property ``prop`` of class ``class_name``."""
+
+    class_name: str
+    prop: str
+
+    def describe(self) -> str:
+        return f"property {self.class_name}::${self.prop}"
+
+
+Label = Union[ConcreteSource, ParamRef, PropRef]
+
+
+class TaintState:
+    """Per-kind active and suppressed label sets with join semantics."""
+
+    __slots__ = ("active", "suppressed")
+
+    def __init__(
+        self,
+        active: Optional[Dict[VulnKind, Set[Label]]] = None,
+        suppressed: Optional[Dict[VulnKind, Set[Label]]] = None,
+    ) -> None:
+        self.active: Dict[VulnKind, Set[Label]] = active or {}
+        self.suppressed: Dict[VulnKind, Set[Label]] = suppressed or {}
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def clean(cls) -> "TaintState":
+        return cls()
+
+    @classmethod
+    def from_label(
+        cls, label: Label, kinds: Iterable[VulnKind] = ALL_KINDS
+    ) -> "TaintState":
+        return cls(active={kind: {label} for kind in kinds})
+
+    def copy(self) -> "TaintState":
+        return TaintState(
+            active={kind: set(labels) for kind, labels in self.active.items() if labels},
+            suppressed={
+                kind: set(labels) for kind, labels in self.suppressed.items() if labels
+            },
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def is_tainted(self, kind: VulnKind) -> bool:
+        return bool(self.active.get(kind))
+
+    def is_clean(self) -> bool:
+        return not any(self.active.values())
+
+    def labels(self, kind: VulnKind) -> FrozenSet[Label]:
+        return frozenset(self.active.get(kind, ()))
+
+    def all_labels(self) -> FrozenSet[Label]:
+        out: Set[Label] = set()
+        for labels in self.active.values():
+            out |= labels
+        return frozenset(out)
+
+    def vectors(self, kind: VulnKind) -> Tuple[InputVector, ...]:
+        """Distinct input vectors of the concrete labels, sorted stably."""
+        vectors = {
+            label.vector
+            for label in self.active.get(kind, ())
+            if isinstance(label, ConcreteSource)
+        }
+        return tuple(sorted(vectors, key=lambda vector: vector.value))
+
+    def signature(self) -> Tuple:
+        """Hashable identity used to memoize summary substitutions."""
+        return (
+            tuple(
+                (kind.value, frozenset(labels))
+                for kind, labels in sorted(self.active.items(), key=lambda kv: kv[0].value)
+                if labels
+            ),
+        )
+
+    # -- mutations (all return new states; states are treated as values) ----
+
+    def joined(self, other: "TaintState") -> "TaintState":
+        result = self.copy()
+        for kind, labels in other.active.items():
+            result.active.setdefault(kind, set()).update(labels)
+        for kind, labels in other.suppressed.items():
+            result.suppressed.setdefault(kind, set()).update(labels)
+        return result
+
+    def filtered(self, kinds: Iterable[VulnKind]) -> "TaintState":
+        """Sanitize for ``kinds``: active labels become suppressed."""
+        result = self.copy()
+        for kind in kinds:
+            moved = result.active.pop(kind, set())
+            if moved:
+                result.suppressed.setdefault(kind, set()).update(moved)
+        return result
+
+    def reverted(self, kinds: Iterable[VulnKind]) -> "TaintState":
+        """Undo sanitization for ``kinds``: suppressed labels reactivate."""
+        result = self.copy()
+        for kind in kinds:
+            restored = result.suppressed.pop(kind, set())
+            if restored:
+                result.active.setdefault(kind, set()).update(restored)
+        return result
+
+    def substituted(self, mapping: Dict[Label, "TaintState"]) -> "TaintState":
+        """Replace placeholder labels using ``mapping``.
+
+        Placeholders absent from the mapping are dropped (an unresolved
+        parameter contributes no taint); concrete labels pass through.
+        """
+        result = TaintState()
+        for kind, labels in self.active.items():
+            for label in labels:
+                if isinstance(label, ConcreteSource):
+                    result.active.setdefault(kind, set()).add(label)
+                elif label in mapping:
+                    replacement = mapping[label].active.get(kind, set())
+                    if replacement:
+                        result.active.setdefault(kind, set()).update(replacement)
+        for kind, labels in self.suppressed.items():
+            for label in labels:
+                if isinstance(label, ConcreteSource):
+                    result.suppressed.setdefault(kind, set()).add(label)
+                elif label in mapping:
+                    replacement = mapping[label].active.get(kind, set())
+                    if replacement:
+                        result.suppressed.setdefault(kind, set()).update(replacement)
+        return result
+
+    def drop_param_refs(self) -> "TaintState":
+        """Remove :class:`ParamRef` labels, keeping concrete sources and
+        property placeholders (used when an uncalled method's property
+        writes are committed without a caller to bind its parameters)."""
+        result = TaintState()
+        for kind, labels in self.active.items():
+            kept = {label for label in labels if not isinstance(label, ParamRef)}
+            if kept:
+                result.active[kind] = kept
+        for kind, labels in self.suppressed.items():
+            kept = {label for label in labels if not isinstance(label, ParamRef)}
+            if kept:
+                result.suppressed[kind] = kept
+        return result
+
+    def has_placeholders(self) -> bool:
+        return any(
+            not isinstance(label, ConcreteSource)
+            for labels in self.active.values()
+            for label in labels
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for kind, labels in sorted(self.active.items(), key=lambda kv: kv[0].value):
+            if labels:
+                names = ", ".join(sorted(label.describe() for label in labels))
+                parts.append(f"{kind}: {names}")
+        return "TaintState(" + ("; ".join(parts) or "clean") + ")"
+
+
+@dataclass
+class VariableRecord:
+    """One entry of phpSAFE's ``parser_variables`` store.
+
+    "This array contains everything needed to allow phpSAFE to perform
+    the taint analysis, like the variable name, source file name and line
+    number, the dependencies from other variables, if it is an input or
+    output variable, the filter functions applied, etc." (Section III.C)
+    """
+
+    name: str
+    file: str = ""
+    line: int = 0
+    taint: TaintState = field(default_factory=TaintState.clean)
+    class_name: Optional[str] = None  # resolved object type, for OOP
+    depends_on: Tuple[str, ...] = ()
+    filters_applied: Tuple[str, ...] = ()
+    is_input: bool = False
+    is_output: bool = False
+    trace: Tuple[str, ...] = ()
+
+    def updated(self, **changes) -> "VariableRecord":
+        return replace(self, **changes)

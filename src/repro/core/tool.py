@@ -1,0 +1,33 @@
+"""Common interface every analyzer tool implements.
+
+The evaluation harness (paper Section IV) drives phpSAFE, RIPS-like and
+Pixy-like through this one protocol, mirroring how the authors wrapped
+each real tool in automation scripts and normalized their outputs into
+"a single repository".
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from ..plugin import Plugin
+from .results import ToolReport
+
+
+class AnalyzerTool(abc.ABC):
+    """A static analysis tool that scans one plugin at a time."""
+
+    #: Short display name used in tables ("phpSAFE", "RIPS", "Pixy").
+    name: str = "tool"
+
+    @abc.abstractmethod
+    def analyze(self, plugin: Plugin) -> ToolReport:
+        """Scan ``plugin`` and return findings, failures and stats."""
+
+    def analyze_timed(self, plugin: Plugin) -> ToolReport:
+        """Like :meth:`analyze` but fills ``report.seconds`` (Table III)."""
+        start = time.perf_counter()
+        report = self.analyze(plugin)
+        report.seconds = time.perf_counter() - start
+        return report

@@ -1,0 +1,26 @@
+"""Synthetic plugin corpus: the stand-in for the paper's 35 WordPress
+plugins (2012 and 2014 snapshots) with exact ground truth.
+
+See DESIGN.md Section 2 for the substitution rationale and
+:mod:`repro.corpus.catalog` for the calibration tables.
+"""
+
+from .catalog import PLUGINS, PluginEntry, build_specs
+from .generator import GeneratedCorpus, build_both, build_corpus
+from .loader import load_corpus, load_truth, save_corpus
+from .spec import GroundTruth, GroundTruthEntry, SeededSpec
+
+__all__ = [
+    "PLUGINS",
+    "GeneratedCorpus",
+    "GroundTruth",
+    "GroundTruthEntry",
+    "PluginEntry",
+    "SeededSpec",
+    "build_both",
+    "build_corpus",
+    "build_specs",
+    "load_corpus",
+    "load_truth",
+    "save_corpus",
+]

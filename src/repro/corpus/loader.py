@@ -1,0 +1,98 @@
+"""Disk persistence for generated corpora and ground truth.
+
+``phpsafe corpus`` materializes a corpus version to a directory tree;
+this module is the reading half: load the plugins and the ground-truth
+manifest back, so an evaluation can run against an on-disk corpus (or a
+corpus modified by hand for what-if experiments) instead of the
+in-memory generator output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from ..config.vulnerability import InputVector, VulnKind
+from ..plugin import Plugin
+from .catalog import PLUGINS
+from .generator import GeneratedCorpus
+from .spec import GroundTruth, GroundTruthEntry, SeededSpec
+
+MANIFEST_NAME = "ground-truth.json"
+
+
+def save_corpus(corpus: GeneratedCorpus, root: str) -> str:
+    """Write every plugin plus the manifest under ``root/<version>``."""
+    version_dir = os.path.join(root, corpus.version)
+    os.makedirs(version_dir, exist_ok=True)
+    for plugin in corpus.plugins:
+        plugin.write_to(version_dir)
+    manifest = [
+        {
+            "spec_id": entry.spec.spec_id,
+            "kind": entry.spec.kind.value,
+            "vector": entry.spec.vector.value,
+            "region": entry.spec.region,
+            "carried": entry.spec.carried,
+            "plugin": entry.plugin,
+            "version": entry.version,
+            "file": entry.file,
+            "line": entry.line,
+        }
+        for entry in corpus.truth.entries
+    ]
+    manifest_path = os.path.join(version_dir, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump({"version": corpus.version, "entries": manifest}, handle, indent=1)
+    return version_dir
+
+
+def load_truth(version_dir: str) -> GroundTruth:
+    """Load the ground-truth manifest of an on-disk corpus version."""
+    manifest_path = os.path.join(version_dir, MANIFEST_NAME)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    truth = GroundTruth(version=raw["version"])
+    for item in raw["entries"]:
+        spec = SeededSpec(
+            spec_id=item["spec_id"],
+            kind=VulnKind(item["kind"]),
+            vector=InputVector(item["vector"]),
+            region=item["region"],
+            carried=item["carried"],
+        )
+        truth.add(
+            GroundTruthEntry(
+                spec=spec,
+                plugin=item["plugin"],
+                version=item["version"],
+                file=item["file"],
+                line=item["line"],
+            )
+        )
+    return truth
+
+
+def load_corpus(version_dir: str) -> GeneratedCorpus:
+    """Load a full corpus version (plugins + manifest) from disk."""
+    truth = load_truth(version_dir)
+    versions: Dict[str, str] = {
+        entry.slug: (
+            entry.version_2012 if truth.version == "2012" else entry.version_2014
+        )
+        for entry in PLUGINS
+    }
+    plugins: List[Plugin] = []
+    for name in sorted(os.listdir(version_dir)):
+        full = os.path.join(version_dir, name)
+        if not os.path.isdir(full):
+            continue
+        # directories are written as "<slug>-<version>"
+        slug = name
+        for known in sorted(versions, key=len, reverse=True):
+            if name == f"{known}-{versions[known]}" or name == known:
+                slug = known
+                break
+        plugins.append(Plugin.load_from(full, name=slug, version=versions.get(slug, "")))
+    return GeneratedCorpus(version=truth.version, plugins=plugins, truth=truth)

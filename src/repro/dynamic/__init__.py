@@ -1,0 +1,20 @@
+"""Dynamic analysis: exploit confirmation of static findings.
+
+The dynamic counterpart the paper discusses in Section II, automated:
+run the plugin in a simulated attack runtime and check whether a static
+finding's payload actually reaches the sensitive channel unsanitized.
+"""
+
+from .confirm import ExploitConfirmer, Status, Verdict, confirm_findings
+from .payloads import Payload, make_payload
+from .services import build_attack_runtime
+
+__all__ = [
+    "ExploitConfirmer",
+    "Payload",
+    "Status",
+    "Verdict",
+    "build_attack_runtime",
+    "confirm_findings",
+    "make_payload",
+]

@@ -1,0 +1,190 @@
+"""Dynamic exploit confirmation of static findings.
+
+The paper's authors manually verified that reported flows were
+exploitable ("which we confirmed in a experiment", Section III.E).
+:class:`ExploitConfirmer` automates that step: for each static finding
+it builds an attack runtime (everything the attacker controls returns a
+kind-specific payload), executes the plugin file — and, for flows in
+never-called functions, invokes every entry point of that file — then
+checks whether the payload reached the corresponding side-effect
+channel *unsanitized*.
+
+A confirmed finding is dynamically proven exploitable under the
+simulation's assumptions; an unconfirmed one is either a false alarm or
+outside the interpreter's subset (status ``error``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config.vulnerability import VulnKind
+from ..core.results import Finding
+from ..php import ast_nodes as ast
+from ..php.errors import PhpSyntaxError
+from ..php.interp import (
+    Interpreter,
+    MagicTaintArray,
+    PhpRuntimeError,
+    SideEffects,
+)
+from ..plugin import Plugin
+from .payloads import Payload, make_payload
+from .services import build_attack_runtime
+
+
+class Status(enum.Enum):
+    CONFIRMED = "confirmed"
+    UNCONFIRMED = "unconfirmed"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of one confirmation attempt."""
+
+    finding: Finding
+    status: Status
+    evidence: str = ""
+
+    @property
+    def confirmed(self) -> bool:
+        return self.status is Status.CONFIRMED
+
+
+class ExploitConfirmer:
+    """Dynamically confirm static findings against a plugin."""
+
+    def __init__(self, max_entry_points: int = 40, privileged: bool = False) -> None:
+        self.max_entry_points = max_entry_points
+        #: threat model: can the attacker pass capability/nonce checks?
+        self.privileged = privileged
+
+    # -- public API -------------------------------------------------------
+
+    def confirm(self, plugin: Plugin, finding: Finding) -> Verdict:
+        payload = make_payload(finding.kind)
+        try:
+            interp = self._load_runtime(plugin, payload)
+        except PhpSyntaxError as error:
+            return Verdict(finding, Status.ERROR, f"parse failure: {error}")
+        try:
+            interp.run_file(finding.file)
+        except PhpRuntimeError as error:
+            return Verdict(finding, Status.ERROR, str(error))
+        except KeyError:
+            return Verdict(finding, Status.ERROR, f"file not loaded: {finding.file}")
+        evidence = self._check(interp.effects, payload, finding)
+        if evidence:
+            return Verdict(finding, Status.CONFIRMED, evidence)
+
+        # the flow may live in a function WordPress core calls: invoke
+        # every entry point defined in the finding's file
+        try:
+            self._drive_entry_points(interp, plugin, finding, payload)
+        except PhpRuntimeError as error:
+            return Verdict(finding, Status.ERROR, str(error))
+        evidence = self._check(interp.effects, payload, finding)
+        if evidence:
+            return Verdict(finding, Status.CONFIRMED, evidence)
+        return Verdict(finding, Status.UNCONFIRMED)
+
+    def confirm_all(self, plugin: Plugin, findings: List[Finding]) -> List[Verdict]:
+        return [self.confirm(plugin, finding) for finding in findings]
+
+    # -- internals ------------------------------------------------------------
+
+    def _load_runtime(self, plugin: Plugin, payload: Payload) -> Interpreter:
+        interp = build_attack_runtime(payload.text, privileged=self.privileged)
+        last_error: Optional[PhpSyntaxError] = None
+        loaded = 0
+        for path, source in plugin.iter_files():
+            try:
+                interp.load_source(source, path)
+                loaded += 1
+            except PhpSyntaxError as error:
+                last_error = error
+        if loaded == 0 and last_error is not None:
+            raise last_error
+        return interp
+
+    def _drive_entry_points(
+        self,
+        interp: Interpreter,
+        plugin: Plugin,
+        finding: Finding,
+        payload: Payload,
+    ) -> None:
+        tree = interp.files.get(finding.file)
+        if tree is None:
+            return
+        interp.current_file = finding.file
+        driven = 0
+        for statement in tree.statements:
+            if driven >= self.max_entry_points:
+                return
+            if isinstance(statement, ast.FunctionDecl):
+                args = [
+                    MagicTaintArray(payload.text) if "att" in param.name or
+                    isinstance(param.type_hint, str) and param.type_hint == "array"
+                    else payload.text
+                    for param in statement.params
+                ]
+                try:
+                    interp.call_function(statement.name, args)
+                except PhpRuntimeError:
+                    pass
+                driven += 1
+            elif isinstance(statement, ast.ClassDecl) and statement.kind == "class":
+                try:
+                    obj = interp.instantiate(statement.name, [])
+                except PhpRuntimeError:
+                    continue
+                for method in statement.methods:
+                    if driven >= self.max_entry_points:
+                        return
+                    if method.body is None or method.name.startswith("__"):
+                        continue
+                    args: List[object] = [payload.text for _ in method.params]
+                    try:
+                        interp.call_method(obj, method.name, args)
+                    except PhpRuntimeError:
+                        pass
+                    driven += 1
+
+    @staticmethod
+    def _check(
+        effects: SideEffects, payload: Payload, finding: Optional[Finding] = None
+    ) -> str:
+        """Find raw payload evidence in the right side-effect channel.
+
+        Evidence is attributed by site: only entries recorded at the
+        finding's file and (within two lines of) its sink line count,
+        so a second vulnerable flow elsewhere in the file cannot
+        "confirm" an unrelated finding.
+        """
+        channels = {
+            VulnKind.XSS: ("page output", effects.output, effects.output_sites),
+            VulnKind.SQLI: ("SQL query log", effects.queries, effects.query_sites),
+            VulnKind.CMDI: ("command log", effects.commands, effects.command_sites),
+            VulnKind.LFI: ("include log", effects.includes, effects.include_sites),
+        }
+        name, entries, sites = channels[payload.kind]
+        for entry, site in zip(entries, sites):
+            if finding is not None:
+                site_file, site_line = site
+                if site_file != finding.file or abs(site_line - finding.line) > 2:
+                    continue
+            if payload.appears_raw_in(entry):
+                snippet_at = entry.find(payload.marker)
+                start = max(0, snippet_at - 40)
+                snippet = entry[start:snippet_at + 20].replace("\n", " ")
+                return f"payload reached {name}: ...{snippet}..."
+        return ""
+
+
+def confirm_findings(plugin: Plugin, findings: List[Finding]) -> List[Verdict]:
+    """Convenience wrapper: confirm every finding of a plugin."""
+    return ExploitConfirmer().confirm_all(plugin, findings)

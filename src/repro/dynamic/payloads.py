@@ -1,0 +1,71 @@
+"""Attack payloads per vulnerability kind.
+
+Each payload embeds a unique marker so the confirmer can recognize it in
+the captured side effects, and a *detection rule* distinguishing a raw
+(exploitable) occurrence from a sanitized one — e.g. an XSS payload that
+went through ``htmlentities`` appears as ``&lt;xss-...&gt;`` and must
+not count as confirmed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..config.vulnerability import VulnKind
+
+_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Payload:
+    """One attack string with its raw-occurrence detection rule."""
+
+    kind: VulnKind
+    text: str
+    marker: str
+
+    def appears_raw_in(self, haystack: str) -> bool:
+        """True when the payload survived to ``haystack`` unsanitized."""
+        if self.kind is VulnKind.XSS:
+            return f"<xss-{self.marker}>" in haystack
+        if self.kind is VulnKind.SQLI:
+            # the quote must be unescaped: addslashes/prepare produce \'
+            needle = f"' OR 'sqli-{self.marker}"
+            index = haystack.find(needle)
+            while index != -1:
+                if index == 0 or haystack[index - 1] != "\\":
+                    return True
+                index = haystack.find(needle, index + 1)
+            return False
+        if self.kind is VulnKind.CMDI:
+            # the separator must be unescaped and unquoted
+            needle = f"; echo cmdi-{self.marker}"
+            index = haystack.find(needle)
+            while index != -1:
+                before = haystack[:index]
+                if (index == 0 or haystack[index - 1] != "\\") and (
+                    before.count("'") % 2 == 0
+                ):
+                    return True
+                index = haystack.find(needle, index + 1)
+            return False
+        if self.kind is VulnKind.LFI:
+            return f"../../lfi-{self.marker}" in haystack
+        raise ValueError(f"no payload rule for {self.kind}")
+
+
+def make_payload(kind: VulnKind) -> Payload:
+    """A fresh payload for ``kind`` with a unique marker."""
+    marker = f"m{next(_counter):04d}"
+    if kind is VulnKind.XSS:
+        text = f"<xss-{marker}>"
+    elif kind is VulnKind.SQLI:
+        text = f"1' OR 'sqli-{marker}'='sqli-{marker}"
+    elif kind is VulnKind.CMDI:
+        text = f"x; echo cmdi-{marker}"
+    elif kind is VulnKind.LFI:
+        text = f"../../lfi-{marker}"
+    else:
+        raise ValueError(f"no payload for {kind}")
+    return Payload(kind=kind, text=text, marker=marker)

@@ -1,0 +1,189 @@
+"""Simulated WordPress runtime services for exploit confirmation.
+
+Configures a :class:`~repro.php.interp.Interpreter` as an *attack
+runtime*: every external input an attacker can influence — request
+superglobals, database content, option storage, file contents — returns
+the attack payload, and every sensitive operation (SQL, shell commands,
+includes) is recorded instead of executed.  This is the dynamic
+equivalent of the paper's manual exploitation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..php.interp import (
+    Interpreter,
+    MagicTaintArray,
+    PhpArray,
+    PhpObject,
+    to_php_string,
+)
+
+
+class _PayloadDict(dict):
+    """Property map answering every unknown key with the payload —
+    models a database row whose every column the attacker wrote."""
+
+    def __init__(self, payload: str) -> None:
+        super().__init__(field=payload)
+        self._payload = payload
+
+    def get(self, key, default=None):  # noqa: D102
+        if key in self:
+            return super().get(key)
+        return self._payload
+
+
+class PayloadRowObject(PhpObject):
+    """A result-row object with attacker-controlled columns."""
+
+    def __init__(self, payload: str) -> None:
+        super().__init__("stdClass")
+        self.properties = _PayloadDict(payload)
+
+
+class PayloadRowArray(PhpArray):
+    """A result-row array with attacker-controlled columns."""
+
+    def __init__(self, payload: str) -> None:
+        super().__init__({"field": payload})
+        self._payload = payload
+
+    def get(self, key):  # noqa: D102
+        if self.has(key):
+            return super().get(key)
+        return self._payload
+
+    def has(self, key) -> bool:
+        return True
+
+
+def build_attack_runtime(
+    payload: str, rows: int = 2, privileged: bool = False
+) -> Interpreter:
+    """An interpreter where everything the attacker touches is payload.
+
+    ``privileged=False`` models the paper's expert threat model: an
+    unauthenticated attacker, so capability checks fail and
+    capability-gated flows (the fp_shared bait population) do not
+    confirm.  Pass ``privileged=True`` to assess insider exposure.
+    """
+    superglobals = {
+        name: MagicTaintArray(payload)
+        for name in ("_GET", "_POST", "_COOKIE", "_REQUEST", "_SERVER", "_FILES")
+    }
+    interp = Interpreter(superglobals=superglobals)
+    effects = interp.effects
+
+    # ---- $wpdb: the WordPress database object -------------------------
+    wpdb = PhpObject("wpdb")
+    wpdb.properties["prefix"] = "wp_"
+    interp.globals.vars["wpdb"] = wpdb
+
+    def record_query(args: List[object]) -> None:
+        if args:
+            interp.record_query(to_php_string(args[0]))
+
+    def wpdb_get_results(obj: PhpObject, args: List[object]) -> PhpArray:
+        record_query(args)
+        return PhpArray(
+            {index: PayloadRowObject(payload) for index in range(rows)}
+        )
+
+    def wpdb_get_row(obj: PhpObject, args: List[object]) -> PhpObject:
+        record_query(args)
+        return PayloadRowObject(payload)
+
+    def wpdb_get_var(obj: PhpObject, args: List[object]) -> str:
+        record_query(args)
+        return payload
+
+    def wpdb_get_col(obj: PhpObject, args: List[object]) -> PhpArray:
+        record_query(args)
+        return PhpArray({index: payload for index in range(rows)})
+
+    def wpdb_query(obj: PhpObject, args: List[object]) -> int:
+        record_query(args)
+        return 1
+
+    def wpdb_prepare(obj: PhpObject, args: List[object]) -> str:
+        """Parameterized builder: placeholders get *escaped* values."""
+        if not args:
+            return ""
+        template = to_php_string(args[0])
+        escape = interp.builtins["addslashes"]
+        result = template
+        for value in args[1:]:
+            escaped = to_php_string(escape([value]))
+            for spec in ("%s", "%d", "%f"):
+                if spec in result:
+                    if spec == "%s":
+                        result = result.replace(spec, "'" + escaped + "'", 1)
+                    else:
+                        result = result.replace(
+                            spec, str(int(float(escaped or "0")) if escaped
+                                      .replace(".", "").lstrip("-").isdigit() else 0), 1
+                        )
+                    break
+        return result
+
+    def wpdb_escape(obj: PhpObject, args: List[object]) -> str:
+        return to_php_string(interp.builtins["addslashes"](args))
+
+    interp.native_methods.update(
+        {
+            "wpdb::get_results": wpdb_get_results,
+            "wpdb::get_row": wpdb_get_row,
+            "wpdb::get_var": wpdb_get_var,
+            "wpdb::get_col": wpdb_get_col,
+            "wpdb::query": wpdb_query,
+            "wpdb::prepare": wpdb_prepare,
+            "wpdb::escape": wpdb_escape,
+        }
+    )
+
+    # ---- mysql_* procedural API ----------------------------------------
+    def mysql_query(args: List[object]) -> str:
+        record_query(args)
+        return "resource"
+
+    interp.builtins["mysql_query"] = mysql_query
+    interp.builtins["mysqli_query"] = lambda args: (
+        record_query(args[1:]) or "resource"
+    )
+    for name in ("mysql_fetch_assoc", "mysql_fetch_array", "mysqli_fetch_assoc",
+                 "mysqli_fetch_array"):
+        interp.builtins[name] = lambda args: PayloadRowArray(payload)
+    for name in ("mysql_fetch_object", "mysqli_fetch_object"):
+        interp.builtins[name] = lambda args: PayloadRowObject(payload)
+    interp.builtins["mysql_result"] = lambda args: payload
+
+    # ---- WordPress option/meta storage (attacker-writable) --------------
+    for name in ("get_option", "get_post_meta", "get_user_meta",
+                 "get_comment_meta", "get_query_var", "get_search_query"):
+        interp.builtins[name] = lambda args: payload
+
+    # ---- file input ------------------------------------------------------
+    interp.builtins["fopen"] = lambda args: "handle"
+    interp.builtins["fclose"] = lambda args: True
+    for name in ("fgets", "fread", "file_get_contents", "fgetc", "fgetss"):
+        interp.builtins[name] = lambda args: payload
+
+    # ---- privilege guards: pass only for an insider threat model --------
+    interp.builtins["current_user_can"] = lambda args: privileged
+    interp.builtins["check_admin_referer"] = lambda args: privileged
+    interp.builtins["wp_verify_nonce"] = lambda args: privileged
+    interp.builtins["is_admin"] = lambda args: privileged
+
+    # ---- echo-ish WP helpers ---------------------------------------------
+    interp.builtins["_e"] = lambda args: interp.record_output(
+        to_php_string(args[0] if args else "")
+    )
+    interp.builtins["apply_filters"] = lambda args: args[1] if len(args) > 1 else None
+    interp.builtins["shortcode_atts"] = lambda args: (
+        args[1] if len(args) > 1 and isinstance(args[1], PhpArray) else
+        MagicTaintArray(payload)
+    )
+
+    return interp

@@ -1,0 +1,56 @@
+"""Fix-inertia analysis (paper Section V.D).
+
+The 2012 findings were disclosed to developers in November 2013; the
+paper then checks how many of the 2014-version vulnerabilities were
+"among the ones discovered and disclosed ... more than one year ago"
+(42%), and how many of those are trivially exploitable via
+GET/POST/COOKIE (24% of the carried ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from .runner import VersionEvaluation
+
+
+@dataclass(frozen=True)
+class InertiaAnalysis:
+    """Carry-over statistics between two corpus versions."""
+
+    newer_total: int
+    carried: int
+    carried_easy: int  # directly exploitable (GET/POST/COOKIE)
+
+    @property
+    def carried_share(self) -> float:
+        """Fraction of newer-version vulnerabilities already disclosed."""
+        return self.carried / self.newer_total if self.newer_total else 0.0
+
+    @property
+    def easy_share_of_carried(self) -> float:
+        return self.carried_easy / self.carried if self.carried else 0.0
+
+
+def analyze_inertia(
+    older: VersionEvaluation, newer: VersionEvaluation
+) -> InertiaAnalysis:
+    """Compute Section V.D statistics from detected vulnerability sets."""
+    older_ids = older.union_detected()
+    newer_ids = newer.union_detected()
+    carried_ids: Set[str] = (
+        older.corpus.truth.carried_ids()
+        & newer.corpus.truth.carried_ids()
+        & older_ids
+        & newer_ids
+    )
+    easy = 0
+    for entry in newer.corpus.truth.vulnerabilities():
+        if entry.spec.spec_id in carried_ids and entry.spec.vector.directly_exploitable:
+            easy += 1
+    return InertiaAnalysis(
+        newer_total=len(newer_ids),
+        carried=len(carried_ids),
+        carried_easy=easy,
+    )

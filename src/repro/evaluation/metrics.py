@@ -1,0 +1,54 @@
+"""Binary-classification metrics (paper Section IV.A).
+
+Precision = TP/(TP+FP), Recall = TP/(TP+FN), F-score = harmonic mean.
+The paper's FN convention is *optimistic*: since no exhaustive manual
+audit was feasible, "we considered as the FN of one tool the
+vulnerabilities that it did not detect but were detected by the other
+tools".  Our ground truth is exact, so both conventions are offered:
+``paper`` (union-of-tools reference) and ``exact`` (generator manifest
+reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """TP/FP/FN counts with derived rates."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self) -> Optional[float]:
+        """TP/(TP+FP); None when the tool reported nothing (the paper
+        prints '-' for these cells)."""
+        total = self.tp + self.fp
+        return self.tp / total if total else None
+
+    @property
+    def recall(self) -> Optional[float]:
+        total = self.tp + self.fn
+        return self.tp / total if total else None
+
+    @property
+    def f_score(self) -> Optional[float]:
+        precision = self.precision
+        recall = self.recall
+        if precision is None or recall is None or (precision + recall) == 0:
+            return None
+        return 2 * precision * recall / (precision + recall)
+
+    def __add__(self, other: "Confusion") -> "Confusion":
+        return Confusion(self.tp + other.tp, self.fp + other.fp, self.fn + other.fn)
+
+
+def percent(value: Optional[float]) -> str:
+    """Format a rate the way the paper's tables do (``83%`` or ``-``)."""
+    if value is None:
+        return "-"
+    return f"{round(value * 100)}%"

@@ -1,0 +1,86 @@
+"""Detection-overlap analysis: the Venn diagram of Fig. 2.
+
+"Combining the results of all tools we detected 394 distinct
+vulnerabilities in 2012 versions and 586 in 2014 versions.  This is an
+increase of 51% in just two years." — this module computes the region
+populations of that diagram from the per-tool detected-spec sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Set
+
+from .runner import VersionEvaluation
+
+
+@dataclass(frozen=True)
+class VennRegion:
+    """One exclusive region: detected by exactly ``tools``."""
+
+    tools: FrozenSet[str]
+    count: int
+
+    @property
+    def label(self) -> str:
+        return " ∩ ".join(sorted(self.tools)) + " only"
+
+
+@dataclass
+class OverlapAnalysis:
+    """All exclusive regions plus per-tool and union totals."""
+
+    version: str
+    per_tool: Dict[str, int]
+    regions: List[VennRegion]
+    union_total: int
+
+    def region(self, *tools: str) -> int:
+        """Count for the exclusive region of exactly ``tools``."""
+        wanted = frozenset(tools)
+        for region in self.regions:
+            if region.tools == wanted:
+                return region.count
+        return 0
+
+    def shared_by_all(self) -> int:
+        full = frozenset(self.per_tool)
+        return self.region(*full)
+
+
+def compute_overlap(evaluation: VersionEvaluation) -> OverlapAnalysis:
+    """Partition the union of detections into exclusive Venn regions."""
+    detected: Dict[str, Set[str]] = {
+        name: set(tool_eval.match.detected_ids)
+        for name, tool_eval in evaluation.tools.items()
+    }
+    names = sorted(detected)
+    union: Set[str] = set()
+    for ids in detected.values():
+        union |= ids
+
+    regions: List[VennRegion] = []
+    for size in range(1, len(names) + 1):
+        for combo in combinations(names, size):
+            inside = set(union)
+            for name in combo:
+                inside &= detected[name]
+            for name in names:
+                if name not in combo:
+                    inside -= detected[name]
+            if inside:
+                regions.append(VennRegion(tools=frozenset(combo), count=len(inside)))
+    return OverlapAnalysis(
+        version=evaluation.version,
+        per_tool={name: len(ids) for name, ids in detected.items()},
+        regions=regions,
+        union_total=len(union),
+    )
+
+
+def growth_percent(older: OverlapAnalysis, newer: OverlapAnalysis) -> float:
+    """The paper's "+51% in just two years" headline number."""
+    if older.union_total == 0:
+        return 0.0
+    return (newer.union_total - older.union_total) / older.union_total * 100.0

@@ -1,0 +1,160 @@
+"""Evaluation orchestration (paper Section IV.B, steps 4 and 5).
+
+Runs every tool over every plugin of a corpus version, collecting
+classified findings, wall-clock time (Table III averages five runs; the
+repetition count is configurable) and robustness incidents (Section
+V.E), then derives the Table I confusion metrics under both FN
+conventions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..config.vulnerability import VulnKind
+from ..core.results import FileFailure
+from ..core.tool import AnalyzerTool
+from ..corpus.generator import GeneratedCorpus
+from .matching import MatchResult, accumulate_report
+from .metrics import Confusion
+
+
+@dataclass
+class ToolEvaluation:
+    """Everything one tool produced over one corpus version."""
+
+    tool: str
+    version: str
+    match: MatchResult
+    seconds: float = 0.0
+    timing_runs: List[float] = field(default_factory=list)
+    failures: List[FileFailure] = field(default_factory=list)
+    files_analyzed: int = 0
+    loc_analyzed: int = 0
+
+    @property
+    def failed_files(self) -> List[str]:
+        return [failure.file for failure in self.failures if not failure.completed]
+
+    @property
+    def error_messages(self) -> int:
+        return sum(1 for failure in self.failures if failure.is_error)
+
+    @property
+    def seconds_mean(self) -> float:
+        if self.timing_runs:
+            return sum(self.timing_runs) / len(self.timing_runs)
+        return self.seconds
+
+    @property
+    def seconds_per_kloc(self) -> float:
+        kloc = self.loc_analyzed / 1000.0
+        return self.seconds_mean / kloc if kloc else 0.0
+
+
+@dataclass
+class VersionEvaluation:
+    """All tools over one corpus version."""
+
+    corpus: GeneratedCorpus
+    tools: Dict[str, ToolEvaluation] = field(default_factory=dict)
+
+    @property
+    def version(self) -> str:
+        return self.corpus.version
+
+    def tool_names(self) -> List[str]:
+        return list(self.tools)
+
+    def union_detected(self, kind: Optional[VulnKind] = None) -> Set[str]:
+        """Distinct vulnerable spec ids detected by at least one tool
+        (the paper's "real set of vulnerabilities the plugin have")."""
+        union: Set[str] = set()
+        for evaluation in self.tools.values():
+            if kind is None:
+                union |= evaluation.match.detected_ids
+            else:
+                union |= evaluation.match.detected_ids_of(kind, self.corpus.truth)
+        return union
+
+    def confusion(
+        self, tool: str, kind: Optional[VulnKind] = None, convention: str = "paper"
+    ) -> Confusion:
+        """Table I cell block for one tool.
+
+        ``convention="paper"`` computes FN against the union of all
+        tools' confirmed detections (the paper's optimistic Recall);
+        ``"exact"`` computes FN against the generator's ground truth.
+        """
+        evaluation = self.tools[tool]
+        tp, fp = evaluation.match.counts(kind)
+        if kind is None:
+            detected = evaluation.match.detected_ids
+        else:
+            detected = evaluation.match.detected_ids_of(kind, self.corpus.truth)
+        if convention == "paper":
+            reference = self.union_detected(kind)
+        elif convention == "exact":
+            reference = {
+                entry.spec.spec_id
+                for entry in self.corpus.truth.vulnerabilities()
+                if kind is None or entry.spec.kind is kind
+            }
+        else:
+            raise ValueError(f"unknown convention {convention!r}")
+        fn = len(reference - detected)
+        return Confusion(tp=tp, fp=fp, fn=fn)
+
+
+def evaluate_version(
+    corpus: GeneratedCorpus,
+    tools: Sequence[AnalyzerTool],
+    timing_repetitions: int = 1,
+) -> VersionEvaluation:
+    """Run ``tools`` over every plugin of ``corpus``.
+
+    ``timing_repetitions`` > 1 re-runs the analysis to average the
+    Table III detection time the way the paper does (five runs).
+    """
+    evaluation = VersionEvaluation(corpus=corpus)
+    for tool in tools:
+        match = MatchResult(tool=tool.name, version=corpus.version)
+        tool_eval = ToolEvaluation(
+            tool=tool.name, version=corpus.version, match=match
+        )
+        start = time.perf_counter()
+        for plugin in corpus.plugins:
+            report = tool.analyze(plugin)
+            accumulate_report(match, report, corpus.truth, plugin.name)
+            tool_eval.failures.extend(report.failures)
+            tool_eval.files_analyzed += report.files_analyzed
+            tool_eval.loc_analyzed += report.loc_analyzed
+        tool_eval.seconds = time.perf_counter() - start
+        tool_eval.timing_runs.append(tool_eval.seconds)
+        for _ in range(timing_repetitions - 1):
+            start = time.perf_counter()
+            for plugin in corpus.plugins:
+                tool.analyze(plugin)
+            tool_eval.timing_runs.append(time.perf_counter() - start)
+        evaluation.tools[tool.name] = tool_eval
+    return evaluation
+
+
+def evaluate_both(
+    corpora: Iterable[GeneratedCorpus],
+    tools_factory,
+    timing_repetitions: int = 1,
+) -> Dict[str, VersionEvaluation]:
+    """Evaluate several corpus versions with fresh tool instances.
+
+    ``tools_factory`` is called per version and must return the tool
+    list; fresh instances keep per-run state (none today) isolated.
+    """
+    results: Dict[str, VersionEvaluation] = {}
+    for corpus in corpora:
+        results[corpus.version] = evaluate_version(
+            corpus, tools_factory(), timing_repetitions=timing_repetitions
+        )
+    return results

@@ -1,0 +1,87 @@
+"""Malicious input-vector taxonomy: Table II (paper Section V.C).
+
+The paper traces every confirmed vulnerability back to its entry point
+and groups by vector: POST, GET, POST/GET/COOKIE, DB, and
+File/Function/Array — plus the "Both versions" column for flows present
+in 2012 and 2014 alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..config.vulnerability import TABLE2_ROWS
+from .runner import VersionEvaluation
+
+
+@dataclass
+class VectorBreakdown:
+    """Counts per Table II row for one corpus version."""
+
+    version: str
+    rows: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.rows.values())
+
+    def row(self, label: str) -> int:
+        return self.rows.get(label, 0)
+
+
+def vector_breakdown(
+    evaluation: VersionEvaluation, detected_only: bool = True
+) -> VectorBreakdown:
+    """Classify the version's confirmed vulnerabilities by input vector.
+
+    ``detected_only=True`` reproduces the paper (only flows some tool
+    found and the expert confirmed are classified); ``False`` uses the
+    full ground truth, which includes flows every tool missed.
+    """
+    truth = evaluation.corpus.truth
+    if detected_only:
+        wanted: Optional[Set[str]] = evaluation.union_detected()
+    else:
+        wanted = None
+    breakdown = VectorBreakdown(version=evaluation.version)
+    for label in TABLE2_ROWS:
+        breakdown.rows[label] = 0
+    for entry in truth.vulnerabilities():
+        if wanted is not None and entry.spec.spec_id not in wanted:
+            continue
+        breakdown.rows[entry.spec.vector.table2_row] += 1
+    return breakdown
+
+
+def both_versions_breakdown(
+    older: VersionEvaluation, newer: VersionEvaluation
+) -> VectorBreakdown:
+    """Table II's "Both versions" column: carried flows detected in both."""
+    older_ids = older.union_detected()
+    newer_ids = newer.union_detected()
+    carried = (
+        older.corpus.truth.carried_ids()
+        & newer.corpus.truth.carried_ids()
+        & older_ids
+        & newer_ids
+    )
+    breakdown = VectorBreakdown(version="both")
+    for label in TABLE2_ROWS:
+        breakdown.rows[label] = 0
+    for entry in newer.corpus.truth.vulnerabilities():
+        if entry.spec.spec_id in carried:
+            breakdown.rows[entry.spec.vector.table2_row] += 1
+    return breakdown
+
+
+def tier_shares(breakdown: VectorBreakdown) -> Dict[int, float]:
+    """Exploitability-tier shares (paper: 36% direct, 62% DB, 1.8% other).
+
+    Tier 1 = POST+GET+POST/GET/COOKIE rows, tier 2 = DB, tier 3 = rest.
+    """
+    total = breakdown.total or 1
+    tier1 = sum(breakdown.row(label) for label in ("POST", "GET", "POST/GET/COOKIE"))
+    tier2 = breakdown.row("DB")
+    tier3 = breakdown.row("File/Function/Array")
+    return {1: tier1 / total, 2: tier2 / total, 3: tier3 / total}

@@ -1,0 +1,596 @@
+"""AST node definitions for the PHP subset the analyzers work on.
+
+The phpSAFE analysis stage (paper Section III.C) dispatches on code
+constructs: variable uses, assignments, function/method calls, returns,
+conditionals and loops, ``unset``, ``global``, includes, echo/print
+output, and — for the OOP support of Section III.E — classes, methods,
+properties, ``new``, ``->`` and ``::``.  Every one of those constructs is
+a distinct node type here.
+
+Nodes are plain mutable dataclasses with a ``line`` attribute (PHP token
+line numbers flow through the parser into findings, which is how the
+tool reports "the entry point of the vulnerability in the source code").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass
+class Node:
+    """Base class: every node knows its source line."""
+
+    line: int = field(default=0, kw_only=False)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class Variable(Expr):
+    """``$name`` — name stored without the ``$``."""
+
+    name: str = ""
+
+
+@dataclass
+class VariableVariable(Expr):
+    """``$$expr`` — variable-variable indirection."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Literal(Expr):
+    """Scalar literal; ``value`` is the decoded Python value."""
+
+    value: object = None
+    raw: str = ""
+
+
+@dataclass
+class InterpolatedString(Expr):
+    """Double-quoted/heredoc string with embedded expressions.
+
+    ``parts`` interleaves :class:`Literal` (the constant runs) with
+    arbitrary expressions.  The paper treats a tainted variable being
+    "merged with HTML code" as an XSS-relevant event; interpolation is
+    one of the two merge forms (the other is ``.`` concatenation).
+    """
+
+    parts: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ShellExec(Expr):
+    """Backtick operator — ``` `cmd $arg` ```."""
+
+    parts: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ArrayItem(Node):
+    """One ``key => value`` element of an array literal."""
+
+    key: Optional[Expr] = None
+    value: Optional[Expr] = None
+    by_ref: bool = False
+
+
+@dataclass
+class ArrayLiteral(Expr):
+    """``array(...)`` or ``[...]``."""
+
+    items: List[ArrayItem] = field(default_factory=list)
+
+
+@dataclass
+class ArrayAccess(Expr):
+    """``$arr[$index]`` (index may be ``None`` for ``$arr[] = ...``)."""
+
+    array: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class PropertyAccess(Expr):
+    """``$obj->prop`` — the T_OBJECT_OPERATOR path of Section III.E."""
+
+    object: Optional[Expr] = None
+    name: Union[str, Expr, None] = None
+
+
+@dataclass
+class StaticPropertyAccess(Expr):
+    """``ClassName::$prop`` — the T_DOUBLE_COLON path."""
+
+    class_name: str = ""
+    name: str = ""
+
+
+@dataclass
+class ClassConstAccess(Expr):
+    """``ClassName::CONST``."""
+
+    class_name: str = ""
+    name: str = ""
+
+
+@dataclass
+class ConstFetch(Expr):
+    """Bare identifier used as a constant (``true``, ``PHP_EOL``, ...)."""
+
+    name: str = ""
+
+
+@dataclass
+class FunctionCall(Expr):
+    """``name(args...)``; ``name`` is a string or an expression for
+    dynamic calls (``$fn(...)``)."""
+
+    name: Union[str, Expr, None] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class MethodCall(Expr):
+    """``$obj->method(args...)``."""
+
+    object: Optional[Expr] = None
+    method: Union[str, Expr, None] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class StaticCall(Expr):
+    """``ClassName::method(args...)`` (also ``parent::``/``self::``)."""
+
+    class_name: str = ""
+    method: Union[str, Expr, None] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class New(Expr):
+    """``new ClassName(args...)`` — parsed as a constructor call."""
+
+    class_name: Union[str, Expr, None] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Clone(Expr):
+    """``clone $obj``."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Assignment(Expr):
+    """``target op value`` where op is ``=``, ``.=``, ``+=`` ... or ``=&``.
+
+    Compound ops keep the target's previous value in the dependency set
+    (``$x .= $y`` leaves ``$x`` depending on both its old value and
+    ``$y``), which the engine models by rewriting to ``$x = $x . $y``.
+    """
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    op: str = "="
+    by_ref: bool = False
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operation, including ``.`` concatenation."""
+
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix unary operation (``!``, ``-``, ``+``, ``~``, ``@``)."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Ternary(Expr):
+    """``cond ? a : b`` (``a`` may be None for the short form ``?:``)."""
+
+    cond: Optional[Expr] = None
+    if_true: Optional[Expr] = None
+    if_false: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    """``(int)$x`` etc.; ``to`` is the lower-cased target type name."""
+
+    to: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++$x``, ``$x--`` ..."""
+
+    op: str = "++"
+    target: Optional[Expr] = None
+    prefix: bool = True
+
+
+@dataclass
+class IssetExpr(Expr):
+    """``isset($a, $b)``."""
+
+    vars: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class EmptyExpr(Expr):
+    """``empty($x)``."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class ListExpr(Expr):
+    """``list($a, , $b)`` assignment target."""
+
+    targets: List[Optional[Expr]] = field(default_factory=list)
+
+
+@dataclass
+class Param(Node):
+    """A function/method parameter."""
+
+    name: str = ""
+    default: Optional[Expr] = None
+    by_ref: bool = False
+    type_hint: Optional[str] = None
+
+
+@dataclass
+class ClosureUse(Node):
+    """One entry of a closure ``use (...)`` clause."""
+
+    name: str = ""
+    by_ref: bool = False
+
+
+@dataclass
+class Closure(Expr):
+    """Anonymous function."""
+
+    params: List[Param] = field(default_factory=list)
+    uses: List[ClosureUse] = field(default_factory=list)
+    body: List["Statement"] = field(default_factory=list)
+    static: bool = False
+    by_ref: bool = False
+
+
+@dataclass
+class IncludeExpr(Expr):
+    """``include/include_once/require/require_once path-expr``."""
+
+    kind: str = "include"
+    path: Optional[Expr] = None
+
+
+@dataclass
+class ExitExpr(Expr):
+    """``exit``/``die`` with optional status expression."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class PrintExpr(Expr):
+    """``print expr`` — an expression in PHP, an XSS sink for us."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class InstanceofExpr(Expr):
+    """``$x instanceof ClassName``."""
+
+    expr: Optional[Expr] = None
+    class_name: Union[str, Expr, None] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Statement(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class ExpressionStatement(Statement):
+    """An expression evaluated for its side effects."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class EchoStatement(Statement):
+    """``echo expr, expr;`` and ``<?= expr ?>`` — the canonical XSS sink."""
+
+    exprs: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class InlineHTML(Statement):
+    """Literal HTML outside ``<?php ?>``."""
+
+    text: str = ""
+
+
+@dataclass
+class Block(Statement):
+    """``{ ... }``."""
+
+    statements: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class ElseIfClause(Node):
+    cond: Optional[Expr] = None
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class IfStatement(Statement):
+    """``if/elseif/else`` — branches are *joined*, not chosen (the paper's
+    context-sensitive analysis considers all conditional paths)."""
+
+    cond: Optional[Expr] = None
+    then: List[Statement] = field(default_factory=list)
+    elseifs: List[ElseIfClause] = field(default_factory=list)
+    otherwise: Optional[List[Statement]] = None
+
+
+@dataclass
+class WhileStatement(Statement):
+    cond: Optional[Expr] = None
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class DoWhileStatement(Statement):
+    body: List[Statement] = field(default_factory=list)
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class ForStatement(Statement):
+    init: List[Expr] = field(default_factory=list)
+    cond: List[Expr] = field(default_factory=list)
+    update: List[Expr] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class ForeachStatement(Statement):
+    """``foreach ($arr as $k => $v)``: $k/$v inherit $arr's taint."""
+
+    subject: Optional[Expr] = None
+    key_var: Optional[Expr] = None
+    value_var: Optional[Expr] = None
+    by_ref: bool = False
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class SwitchCase(Node):
+    """One ``case expr:`` (``test is None`` for ``default:``)."""
+
+    test: Optional[Expr] = None
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class SwitchStatement(Statement):
+    subject: Optional[Expr] = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class BreakStatement(Statement):
+    level: int = 1
+
+
+@dataclass
+class ContinueStatement(Statement):
+    level: int = 1
+
+
+@dataclass
+class ReturnStatement(Statement):
+    """``return expr`` — the engine binds a function-named pseudo-variable
+    to the returned expression (the paper's T_RETURN handling)."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class GlobalStatement(Statement):
+    """``global $a, $b`` — links locals to the global scope."""
+
+    names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StaticVarStatement(Statement):
+    """``static $x = 0;`` inside a function."""
+
+    vars: List[Tuple[str, Optional[Expr]]] = field(default_factory=list)
+
+
+@dataclass
+class UnsetStatement(Statement):
+    """``unset($x)`` — T_UNSET: the variable becomes untainted."""
+
+    vars: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ThrowStatement(Statement):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class CatchClause(Node):
+    class_name: str = ""
+    var_name: str = ""
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class TryStatement(Statement):
+    body: List[Statement] = field(default_factory=list)
+    catches: List[CatchClause] = field(default_factory=list)
+    finally_body: Optional[List[Statement]] = None
+
+
+@dataclass
+class FunctionDecl(Statement):
+    """A user-defined function (paper: parsed once, summarized)."""
+
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+    by_ref: bool = False
+    doc_comment: Optional[str] = None
+
+
+@dataclass
+class PropertyDecl(Node):
+    """One declared property of a class."""
+
+    name: str = ""
+    default: Optional[Expr] = None
+    visibility: str = "public"
+    static: bool = False
+
+
+@dataclass
+class ClassConstDecl(Node):
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class MethodDecl(Node):
+    """A class method: a function plus OOP modifiers."""
+
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Optional[List[Statement]] = None  # None for abstract methods
+    visibility: str = "public"
+    static: bool = False
+    abstract: bool = False
+    final: bool = False
+    by_ref: bool = False
+
+
+@dataclass
+class ClassDecl(Statement):
+    """``class``, ``interface`` or ``trait`` declaration."""
+
+    name: str = ""
+    parent: Optional[str] = None
+    interfaces: List[str] = field(default_factory=list)
+    kind: str = "class"  # class | interface | trait
+    is_abstract: bool = False
+    is_final: bool = False
+    constants: List[ClassConstDecl] = field(default_factory=list)
+    properties: List[PropertyDecl] = field(default_factory=list)
+    methods: List[MethodDecl] = field(default_factory=list)
+    uses: List[str] = field(default_factory=list)  # trait use
+
+
+@dataclass
+class NamespaceStatement(Statement):
+    name: str = ""
+    body: Optional[List[Statement]] = None
+
+
+@dataclass
+class UseStatement(Statement):
+    """Top-level ``use Foo\\Bar as Baz;`` import."""
+
+    name: str = ""
+    alias: Optional[str] = None
+
+
+@dataclass
+class DeclareStatement(Statement):
+    directives: List[Tuple[str, Expr]] = field(default_factory=list)
+    body: Optional[List[Statement]] = None
+
+
+@dataclass
+class GotoStatement(Statement):
+    label: str = ""
+
+
+@dataclass
+class LabelStatement(Statement):
+    name: str = ""
+
+
+@dataclass
+class ConstStatement(Statement):
+    """Top-level ``const NAME = value;``."""
+
+    consts: List[Tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class PhpFile(Node):
+    """A parsed PHP file: the root of the AST."""
+
+    filename: str = "<string>"
+    statements: List[Statement] = field(default_factory=list)
+
+
+def walk(node: object):
+    """Yield ``node`` and every AST node reachable from it, depth-first.
+
+    Generic traversal used by the model-construction stage to collect
+    user-defined functions, called functions and includes without each
+    consumer writing its own recursion.
+    """
+    if isinstance(node, Node):
+        yield node
+        for value in vars(node).values():
+            yield from _walk_value(value)
+    elif isinstance(node, (list, tuple)):
+        for item in node:
+            yield from _walk_value(item)
+
+
+def _walk_value(value: object):
+    if isinstance(value, Node):
+        yield from walk(value)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _walk_value(item)

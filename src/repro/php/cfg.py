@@ -1,0 +1,412 @@
+"""Control Flow Graph construction over the PHP AST.
+
+Section II of the paper describes the technique family phpSAFE and RIPS
+build on: "performing static analysis requires building and analyzing a
+Control Flow Graph (CFG) of the execution of the program", with RIPS's
+CFG consisting "of linked basic blocks and branches according to
+conditional program flow analysis".
+
+The taint engine itself works by structural AST interpretation (which
+implements the same path-join semantics), but the explicit CFG is part
+of the substrate a downstream user expects from a static-analysis
+library: it powers the reachability/coverage queries in
+:mod:`repro.core.review`, dead-code detection, and the path-count
+statistics in the review reports.
+
+Nodes are *basic blocks* of straight-line statements; edges carry an
+optional label (``true``/``false``/``case``/``loop``/``back``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from . import ast_nodes as ast
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line statement sequence."""
+
+    block_id: int
+    statements: List[ast.Statement] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def first_line(self) -> int:
+        return self.statements[0].line if self.statements else 0
+
+    @property
+    def last_line(self) -> int:
+        return self.statements[-1].line if self.statements else 0
+
+    def __repr__(self) -> str:
+        return f"<block {self.block_id} {self.label or ''} n={len(self.statements)}>"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed control-flow edge with an optional condition label."""
+
+    source: int
+    target: int
+    label: str = ""
+
+
+class ControlFlowGraph:
+    """CFG of one function body (or a file's top level)."""
+
+    def __init__(self, name: str = "<main>") -> None:
+        self.name = name
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.edges: List[Edge] = []
+        self._successors: Dict[int, List[Edge]] = {}
+        self._predecessors: Dict[int, List[Edge]] = {}
+        self.entry_id: int = 0
+        self.exit_id: int = 0
+
+    # -- construction helpers ------------------------------------------------
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(block_id=len(self.blocks), label=label)
+        self.blocks[block.block_id] = block
+        return block
+
+    def add_edge(self, source: int, target: int, label: str = "") -> None:
+        edge = Edge(source=source, target=target, label=label)
+        self.edges.append(edge)
+        self._successors.setdefault(source, []).append(edge)
+        self._predecessors.setdefault(target, []).append(edge)
+
+    # -- queries ----------------------------------------------------------------
+
+    def successors(self, block_id: int) -> List[Edge]:
+        return self._successors.get(block_id, [])
+
+    def predecessors(self, block_id: int) -> List[Edge]:
+        return self._predecessors.get(block_id, [])
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.entry_id]
+
+    @property
+    def exit(self) -> BasicBlock:
+        return self.blocks[self.exit_id]
+
+    def reachable_blocks(self) -> Set[int]:
+        """Blocks reachable from the entry block."""
+        seen: Set[int] = set()
+        stack = [self.entry_id]
+        while stack:
+            block_id = stack.pop()
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            stack.extend(edge.target for edge in self.successors(block_id))
+        return seen
+
+    def unreachable_blocks(self) -> List[BasicBlock]:
+        """Dead code: blocks with statements that entry cannot reach."""
+        reachable = self.reachable_blocks()
+        return [
+            block
+            for block_id, block in sorted(self.blocks.items())
+            if block_id not in reachable and block.statements
+        ]
+
+    def path_count(self, limit: int = 1_000_000) -> int:
+        """Number of acyclic entry→exit paths, capped at ``limit``.
+
+        The paper's Section II motivates why "precise static techniques
+        are computationally expensive": path counts explode.  Cycles are
+        broken by ignoring back edges (label ``back``).
+        """
+        memo: Dict[int, int] = {}
+
+        def walk(block_id: int, visiting: Tuple[int, ...]) -> int:
+            if block_id == self.exit_id:
+                return 1
+            if block_id in memo:
+                return memo[block_id]
+            total = 0
+            for edge in self.successors(block_id):
+                if edge.label == "back" or edge.target in visiting:
+                    continue
+                total += walk(edge.target, visiting + (block_id,))
+                if total >= limit:
+                    return limit
+            memo[block_id] = total
+            return total
+
+        return walk(self.entry_id, ())
+
+    def blocks_in_order(self) -> Iterator[BasicBlock]:
+        for block_id in sorted(self.blocks):
+            yield self.blocks[block_id]
+
+    def to_dot(self) -> str:
+        """Graphviz rendering for debugging/documentation."""
+        lines = [f'digraph "{self.name}" {{']
+        for block in self.blocks_in_order():
+            shape = "ellipse" if block.block_id in (self.entry_id, self.exit_id) else "box"
+            title = block.label or f"B{block.block_id}"
+            if block.statements:
+                title += f"\\nlines {block.first_line}-{block.last_line}"
+            lines.append(f'  n{block.block_id} [shape={shape}, label="{title}"];')
+        for edge in self.edges:
+            label = f' [label="{edge.label}"]' if edge.label else ""
+            lines.append(f"  n{edge.source} -> n{edge.target}{label};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class _Builder:
+    """Statement-list → CFG translation with loop/switch context."""
+
+    def __init__(self, name: str) -> None:
+        self.cfg = ControlFlowGraph(name)
+        entry = self.cfg.new_block("entry")
+        self.cfg.entry_id = entry.block_id
+        exit_block = self.cfg.new_block("exit")
+        self.cfg.exit_id = exit_block.block_id
+        self.current: Optional[BasicBlock] = self.cfg.new_block()
+        self.cfg.add_edge(entry.block_id, self.current.block_id)
+        # (break target, continue target) stack
+        self._loop_stack: List[Tuple[int, int]] = []
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _ensure_block(self) -> BasicBlock:
+        if self.current is None:
+            self.current = self.cfg.new_block("unreachable")
+        return self.current
+
+    def _fresh_after(self, *sources: Tuple[int, str]) -> BasicBlock:
+        block = self.cfg.new_block()
+        for source_id, label in sources:
+            self.cfg.add_edge(source_id, block.block_id, label)
+        self.current = block
+        return block
+
+    def finish(self) -> ControlFlowGraph:
+        if self.current is not None:
+            self.cfg.add_edge(self.current.block_id, self.cfg.exit_id)
+        return self.cfg
+
+    # -- statements -------------------------------------------------------------
+
+    def add_statements(self, statements: Sequence[ast.Statement]) -> None:
+        for statement in statements:
+            self.add_statement(statement)
+
+    def add_statement(self, statement: ast.Statement) -> None:  # noqa: C901
+        if isinstance(statement, ast.Block):
+            self.add_statements(statement.statements)
+            return
+        if isinstance(statement, ast.IfStatement):
+            self._add_if(statement)
+            return
+        if isinstance(statement, (ast.WhileStatement, ast.ForStatement)):
+            body = statement.body
+            self._add_loop(statement, body, post_test=False)
+            return
+        if isinstance(statement, ast.DoWhileStatement):
+            self._add_loop(statement, statement.body, post_test=True)
+            return
+        if isinstance(statement, ast.ForeachStatement):
+            self._add_loop(statement, statement.body, post_test=False)
+            return
+        if isinstance(statement, ast.SwitchStatement):
+            self._add_switch(statement)
+            return
+        if isinstance(statement, ast.TryStatement):
+            self._add_try(statement)
+            return
+        if isinstance(statement, ast.ReturnStatement):
+            block = self._ensure_block()
+            block.statements.append(statement)
+            self.cfg.add_edge(block.block_id, self.cfg.exit_id, "return")
+            self.current = None
+            return
+        if isinstance(statement, ast.ThrowStatement):
+            block = self._ensure_block()
+            block.statements.append(statement)
+            self.cfg.add_edge(block.block_id, self.cfg.exit_id, "throw")
+            self.current = None
+            return
+        if isinstance(statement, ast.BreakStatement):
+            block = self._ensure_block()
+            block.statements.append(statement)
+            if self._loop_stack:
+                self.cfg.add_edge(block.block_id, self._loop_stack[-1][0], "break")
+            else:
+                self.cfg.add_edge(block.block_id, self.cfg.exit_id, "break")
+            self.current = None
+            return
+        if isinstance(statement, ast.ContinueStatement):
+            block = self._ensure_block()
+            block.statements.append(statement)
+            if self._loop_stack:
+                self.cfg.add_edge(block.block_id, self._loop_stack[-1][1], "continue")
+            else:
+                self.cfg.add_edge(block.block_id, self.cfg.exit_id, "continue")
+            self.current = None
+            return
+        if isinstance(
+            statement,
+            (ast.ExpressionStatement,),
+        ) and isinstance(statement.expr, ast.ExitExpr):
+            block = self._ensure_block()
+            block.statements.append(statement)
+            self.cfg.add_edge(block.block_id, self.cfg.exit_id, "exit")
+            self.current = None
+            return
+        # straight-line statement (incl. declarations)
+        self._ensure_block().statements.append(statement)
+
+    def _add_if(self, statement: ast.IfStatement) -> None:
+        cond_block = self._ensure_block()
+        cond_block.statements.append(
+            ast.ExpressionStatement(line=statement.line, expr=statement.cond)
+        )
+        branch_sources: List[Tuple[int, str]] = []
+
+        def build_branch(body: Sequence[ast.Statement], label: str) -> None:
+            branch = self.cfg.new_block(label)
+            self.cfg.add_edge(cond_source_id, branch.block_id, label)
+            self.current = branch
+            self.add_statements(body)
+            if self.current is not None:
+                branch_sources.append((self.current.block_id, ""))
+
+        cond_source_id = cond_block.block_id
+        build_branch(statement.then, "true")
+        previous_cond = cond_source_id
+        for clause in statement.elseifs:
+            elif_block = self.cfg.new_block("elseif")
+            self.cfg.add_edge(previous_cond, elif_block.block_id, "false")
+            elif_block.statements.append(
+                ast.ExpressionStatement(line=clause.line, expr=clause.cond)
+            )
+            cond_source_id = elif_block.block_id
+            build_branch(clause.body, "true")
+            previous_cond = cond_source_id
+        if statement.otherwise is not None:
+            cond_source_id = previous_cond
+            build_branch(statement.otherwise, "false")
+        else:
+            branch_sources.append((previous_cond, "false"))
+        if branch_sources:
+            self._fresh_after(*branch_sources)
+        else:
+            self.current = None
+
+    def _add_loop(
+        self,
+        statement: ast.Statement,
+        body: Sequence[ast.Statement],
+        post_test: bool,
+    ) -> None:
+        header = self.cfg.new_block("loop")
+        header.statements.append(statement.__class__(line=statement.line))
+        if self.current is not None:
+            self.cfg.add_edge(self.current.block_id, header.block_id)
+        after = self.cfg.new_block("after-loop")
+        self._loop_stack.append((after.block_id, header.block_id))
+        body_block = self.cfg.new_block("body")
+        self.cfg.add_edge(header.block_id, body_block.block_id, "loop")
+        self.current = body_block
+        self.add_statements(body)
+        if self.current is not None:
+            self.cfg.add_edge(self.current.block_id, header.block_id, "back")
+        self._loop_stack.pop()
+        if not post_test:
+            self.cfg.add_edge(header.block_id, after.block_id, "done")
+        else:
+            # do-while: the loop exits from the back-test, modeled on header
+            self.cfg.add_edge(header.block_id, after.block_id, "done")
+        self.current = after
+
+    def _add_switch(self, statement: ast.SwitchStatement) -> None:
+        subject = self._ensure_block()
+        subject.statements.append(
+            ast.ExpressionStatement(line=statement.line, expr=statement.subject)
+        )
+        subject_id = subject.block_id
+        after = self.cfg.new_block("after-switch")
+        self._loop_stack.append((after.block_id, after.block_id))
+        previous_fallthrough: Optional[int] = None
+        has_default = False
+        for case in statement.cases:
+            label = "default" if case.test is None else "case"
+            has_default = has_default or case.test is None
+            case_block = self.cfg.new_block(label)
+            self.cfg.add_edge(subject_id, case_block.block_id, label)
+            if previous_fallthrough is not None:
+                self.cfg.add_edge(previous_fallthrough, case_block.block_id, "fall")
+            self.current = case_block
+            self.add_statements(case.body)
+            previous_fallthrough = (
+                self.current.block_id if self.current is not None else None
+            )
+        if previous_fallthrough is not None:
+            self.cfg.add_edge(previous_fallthrough, after.block_id)
+        if not has_default:
+            self.cfg.add_edge(subject_id, after.block_id, "no-match")
+        self._loop_stack.pop()
+        self.current = after
+
+    def _add_try(self, statement: ast.TryStatement) -> None:
+        entry = self._ensure_block()
+        try_block = self.cfg.new_block("try")
+        self.cfg.add_edge(entry.block_id, try_block.block_id)
+        self.current = try_block
+        self.add_statements(statement.body)
+        sources: List[Tuple[int, str]] = []
+        if self.current is not None:
+            sources.append((self.current.block_id, ""))
+        for catch in statement.catches:
+            catch_block = self.cfg.new_block(f"catch {catch.class_name}")
+            self.cfg.add_edge(try_block.block_id, catch_block.block_id, "throw")
+            self.current = catch_block
+            self.add_statements(catch.body)
+            if self.current is not None:
+                sources.append((self.current.block_id, ""))
+        if statement.finally_body is not None:
+            finally_block = self.cfg.new_block("finally")
+            for source_id, label in sources:
+                self.cfg.add_edge(source_id, finally_block.block_id, label)
+            self.current = finally_block
+            self.add_statements(statement.finally_body)
+            return
+        if sources:
+            self._fresh_after(*sources)
+        else:
+            self.current = None
+
+
+def build_cfg(statements: Sequence[ast.Statement], name: str = "<main>") -> ControlFlowGraph:
+    """Build the CFG of a statement list (function body or file)."""
+    builder = _Builder(name)
+    builder.add_statements(list(statements))
+    return builder.finish()
+
+
+def build_file_cfgs(tree: ast.PhpFile) -> Dict[str, ControlFlowGraph]:
+    """CFGs for a file: ``<main>`` plus one per function/method."""
+    graphs: Dict[str, ControlFlowGraph] = {}
+    top_level: List[ast.Statement] = []
+    for statement in tree.statements:
+        if isinstance(statement, ast.FunctionDecl):
+            graphs[statement.name] = build_cfg(statement.body, statement.name)
+        elif isinstance(statement, ast.ClassDecl):
+            for method in statement.methods:
+                if method.body is not None:
+                    key = f"{statement.name}::{method.name}"
+                    graphs[key] = build_cfg(method.body, key)
+        else:
+            top_level.append(statement)
+    graphs["<main>"] = build_cfg(top_level, f"{tree.filename}:<main>")
+    return graphs

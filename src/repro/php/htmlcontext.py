@@ -1,0 +1,178 @@
+"""Markup-context analysis for XSS sinks.
+
+Section II notes that RIPS "performs a context-sensitive string
+analysis based on the current markup context".  The exploitability and
+the correct remediation of an XSS flow depend on *where inside the HTML*
+the tainted value lands:
+
+- element text (``<p>HERE</p>``) — escape with ``esc_html``;
+- a quoted attribute value (``value="HERE"``) — ``esc_attr``;
+- a URL attribute (``href="HERE"``) — ``esc_url``;
+- a ``<script>`` block or event handler — ``esc_js``;
+- an unquoted attribute — exploitable without any quote break.
+
+:func:`context_at_end` runs a small HTML state machine over the literal
+markup emitted *before* the tainted value and reports the context the
+injection lands in.  The engine threads this through XSS findings and
+the auto-fixer picks the matching sanitizer.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Optional
+
+
+class MarkupContext(enum.Enum):
+    """Where inside the HTML output an injected value lands."""
+
+    HTML_TEXT = "html"  # between tags
+    ATTRIBUTE = "attribute"  # inside a quoted attribute value
+    ATTRIBUTE_UNQUOTED = "attribute-unquoted"
+    URL_ATTRIBUTE = "url"  # href/src/action/formaction value
+    SCRIPT = "script"  # inside <script> ... </script>
+    STYLE = "style"  # inside <style> ... </style>
+    COMMENT = "comment"  # inside <!-- ... -->
+    TAG = "tag"  # inside a tag but not in a value
+
+    @property
+    def recommended_sanitizer(self) -> str:
+        """The WordPress escaping function for this context."""
+        return _SANITIZERS[self]
+
+
+_SANITIZERS = {
+    MarkupContext.HTML_TEXT: "esc_html",
+    MarkupContext.ATTRIBUTE: "esc_attr",
+    MarkupContext.ATTRIBUTE_UNQUOTED: "esc_attr",
+    MarkupContext.URL_ATTRIBUTE: "esc_url",
+    MarkupContext.SCRIPT: "esc_js",
+    MarkupContext.STYLE: "esc_attr",
+    MarkupContext.COMMENT: "esc_html",
+    MarkupContext.TAG: "esc_attr",
+}
+
+_URL_ATTRIBUTES = frozenset({"href", "src", "action", "formaction", "data"})
+
+
+def context_at_end(markup: str) -> MarkupContext:
+    """The markup context immediately after emitting ``markup``.
+
+    A linear scan with the states an HTML tokenizer distinguishes:
+    text, tag, attribute name, quoted/unquoted attribute value, raw-text
+    elements (script/style) and comments.
+    """
+    state = MarkupContext.HTML_TEXT
+    index = 0
+    quote: Optional[str] = None
+    current_attr = ""
+    raw_element = ""  # "script" or "style" while inside one
+
+    while index < len(markup):
+        char = markup[index]
+
+        if state is MarkupContext.COMMENT:
+            if markup.startswith("-->", index):
+                state = MarkupContext.HTML_TEXT
+                index += 3
+                continue
+            index += 1
+            continue
+
+        if state in (MarkupContext.SCRIPT, MarkupContext.STYLE):
+            closer = f"</{raw_element}"
+            if markup[index:index + len(closer)].lower() == closer:
+                state = MarkupContext.TAG
+                raw_element = ""
+                index += len(closer)
+                continue
+            index += 1
+            continue
+
+        if state is MarkupContext.HTML_TEXT:
+            if markup.startswith("<!--", index):
+                state = MarkupContext.COMMENT
+                index += 4
+                continue
+            if char == "<":
+                state = MarkupContext.TAG
+                current_attr = ""
+                match = re.match(r"</?\s*([a-zA-Z][a-zA-Z0-9]*)", markup[index:])
+                raw_element = match.group(1).lower() if match else ""
+                index += 1
+                continue
+            index += 1
+            continue
+
+        if state is MarkupContext.TAG:
+            if char == ">":
+                if raw_element in ("script", "style") and not markup[
+                    :index
+                ].rstrip().endswith("/"):
+                    state = (
+                        MarkupContext.SCRIPT
+                        if raw_element == "script"
+                        else MarkupContext.STYLE
+                    )
+                else:
+                    state = MarkupContext.HTML_TEXT
+                    raw_element = ""
+                index += 1
+                continue
+            if char == "=":
+                # capture the attribute name to the left of `=`
+                left = re.search(r"([a-zA-Z_:][\w:.-]*)\s*$", markup[:index])
+                current_attr = left.group(1).lower() if left else ""
+                # find what follows: quote or bare value
+                rest = markup[index + 1:]
+                stripped = rest.lstrip()
+                offset = len(rest) - len(stripped)
+                if stripped[:1] in ("'", '"'):
+                    quote = stripped[0]
+                    state = (
+                        MarkupContext.URL_ATTRIBUTE
+                        if current_attr in _URL_ATTRIBUTES
+                        else MarkupContext.ATTRIBUTE
+                    )
+                    index += 1 + offset + 1
+                    continue
+                state = MarkupContext.ATTRIBUTE_UNQUOTED
+                index += 1 + offset
+                continue
+            index += 1
+            continue
+
+        if state in (
+            MarkupContext.ATTRIBUTE,
+            MarkupContext.URL_ATTRIBUTE,
+        ):
+            if char == quote:
+                state = MarkupContext.TAG
+                quote = None
+                current_attr = ""
+            index += 1
+            continue
+
+        if state is MarkupContext.ATTRIBUTE_UNQUOTED:
+            if char in " \t\n>":
+                state = MarkupContext.TAG if char != ">" else MarkupContext.HTML_TEXT
+                current_attr = ""
+                if char == ">":
+                    index += 1
+                    continue
+            index += 1
+            continue
+
+        index += 1  # pragma: no cover - defensive
+
+    # event handlers are script contexts even though they are attributes
+    if state in (MarkupContext.ATTRIBUTE, MarkupContext.ATTRIBUTE_UNQUOTED):
+        if current_attr.startswith("on"):
+            return MarkupContext.SCRIPT
+    return state
+
+
+def sanitizer_for(markup_prefix: str) -> str:
+    """Convenience: the recommended sanitizer after ``markup_prefix``."""
+    return context_at_end(markup_prefix).recommended_sanitizer

@@ -1,0 +1,1102 @@
+"""A tree-walking interpreter for the PHP subset of this library.
+
+Section II of the paper contrasts static analysis with *dynamic*
+analysis, and Section III.E notes the authors confirmed exploitability
+"in an experiment".  This module supplies the dynamic half: enough of a
+PHP runtime to execute plugin code with attacker-controlled
+superglobals and simulated WordPress/database services, capturing the
+page output and every SQL/command/include operation — which is what the
+exploit-confirmation harness (:mod:`repro.dynamic`) checks payloads
+against.
+
+It is an *analysis instrument*, not a general PHP implementation: the
+supported subset matches what the corpus and examples exercise
+(procedural code, OOP with properties/methods/inheritance, strings and
+arrays, the common builtins).  Unsupported constructs raise
+:class:`PhpRuntimeError` so callers can treat a run as inconclusive
+rather than wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from . import ast_nodes as ast
+from .parser import parse_source
+
+
+class PhpRuntimeError(Exception):
+    """Execution failed (unsupported construct, bad state, budget)."""
+
+
+class _Signal(Exception):
+    """Non-error control transfer."""
+
+
+class BreakSignal(_Signal):
+    def __init__(self, level: int = 1) -> None:
+        self.level = level
+
+
+class ContinueSignal(_Signal):
+    def __init__(self, level: int = 1) -> None:
+        self.level = level
+
+
+class ReturnSignal(_Signal):
+    def __init__(self, value: object = None) -> None:
+        self.value = value
+
+
+class ExitSignal(_Signal):
+    """``exit``/``die`` — stops the whole script."""
+
+
+class PhpArray:
+    """PHP's ordered hash: integer and string keys, insertion order."""
+
+    def __init__(self, items: Optional[Dict[object, object]] = None) -> None:
+        self.items: Dict[object, object] = dict(items or {})
+        self._next_index = 0
+        for key in self.items:
+            if isinstance(key, int) and key >= self._next_index:
+                self._next_index = key + 1
+
+    def get(self, key: object) -> object:
+        return self.items.get(_array_key(key))
+
+    def set(self, key: object, value: object) -> None:
+        key = _array_key(key)
+        self.items[key] = value
+        if isinstance(key, int) and key >= self._next_index:
+            self._next_index = key + 1
+
+    def append(self, value: object) -> None:
+        self.items[self._next_index] = value
+        self._next_index += 1
+
+    def has(self, key: object) -> bool:
+        return _array_key(key) in self.items
+
+    def values(self) -> List[object]:
+        return list(self.items.values())
+
+    def keys(self) -> List[object]:
+        return list(self.items.keys())
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"PhpArray({self.items!r})"
+
+
+def _array_key(key: object) -> object:
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, float):
+        return int(key)
+    if isinstance(key, str) and key.lstrip("-").isdigit():
+        return int(key)
+    return key
+
+
+class PhpObject:
+    """An object instance: class name + property map."""
+
+    def __init__(self, class_name: str) -> None:
+        self.class_name = class_name
+        self.properties: Dict[str, object] = {}
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name} object>"
+
+
+class MagicTaintArray(PhpArray):
+    """A superglobal that answers *every* key with a payload.
+
+    The exploit harness does not know which request parameter a plugin
+    reads, so ``$_GET['anything']`` simply returns the attack payload —
+    the dynamic analogue of "the attacker controls all inputs".
+    """
+
+    def __init__(self, payload: str) -> None:
+        super().__init__()
+        self.payload = payload
+
+    def get(self, key: object) -> object:
+        if _array_key(key) in self.items:
+            return super().get(key)
+        return self.payload
+
+    def has(self, key: object) -> bool:  # isset($_GET[...]) is true
+        return True
+
+
+@dataclass
+class SideEffects:
+    """Everything observable a run produced.
+
+    The parallel ``*_sites`` lists carry the ``(file, line)`` of the
+    operation that produced each entry, so the exploit confirmer can
+    attribute evidence to a specific static finding instead of to the
+    whole page/run.
+    """
+
+    output: List[str] = field(default_factory=list)
+    output_sites: List[tuple] = field(default_factory=list)
+    queries: List[str] = field(default_factory=list)
+    query_sites: List[tuple] = field(default_factory=list)
+    commands: List[str] = field(default_factory=list)
+    command_sites: List[tuple] = field(default_factory=list)
+    includes: List[str] = field(default_factory=list)
+    include_sites: List[tuple] = field(default_factory=list)
+    headers: List[str] = field(default_factory=list)
+
+    @property
+    def page(self) -> str:
+        return "".join(self.output)
+
+
+def to_php_string(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "1" if value else ""
+    if isinstance(value, float):
+        text = repr(value)
+        return text[:-2] if text.endswith(".0") else text
+    if isinstance(value, PhpArray):
+        return "Array"
+    if isinstance(value, PhpObject):
+        return f"Object({value.class_name})"
+    return str(value)
+
+
+def truthy(value: object) -> bool:
+    if isinstance(value, PhpArray):
+        return len(value) > 0
+    if isinstance(value, str):
+        return value not in ("", "0")
+    return bool(value)
+
+
+def to_number(value: object) -> Union[int, float]:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        digits = ""
+        for char in value.strip():
+            if (
+                char.isdigit()
+                or (char in "+-" and not digits)
+                or (char == "." and "." not in digits)
+            ):
+                digits += char
+            else:
+                break
+        try:
+            return float(digits) if "." in digits else int(digits or "0")
+        except ValueError:
+            return 0
+    return 0
+
+
+class Scope:
+    """One variable scope."""
+
+    def __init__(self) -> None:
+        self.vars: Dict[str, object] = {}
+
+
+class Interpreter:
+    """Execute a parsed PHP program with pluggable services."""
+
+    def __init__(
+        self,
+        step_budget: int = 500_000,
+        superglobals: Optional[Dict[str, PhpArray]] = None,
+    ) -> None:
+        self.step_budget = step_budget
+        self._steps = 0
+        self.effects = SideEffects()
+        self.globals = Scope()
+        self.functions: Dict[str, ast.FunctionDecl] = {}
+        self.classes: Dict[str, ast.ClassDecl] = {}
+        self.constants: Dict[str, object] = {"PHP_EOL": "\n", "true": True}
+        self.files: Dict[str, ast.PhpFile] = {}
+        self._include_stack: List[str] = []
+        #: name -> python callable(args) for builtins and service hooks
+        self.builtins: Dict[str, Callable[[List[object]], object]] = {}
+        #: (class, method) -> callable(obj, args) for service objects
+        self.native_methods: Dict[str, Callable[[PhpObject, List[object]], object]] = {}
+        self.current_file = "input.php"
+        self.current_line = 0
+        self._install_builtins()
+        self.superglobal_names = set()
+        for name, value in (superglobals or {}).items():
+            self.globals.vars[name] = value
+            self.superglobal_names.add(name)
+
+    # ------------------------------------------------------------------
+    # Program loading / entry points
+    # ------------------------------------------------------------------
+
+    def load_source(self, source: str, filename: str = "input.php") -> ast.PhpFile:
+        tree = parse_source(source, filename)
+        self.files[filename] = tree
+        self._collect(tree)
+        return tree
+
+    def _collect(self, tree: ast.PhpFile) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDecl):
+                self.functions.setdefault(node.name.lower(), node)
+            elif isinstance(node, ast.ClassDecl) and node.kind == "class":
+                self.classes.setdefault(node.name.lower(), node)
+
+    # -- side-effect recording (with site attribution) -----------------
+
+    def record_output(self, text: str) -> None:
+        self.effects.output.append(text)
+        self.effects.output_sites.append((self.current_file, self.current_line))
+
+    def record_query(self, text: str) -> None:
+        self.effects.queries.append(text)
+        self.effects.query_sites.append((self.current_file, self.current_line))
+
+    def record_command(self, text: str) -> None:
+        self.effects.commands.append(text)
+        self.effects.command_sites.append((self.current_file, self.current_line))
+
+    def record_include(self, text: str) -> None:
+        self.effects.includes.append(text)
+        self.effects.include_sites.append((self.current_file, self.current_line))
+
+    def run_file(self, filename: str) -> SideEffects:
+        tree = self.files.get(filename)
+        if tree is None:
+            raise PhpRuntimeError(f"file not loaded: {filename}")
+        self.current_file = filename
+        try:
+            self._exec_block(tree.statements, self.globals)
+        except ExitSignal:
+            pass
+        return self.effects
+
+    def call_function(self, name: str, args: Optional[List[object]] = None) -> object:
+        """Invoke a user function directly (entry-point simulation)."""
+        decl = self.functions.get(name.lower())
+        if decl is None:
+            raise PhpRuntimeError(f"undefined function {name}()")
+        try:
+            return self._invoke(decl.params, decl.body, list(args or []), this=None)
+        except ExitSignal:
+            return None
+
+    def call_method(
+        self, obj: PhpObject, method: str, args: Optional[List[object]] = None
+    ) -> object:
+        decl = self._resolve_method(obj.class_name, method)
+        if decl is None:
+            raise PhpRuntimeError(f"undefined method {obj.class_name}::{method}()")
+        try:
+            return self._invoke(decl.params, decl.body or [], list(args or []), this=obj)
+        except ExitSignal:
+            return None
+
+    def instantiate(self, class_name: str, args: Optional[List[object]] = None) -> PhpObject:
+        obj = PhpObject(self._canonical_class(class_name))
+        self._init_properties(obj)
+        constructor = self._resolve_method(obj.class_name, "__construct") or (
+            self._resolve_method(obj.class_name, obj.class_name)
+        )
+        if constructor is not None and constructor.body is not None:
+            self._invoke(constructor.params, constructor.body, list(args or []), this=obj)
+        return obj
+
+    # ------------------------------------------------------------------
+    # Class plumbing
+    # ------------------------------------------------------------------
+
+    def _canonical_class(self, name: str) -> str:
+        decl = self.classes.get(name.lower())
+        return decl.name if decl is not None else name
+
+    def _resolve_method(self, class_name: str, method: str):
+        seen = set()
+        current: Optional[str] = class_name
+        while current and current.lower() not in seen:
+            seen.add(current.lower())
+            decl = self.classes.get(current.lower())
+            if decl is None:
+                return None
+            for candidate in decl.methods:
+                if candidate.name.lower() == method.lower():
+                    return candidate
+            current = decl.parent
+        return None
+
+    def _init_properties(self, obj: PhpObject) -> None:
+        chain: List[ast.ClassDecl] = []
+        current: Optional[str] = obj.class_name
+        seen = set()
+        while current and current.lower() not in seen:
+            seen.add(current.lower())
+            decl = self.classes.get(current.lower())
+            if decl is None:
+                break
+            chain.append(decl)
+            current = decl.parent
+        for decl in reversed(chain):
+            for prop in decl.properties:
+                value = (
+                    self._eval(prop.default, self.globals)
+                    if prop.default is not None
+                    else None
+                )
+                obj.properties[prop.name] = value
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.step_budget:
+            raise PhpRuntimeError("step budget exhausted (possible infinite loop)")
+
+    def _invoke(
+        self,
+        params: List[ast.Param],
+        body: List[ast.Statement],
+        args: List[object],
+        this: Optional[PhpObject],
+    ) -> object:
+        scope = Scope()
+        for index, param in enumerate(params):
+            if index < len(args):
+                scope.vars[param.name] = args[index]
+            elif param.default is not None:
+                scope.vars[param.name] = self._eval(param.default, self.globals)
+            else:
+                scope.vars[param.name] = None
+        if this is not None:
+            scope.vars["this"] = this
+        try:
+            self._exec_block(body, scope)
+        except ReturnSignal as signal:
+            return signal.value
+        return None
+
+    def _exec_block(self, statements: List[ast.Statement], scope: Scope) -> None:
+        for statement in statements:
+            self._exec(statement, scope)
+
+    def _exec(self, node: ast.Statement, scope: Scope) -> None:  # noqa: C901
+        self._tick()
+        if node.line:
+            self.current_line = node.line
+        if isinstance(node, (ast.FunctionDecl, ast.ClassDecl)):
+            return
+        if isinstance(node, ast.ExpressionStatement):
+            self._eval(node.expr, scope)
+            return
+        if isinstance(node, ast.EchoStatement):
+            for expr in node.exprs:
+                value = to_php_string(self._eval(expr, scope))
+                self.current_line = expr.line or self.current_line
+                self.record_output(value)
+            return
+        if isinstance(node, ast.InlineHTML):
+            self.record_output(node.text)
+            return
+        if isinstance(node, ast.Block):
+            self._exec_block(node.statements, scope)
+            return
+        if isinstance(node, ast.IfStatement):
+            if truthy(self._eval(node.cond, scope)):
+                self._exec_block(node.then, scope)
+                return
+            for clause in node.elseifs:
+                if truthy(self._eval(clause.cond, scope)):
+                    self._exec_block(clause.body, scope)
+                    return
+            if node.otherwise is not None:
+                self._exec_block(node.otherwise, scope)
+            return
+        if isinstance(node, ast.WhileStatement):
+            while truthy(self._eval(node.cond, scope)):
+                self._tick()
+                try:
+                    self._exec_block(node.body, scope)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    continue
+            return
+        if isinstance(node, ast.DoWhileStatement):
+            while True:
+                self._tick()
+                try:
+                    self._exec_block(node.body, scope)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    pass
+                if not truthy(self._eval(node.cond, scope)):
+                    break
+            return
+        if isinstance(node, ast.ForStatement):
+            for expr in node.init:
+                self._eval(expr, scope)
+            while all(truthy(self._eval(cond, scope)) for cond in node.cond):
+                self._tick()
+                try:
+                    self._exec_block(node.body, scope)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    pass
+                for expr in node.update:
+                    self._eval(expr, scope)
+            return
+        if isinstance(node, ast.ForeachStatement):
+            subject = self._eval(node.subject, scope)
+            entries: List = []
+            if isinstance(subject, PhpArray):
+                entries = list(subject.items.items())
+            elif isinstance(subject, PhpObject):
+                entries = list(subject.properties.items())
+            for key, value in entries:
+                self._tick()
+                if isinstance(node.key_var, ast.Variable):
+                    scope.vars[node.key_var.name] = key
+                if isinstance(node.value_var, ast.Variable):
+                    scope.vars[node.value_var.name] = value
+                elif node.value_var is not None:
+                    self._assign(node.value_var, value, scope)
+                try:
+                    self._exec_block(node.body, scope)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    continue
+            return
+        if isinstance(node, ast.SwitchStatement):
+            subject = self._eval(node.subject, scope)
+            matched = False
+            try:
+                for case in node.cases:
+                    if not matched:
+                        if case.test is None:
+                            matched = True
+                        else:
+                            test = self._eval(case.test, scope)
+                            matched = to_php_string(test) == to_php_string(subject)
+                    if matched:
+                        self._exec_block(case.body, scope)
+            except BreakSignal:
+                pass
+            return
+        if isinstance(node, ast.BreakStatement):
+            raise BreakSignal(node.level)
+        if isinstance(node, ast.ContinueStatement):
+            raise ContinueSignal(node.level)
+        if isinstance(node, ast.ReturnStatement):
+            value = self._eval(node.expr, scope) if node.expr is not None else None
+            raise ReturnSignal(value)
+        if isinstance(node, ast.GlobalStatement):
+            for name in node.names:
+                if name not in self.globals.vars:
+                    self.globals.vars[name] = None
+                scope.vars[name] = self.globals.vars[name]
+                # writes must reach the global scope: remember the alias
+                scope.vars.setdefault("__globals__", set()).add(name)  # type: ignore[union-attr]
+            return
+        if isinstance(node, ast.StaticVarStatement):
+            for name, default in node.vars:
+                if name not in scope.vars:
+                    scope.vars[name] = (
+                        self._eval(default, scope) if default is not None else None
+                    )
+            return
+        if isinstance(node, ast.UnsetStatement):
+            for var in node.vars:
+                if isinstance(var, ast.Variable):
+                    scope.vars.pop(var.name, None)
+                elif isinstance(var, ast.ArrayAccess) and isinstance(
+                    var.array, ast.Variable
+                ):
+                    container = scope.vars.get(var.array.name)
+                    if isinstance(container, PhpArray) and var.index is not None:
+                        container.items.pop(
+                            _array_key(self._eval(var.index, scope)), None
+                        )
+            return
+        if isinstance(node, ast.ThrowStatement):
+            raise PhpRuntimeError(
+                f"uncaught exception at line {node.line}"
+            )
+        if isinstance(node, ast.TryStatement):
+            try:
+                self._exec_block(node.body, scope)
+            except PhpRuntimeError:
+                if node.catches:
+                    catch = node.catches[0]
+                    if catch.var_name:
+                        scope.vars[catch.var_name] = PhpObject(catch.class_name)
+                    self._exec_block(catch.body, scope)
+                else:
+                    raise
+            finally:
+                if node.finally_body is not None:
+                    self._exec_block(node.finally_body, scope)
+            return
+        if isinstance(node, (ast.UseStatement, ast.NamespaceStatement,
+                             ast.ConstStatement, ast.DeclareStatement,
+                             ast.GotoStatement, ast.LabelStatement)):
+            if isinstance(node, ast.ConstStatement):
+                for name, expr in node.consts:
+                    self.constants[name] = self._eval(expr, scope)
+            if isinstance(node, ast.NamespaceStatement) and node.body:
+                self._exec_block(node.body, scope)
+            return
+        raise PhpRuntimeError(f"unsupported statement {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _eval(self, node: Optional[ast.Expr], scope: Scope) -> object:  # noqa: C901
+        self._tick()
+        if node is None:
+            return None
+        if node.line:
+            self.current_line = node.line
+        if isinstance(node, ast.Literal):
+            return node.value
+        if isinstance(node, ast.Variable):
+            if node.name in scope.vars:
+                return scope.vars[node.name]
+            if node.name in self.superglobal_names:
+                return self.globals.vars.get(node.name)
+            if scope is self.globals:
+                return self.globals.vars.get(node.name)
+            return None
+        if isinstance(node, ast.InterpolatedString):
+            return "".join(to_php_string(self._eval(part, scope)) for part in node.parts)
+        if isinstance(node, ast.ShellExec):
+            command = "".join(
+                to_php_string(self._eval(part, scope)) for part in node.parts
+            )
+            self.current_line = node.line or self.current_line
+            self.record_command(command)
+            return ""
+        if isinstance(node, ast.ArrayLiteral):
+            array = PhpArray()
+            for item in node.items:
+                value = self._eval(item.value, scope)
+                if item.key is None:
+                    array.append(value)
+                else:
+                    array.set(self._eval(item.key, scope), value)
+            return array
+        if isinstance(node, ast.ArrayAccess):
+            container = self._eval(node.array, scope)
+            if node.index is None:
+                return None
+            index = self._eval(node.index, scope)
+            if isinstance(container, PhpArray):
+                return container.get(index)
+            if isinstance(container, str):
+                position = int(to_number(index))
+                return container[position] if 0 <= position < len(container) else ""
+            return None
+        if isinstance(node, ast.PropertyAccess):
+            obj = self._eval(node.object, scope)
+            name = node.name if isinstance(node.name, str) else to_php_string(
+                self._eval(node.name, scope)  # type: ignore[arg-type]
+            )
+            if isinstance(obj, PhpObject):
+                return obj.properties.get(name)
+            return None
+        if isinstance(node, ast.StaticPropertyAccess):
+            return self.globals.vars.get(f"{node.class_name}::${node.name}")
+        if isinstance(node, ast.ClassConstAccess):
+            decl = self.classes.get(node.class_name.lower())
+            if decl is not None:
+                for const in decl.constants:
+                    if const.name == node.name:
+                        return self._eval(const.value, self.globals)
+            return node.name
+        if isinstance(node, ast.ConstFetch):
+            lowered = node.name.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            if lowered == "null":
+                return None
+            return self.constants.get(node.name, node.name)
+        if isinstance(node, ast.Assignment):
+            return self._eval_assignment(node, scope)
+        if isinstance(node, ast.Binary):
+            return self._eval_binary(node, scope)
+        if isinstance(node, ast.Unary):
+            value = self._eval(node.operand, scope)
+            if node.op == "!":
+                return not truthy(value)
+            if node.op == "-":
+                return -to_number(value)
+            if node.op == "+":
+                return to_number(value)
+            if node.op == "~":
+                return ~int(to_number(value))
+            return value  # @ suppression
+        if isinstance(node, ast.Ternary):
+            cond = self._eval(node.cond, scope)
+            if truthy(cond):
+                return cond if node.if_true is None else self._eval(node.if_true, scope)
+            return self._eval(node.if_false, scope)
+        if isinstance(node, ast.Cast):
+            value = self._eval(node.operand, scope)
+            if node.to == "int":
+                return int(to_number(value))
+            if node.to == "float":
+                return float(to_number(value))
+            if node.to == "bool":
+                return truthy(value)
+            if node.to == "string":
+                return to_php_string(value)
+            if node.to == "array":
+                return value if isinstance(value, PhpArray) else PhpArray({0: value})
+            return value
+        if isinstance(node, ast.IncDec):
+            current = to_number(self._eval(node.target, scope))
+            updated = current + 1 if node.op == "++" else current - 1
+            self._assign(node.target, updated, scope)
+            return updated if node.prefix else current
+        if isinstance(node, ast.IssetExpr):
+            return all(self._isset(var, scope) for var in node.vars)
+        if isinstance(node, ast.EmptyExpr):
+            return not truthy(self._eval(node.expr, scope))
+        if isinstance(node, ast.FunctionCall):
+            return self._eval_call(node, scope)
+        if isinstance(node, ast.MethodCall):
+            return self._eval_method_call(node, scope)
+        if isinstance(node, ast.StaticCall):
+            return self._eval_static_call(node, scope)
+        if isinstance(node, ast.New):
+            class_name = (
+                node.class_name
+                if isinstance(node.class_name, str)
+                else to_php_string(self._eval(node.class_name, scope))  # type: ignore[arg-type]
+            )
+            args = [self._eval(arg, scope) for arg in node.args]
+            return self.instantiate(class_name, args)
+        if isinstance(node, ast.Clone):
+            value = self._eval(node.expr, scope)
+            if isinstance(value, PhpObject):
+                clone = PhpObject(value.class_name)
+                clone.properties = dict(value.properties)
+                return clone
+            return value
+        if isinstance(node, ast.IncludeExpr):
+            return self._eval_include(node, scope)
+        if isinstance(node, ast.ExitExpr):
+            if node.expr is not None:
+                self.record_output(to_php_string(self._eval(node.expr, scope)))
+            raise ExitSignal()
+        if isinstance(node, ast.PrintExpr):
+            self.record_output(to_php_string(self._eval(node.expr, scope)))
+            return 1
+        if isinstance(node, ast.InstanceofExpr):
+            value = self._eval(node.expr, scope)
+            name = (
+                node.class_name
+                if isinstance(node.class_name, str)
+                else to_php_string(self._eval(node.class_name, scope))  # type: ignore[arg-type]
+            )
+            return isinstance(value, PhpObject) and value.class_name.lower() == name.lower()
+        if isinstance(node, ast.ListExpr):
+            return None
+        if isinstance(node, ast.Closure):
+            raise PhpRuntimeError("closures are not supported by the interpreter")
+        if isinstance(node, ast.VariableVariable):
+            name = to_php_string(self._eval(node.expr, scope))
+            return scope.vars.get(name)
+        raise PhpRuntimeError(f"unsupported expression {type(node).__name__}")
+
+    def _isset(self, var: ast.Expr, scope: Scope) -> bool:
+        if isinstance(var, ast.Variable):
+            value = scope.vars.get(var.name)
+            if value is None and scope is self.globals:
+                value = self.globals.vars.get(var.name)
+            return value is not None
+        if isinstance(var, ast.ArrayAccess):
+            container = self._eval(var.array, scope)
+            if isinstance(container, PhpArray) and var.index is not None:
+                return container.has(self._eval(var.index, scope))
+            return False
+        return self._eval(var, scope) is not None
+
+    def _eval_assignment(self, node: ast.Assignment, scope: Scope) -> object:
+        value = self._eval(node.value, scope)
+        if node.op != "=":
+            current = self._eval(node.target, scope)
+            operator = node.op[:-1]
+            if operator == ".":
+                value = to_php_string(current) + to_php_string(value)
+            else:
+                value = self._arith(operator, current, value)
+        self._assign(node.target, value, scope)
+        return value
+
+    def _assign(self, target: Optional[ast.Expr], value: object, scope: Scope) -> None:
+        if isinstance(target, ast.Variable):
+            scope.vars[target.name] = value
+            aliases = scope.vars.get("__globals__")
+            if isinstance(aliases, set) and target.name in aliases:
+                self.globals.vars[target.name] = value
+            return
+        if isinstance(target, ast.ArrayAccess):
+            container = self._eval(target.array, scope)
+            if not isinstance(container, PhpArray):
+                container = PhpArray()
+                self._assign(target.array, container, scope)
+            if target.index is None:
+                container.append(value)
+            else:
+                container.set(self._eval(target.index, scope), value)
+            return
+        if isinstance(target, ast.PropertyAccess):
+            obj = self._eval(target.object, scope)
+            name = target.name if isinstance(target.name, str) else to_php_string(
+                self._eval(target.name, scope)  # type: ignore[arg-type]
+            )
+            if isinstance(obj, PhpObject):
+                obj.properties[name] = value
+            return
+        if isinstance(target, ast.StaticPropertyAccess):
+            self.globals.vars[f"{target.class_name}::${target.name}"] = value
+            return
+        if isinstance(target, ast.ListExpr):
+            if isinstance(value, PhpArray):
+                values = value.values()
+                for index, sub_target in enumerate(target.targets):
+                    if sub_target is not None and index < len(values):
+                        self._assign(sub_target, values[index], scope)
+            return
+        raise PhpRuntimeError(
+            f"unsupported assignment target {type(target).__name__}"
+        )
+
+    def _arith(self, operator: str, left: object, right: object) -> object:
+        a, b = to_number(left), to_number(right)
+        if operator == "+":
+            return a + b
+        if operator == "-":
+            return a - b
+        if operator == "*":
+            return a * b
+        if operator == "/":
+            return a / b if b else 0
+        if operator == "%":
+            return int(a) % int(b) if int(b) else 0
+        if operator == "**":
+            return a ** b
+        if operator == "&":
+            return int(a) & int(b)
+        if operator == "|":
+            return int(a) | int(b)
+        if operator == "^":
+            return int(a) ^ int(b)
+        if operator == "<<":
+            return int(a) << int(b)
+        if operator == ">>":
+            return int(a) >> int(b)
+        raise PhpRuntimeError(f"unsupported operator {operator}")
+
+    def _eval_binary(self, node: ast.Binary, scope: Scope) -> object:
+        operator = node.op
+        if operator in ("&&", "and"):
+            return truthy(self._eval(node.left, scope)) and truthy(
+                self._eval(node.right, scope)
+            )
+        if operator in ("||", "or"):
+            return truthy(self._eval(node.left, scope)) or truthy(
+                self._eval(node.right, scope)
+            )
+        if operator == "xor":
+            return truthy(self._eval(node.left, scope)) != truthy(
+                self._eval(node.right, scope)
+            )
+        left = self._eval(node.left, scope)
+        right = self._eval(node.right, scope)
+        if operator == ".":
+            return to_php_string(left) + to_php_string(right)
+        if operator in ("==", "!="):
+            equal = to_php_string(left) == to_php_string(right)
+            return equal if operator == "==" else not equal
+        if operator in ("===", "!=="):
+            identical = type(left) is type(right) and left == right
+            return identical if operator == "===" else not identical
+        if operator in ("<", "<=", ">", ">="):
+            a, b = to_number(left), to_number(right)
+            return {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b}[operator]
+        return self._arith(operator, left, right)
+
+    # -- calls --------------------------------------------------------------
+
+    def _eval_call(self, node: ast.FunctionCall, scope: Scope) -> object:
+        if not isinstance(node.name, str):
+            raise PhpRuntimeError("dynamic function calls are not supported")
+        name = node.name.lower()
+        args = [self._eval(arg, scope) for arg in node.args]
+        if name in self.builtins:
+            return self.builtins[name](args)
+        decl = self.functions.get(name)
+        if decl is not None:
+            return self._invoke(decl.params, decl.body, args, this=None)
+        # unknown function: benign no-op returning null (WP stubs etc.)
+        return None
+
+    def _eval_method_call(self, node: ast.MethodCall, scope: Scope) -> object:
+        obj = self._eval(node.object, scope)
+        if not isinstance(node.method, str):
+            raise PhpRuntimeError("dynamic method names are not supported")
+        args = [self._eval(arg, scope) for arg in node.args]
+        if isinstance(obj, PhpObject):
+            native = self.native_methods.get(
+                f"{obj.class_name.lower()}::{node.method.lower()}"
+            )
+            if native is not None:
+                return native(obj, args)
+            decl = self._resolve_method(obj.class_name, node.method)
+            if decl is not None and decl.body is not None:
+                return self._invoke(decl.params, decl.body, args, this=obj)
+        return None
+
+    def _eval_static_call(self, node: ast.StaticCall, scope: Scope) -> object:
+        if not isinstance(node.method, str):
+            raise PhpRuntimeError("dynamic method names are not supported")
+        args = [self._eval(arg, scope) for arg in node.args]
+        class_name = node.class_name
+        this = scope.vars.get("this")
+        if class_name.lower() in ("self", "static", "parent") and isinstance(
+            this, PhpObject
+        ):
+            if class_name.lower() == "parent":
+                decl = self.classes.get(this.class_name.lower())
+                class_name = decl.parent if decl and decl.parent else this.class_name
+            else:
+                class_name = this.class_name
+        decl = self._resolve_method(class_name, node.method)
+        if decl is not None and decl.body is not None:
+            bound = this if isinstance(this, PhpObject) else None
+            return self._invoke(decl.params, decl.body, args, this=bound)
+        return None
+
+    def _eval_include(self, node: ast.IncludeExpr, scope: Scope) -> object:
+        path = to_php_string(self._eval(node.path, scope))
+        self.current_line = node.line or self.current_line
+        self.record_include(path)
+        for filename, tree in self.files.items():
+            if filename == path or filename.endswith("/" + path.lstrip("./")):
+                if filename in self._include_stack:
+                    return True
+                self._include_stack.append(filename)
+                previous_file = self.current_file
+                self.current_file = filename
+                try:
+                    self._exec_block(tree.statements, scope)
+                finally:
+                    self._include_stack.pop()
+                    self.current_file = previous_file
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Builtins
+    # ------------------------------------------------------------------
+
+    def _install_builtins(self) -> None:  # noqa: C901
+        def string_arg(args: List[object], index: int = 0) -> str:
+            return to_php_string(args[index]) if len(args) > index else ""
+
+        def register(name: str, fn: Callable[[List[object]], object]) -> None:
+            self.builtins[name] = fn
+
+        import html as _html
+        import urllib.parse as _url
+
+        register("htmlentities", lambda a: _html.escape(string_arg(a), quote=True))
+        register("htmlspecialchars", lambda a: _html.escape(string_arg(a), quote=True))
+        register("esc_html", lambda a: _html.escape(string_arg(a), quote=True))
+        register("esc_attr", lambda a: _html.escape(string_arg(a), quote=True))
+        register("sanitize_text_field", lambda a: _html.escape(string_arg(a).strip()))
+        register("sanitize_key", lambda a: "".join(
+            c for c in string_arg(a).lower() if c.isalnum() or c in "-_"
+        ))
+        register("strip_tags", lambda a: _strip_tags(string_arg(a)))
+        register("html_entity_decode", lambda a: _html.unescape(string_arg(a)))
+        register("htmlspecialchars_decode", lambda a: _html.unescape(string_arg(a)))
+        register("stripslashes", lambda a: string_arg(a).replace("\\", ""))
+        register("addslashes", lambda a: string_arg(a)
+                 .replace("\\", "\\\\").replace("'", "\\'").replace('"', '\\"'))
+        register("mysql_real_escape_string", self.builtins["addslashes"])
+        register("mysql_escape_string", self.builtins["addslashes"])
+        register("esc_sql", self.builtins["addslashes"])
+        register("urlencode", lambda a: _url.quote_plus(string_arg(a)))
+        register("urldecode", lambda a: _url.unquote_plus(string_arg(a)))
+        register("rawurlencode", lambda a: _url.quote(string_arg(a)))
+        register("rawurldecode", lambda a: _url.unquote(string_arg(a)))
+        register("escapeshellarg", lambda a: "'" + string_arg(a).replace("'", "'\\''") + "'")
+        register("escapeshellcmd", lambda a: "".join(
+            "\\" + c if c in "&#;`|*?~<>^()[]{}$\\\n\x0a\xff\"'" else c
+            for c in string_arg(a)
+        ))
+        register("basename", lambda a: string_arg(a).replace("\\", "/").rsplit("/", 1)[-1])
+        register("intval", lambda a: int(to_number(args_or_zero(a))))
+        register("absint", lambda a: abs(int(to_number(args_or_zero(a)))))
+        register("floatval", lambda a: float(to_number(args_or_zero(a))))
+        register("strtolower", lambda a: string_arg(a).lower())
+        register("strtoupper", lambda a: string_arg(a).upper())
+        register("ucfirst", lambda a: string_arg(a)[:1].upper() + string_arg(a)[1:])
+        register("trim", lambda a: string_arg(a).strip(
+            string_arg(a, 1) if len(a) > 1 else None))
+        register("ltrim", lambda a: string_arg(a).lstrip())
+        register("rtrim", lambda a: string_arg(a).rstrip())
+        register("strlen", lambda a: len(string_arg(a)))
+        register("strrev", lambda a: string_arg(a)[::-1])
+        register("strpos", lambda a: (
+            string_arg(a).find(string_arg(a, 1))
+            if string_arg(a).find(string_arg(a, 1)) >= 0 else False
+        ))
+        register("str_replace", lambda a: string_arg(a, 2).replace(
+            string_arg(a), string_arg(a, 1)))
+        register("substr", lambda a: _substr(a))
+        register("sprintf", lambda a: _sprintf(a))
+        register("number_format", lambda a: f"{to_number(args_or_zero(a)):,.0f}")
+        register("implode", lambda a: _implode(a))
+        register("join", lambda a: _implode(a))
+        register("explode", lambda a: PhpArray(
+            dict(enumerate(string_arg(a, 1).split(string_arg(a) or " ")))
+        ))
+        register("count", lambda a: len(a[0]) if a and isinstance(a[0], PhpArray) else (
+            0 if not a or a[0] is None else 1))
+        register("sizeof", self.builtins["count"])
+        register("in_array", lambda a: (
+            isinstance(a[1], PhpArray)
+            and any(to_php_string(v) == to_php_string(a[0]) for v in a[1].values())
+            if len(a) > 1 else False
+        ))
+        register("array_keys", lambda a: PhpArray(
+            dict(enumerate(a[0].keys())) if a and isinstance(a[0], PhpArray) else {}))
+        register("array_values", lambda a: PhpArray(
+            dict(enumerate(a[0].values())) if a and isinstance(a[0], PhpArray) else {}))
+        register("array_merge", lambda a: _array_merge(a))
+        register("is_array", lambda a: isinstance(a[0], PhpArray) if a else False)
+        register("is_string", lambda a: isinstance(a[0], str) if a else False)
+        register("is_numeric", lambda a: bool(a) and (
+            isinstance(a[0], (int, float))
+            or (isinstance(a[0], str) and a[0].strip().lstrip("+-")
+                .replace(".", "", 1).isdigit())
+        ))
+        register("function_exists", lambda a: string_arg(a).lower() in self.functions
+                 or string_arg(a).lower() in self.builtins)
+        register("defined", lambda a: string_arg(a) in self.constants)
+        register("define", lambda a: self.constants.__setitem__(
+            string_arg(a), a[1] if len(a) > 1 else None))
+        register("dirname", lambda a: string_arg(a).rsplit("/", 1)[0]
+                 if "/" in string_arg(a) else ".")
+        register("print_r", lambda a: self.record_output(
+            to_php_string(a[0] if a else "")) or True)
+        register("var_dump", self.builtins["print_r"])
+        register("printf", lambda a: self.record_output(_sprintf(a)) or 1)
+        register("date", lambda a: "2015-06-22")  # deterministic runtime
+        register("time", lambda a: 1434931200)
+        register("rand", lambda a: 4)
+        register("mt_rand", lambda a: 4)
+        register("header", lambda a: self.effects.headers.append(string_arg(a)))
+
+        # command execution: recorded, not executed
+        def run_command(args: List[object]) -> str:
+            self.record_command(string_arg(args))
+            return ""
+
+        for name in ("system", "exec", "passthru", "shell_exec", "popen"):
+            register(name, run_command)
+
+        def args_or_zero(args: List[object]) -> object:
+            return args[0] if args else 0
+
+
+def _strip_tags(text: str) -> str:
+    out: List[str] = []
+    in_tag = False
+    for char in text:
+        if char == "<":
+            in_tag = True
+        elif char == ">":
+            in_tag = False
+        elif not in_tag:
+            out.append(char)
+    return "".join(out)
+
+
+def _substr(args: List[object]) -> str:
+    text = to_php_string(args[0]) if args else ""
+    start = int(to_number(args[1])) if len(args) > 1 else 0
+    if start < 0:
+        start = max(0, len(text) + start)
+    if len(args) > 2:
+        length = int(to_number(args[2]))
+        return text[start:start + length] if length >= 0 else text[start:length]
+    return text[start:]
+
+
+def _sprintf(args: List[object]) -> str:
+    if not args:
+        return ""
+    template = to_php_string(args[0])
+    values = [
+        to_php_string(arg) if not isinstance(arg, (int, float)) else arg
+        for arg in args[1:]
+    ]
+    try:
+        return template % tuple(values)
+    except (TypeError, ValueError):
+        result = template
+        for value in values:
+            for spec in ("%s", "%d", "%f"):
+                if spec in result:
+                    result = result.replace(spec, to_php_string(value), 1)
+                    break
+        return result
+
+
+def _implode(args: List[object]) -> str:
+    if len(args) == 1 and isinstance(args[0], PhpArray):
+        glue, array = "", args[0]
+    elif len(args) >= 2 and isinstance(args[1], PhpArray):
+        glue, array = to_php_string(args[0]), args[1]
+    else:
+        return ""
+    return glue.join(to_php_string(value) for value in array.values())
+
+
+def _array_merge(args: List[object]) -> PhpArray:
+    merged = PhpArray()
+    for arg in args:
+        if isinstance(arg, PhpArray):
+            for key, value in arg.items.items():
+                if isinstance(key, int):
+                    merged.append(value)
+                else:
+                    merged.set(key, value)
+    return merged

@@ -1,0 +1,530 @@
+"""A PHP lexer equivalent to ``token_get_all``.
+
+phpSAFE's model construction (paper Section III.B) starts from the token
+stream PHP's ``token_get_all`` produces.  This module reimplements that
+scanner in Python: it understands inline HTML versus ``<?php`` regions,
+single- and double-quoted strings with ``$var`` / ``{$expr}``
+interpolation, heredoc/nowdoc, line and block comments, casts, and the
+full PHP 5 operator set.
+
+The public entry points are :func:`tokenize` (returns every token,
+including whitespace and comments — mirroring ``token_get_all``) and
+:func:`tokenize_significant` (comments and whitespace stripped, which is
+what the analyzer consumes after the paper's "clean the AST" step).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional
+
+from .errors import PhpLexError
+from .tokens import CASTS, KEYWORDS, OPERATORS, TRIVIA, Token, TokenType
+
+_IDENT_START = re.compile(r"[A-Za-z_\x80-\xff]")
+_IDENT = re.compile(r"[A-Za-z0-9_\x80-\xff]*")
+_HEX = re.compile(r"0[xX][0-9a-fA-F]+")
+_BIN = re.compile(r"0[bB][01]+")
+_FLOAT = re.compile(r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+")
+_INT = re.compile(r"\d+")
+_CAST = re.compile(r"\(\s*([A-Za-z]+)\s*\)")
+_OPEN_TAG = re.compile(r"<\?(php\b|=)?", re.IGNORECASE)
+_HEREDOC_START = re.compile(r"<<<[ \t]*(['\"]?)([A-Za-z_][A-Za-z0-9_]*)\1\r?\n")
+
+
+class Lexer:
+    """Streaming PHP scanner over a single source string.
+
+    The scanner is a small state machine: it starts in HTML mode, enters
+    PHP mode at ``<?php`` / ``<?=``, and within PHP mode pushes into
+    string-interpolation sub-modes for double-quoted strings and heredocs.
+    """
+
+    def __init__(self, source: str, filename: str = "<string>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.tokens: List[Token] = []
+
+    # -- helpers ---------------------------------------------------------
+
+    def _emit(self, type_: TokenType, value: str, line: Optional[int] = None) -> None:
+        self.tokens.append(Token(type_, value, self.line if line is None else line))
+
+    def _advance(self, text: str) -> None:
+        """Consume ``text`` (already known to be at ``self.pos``)."""
+        self.pos += len(text)
+        self.line += text.count("\n")
+
+    def _rest(self) -> str:
+        return self.source[self.pos :]
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    # -- top level ---------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        """Scan the whole source and return the token list."""
+        while self.pos < len(self.source):
+            match = _OPEN_TAG.search(self.source, self.pos)
+            if match is None:
+                self._emit(TokenType.INLINE_HTML, self._rest())
+                self._advance(self._rest())
+                break
+            if match.start() > self.pos:
+                html = self.source[self.pos : match.start()]
+                self._emit(TokenType.INLINE_HTML, html)
+                self._advance(html)
+            tag = match.group(0)
+            if tag.lower() == "<?=":
+                self._emit(TokenType.OPEN_TAG_WITH_ECHO, tag)
+            else:
+                self._emit(TokenType.OPEN_TAG, tag)
+            self._advance(tag)
+            self._lex_php()
+        return self.tokens
+
+    # -- PHP mode ----------------------------------------------------------
+
+    def _lex_php(self) -> None:
+        """Scan PHP code until ``?>`` or end of input."""
+        while self.pos < len(self.source):
+            char = self._peek()
+
+            if self._rest().startswith("?>"):
+                end = "?>\n" if self._peek(2) == "\n" else "?>"
+                self._emit(TokenType.CLOSE_TAG, end)
+                self._advance(end)
+                return
+
+            if char in " \t\r\n":
+                match = re.match(r"[ \t\r\n]+", self._rest())
+                assert match is not None
+                self._emit(TokenType.WHITESPACE, match.group(0))
+                self._advance(match.group(0))
+                continue
+
+            if self._rest().startswith("/*"):
+                self._lex_block_comment()
+                continue
+
+            if self._rest().startswith("//") or char == "#":
+                self._lex_line_comment()
+                continue
+
+            if char == "$" and _IDENT_START.match(self._peek(1) or ""):
+                self._lex_variable()
+                continue
+
+            if char == "'":
+                self._lex_single_quoted()
+                continue
+
+            if char == '"':
+                self._lex_double_quoted()
+                continue
+
+            if char == "`":
+                self._lex_backtick()
+                continue
+
+            if self._rest().startswith("<<<"):
+                if self._lex_heredoc():
+                    continue
+
+            if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+                self._lex_number()
+                continue
+
+            if _IDENT_START.match(char):
+                self._lex_identifier()
+                continue
+
+            if char == "(":
+                cast = _CAST.match(self._rest())
+                if cast is not None and cast.group(1).lower() in CASTS:
+                    self._emit(CASTS[cast.group(1).lower()], cast.group(0))
+                    self._advance(cast.group(0))
+                    continue
+
+            if char == "\\":
+                self._emit(TokenType.NS_SEPARATOR, char)
+                self._advance(char)
+                continue
+
+            operator = self._match_operator()
+            if operator is not None:
+                continue
+
+            # bare one-character token ("code semantics" per the paper)
+            self._emit(TokenType.CHAR, char)
+            self._advance(char)
+
+    def _match_operator(self) -> Optional[Token]:
+        rest = self._rest()
+        for spelling, type_ in OPERATORS:
+            if rest.startswith(spelling):
+                self._emit(type_, spelling)
+                self._advance(spelling)
+                return self.tokens[-1]
+        return None
+
+    # -- comments -----------------------------------------------------------
+
+    def _lex_block_comment(self) -> None:
+        end = self.source.find("*/", self.pos + 2)
+        if end == -1:
+            text = self._rest()
+        else:
+            text = self.source[self.pos : end + 2]
+        type_ = (
+            TokenType.DOC_COMMENT if text.startswith("/**") and len(text) > 4 else TokenType.COMMENT
+        )
+        self._emit(type_, text)
+        self._advance(text)
+
+    def _lex_line_comment(self) -> None:
+        # a line comment ends at newline or at ?> (which stays in the stream)
+        match = re.match(r"(?:#|//).*?(?=\?>|\n|$)", self._rest(), re.DOTALL)
+        assert match is not None
+        text = match.group(0)
+        # note: ".*?" is greedy-enough here because comments cannot span lines
+        newline_index = text.find("\n")
+        if newline_index != -1:  # pragma: no cover - regex stops at newline
+            text = text[:newline_index]
+        self._emit(TokenType.COMMENT, text)
+        self._advance(text)
+
+    # -- simple tokens ------------------------------------------------------
+
+    def _lex_variable(self) -> None:
+        match = re.match(r"\$[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*", self._rest())
+        assert match is not None
+        self._emit(TokenType.VARIABLE, match.group(0))
+        self._advance(match.group(0))
+
+    def _lex_number(self) -> None:
+        rest = self._rest()
+        for pattern, type_ in (
+            (_HEX, TokenType.LNUMBER),
+            (_BIN, TokenType.LNUMBER),
+            (_FLOAT, TokenType.DNUMBER),
+            (_INT, TokenType.LNUMBER),
+        ):
+            match = pattern.match(rest)
+            if match is not None:
+                self._emit(type_, match.group(0))
+                self._advance(match.group(0))
+                return
+        raise PhpLexError(f"cannot scan number at line {self.line}", self.filename, self.line)
+
+    def _lex_identifier(self) -> None:
+        start = _IDENT_START.match(self._peek())
+        assert start is not None
+        match = re.match(r"[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*", self._rest())
+        assert match is not None
+        word = match.group(0)
+        type_ = KEYWORDS.get(word.lower(), TokenType.STRING)
+        self._emit(type_, word)
+        self._advance(word)
+
+    # -- strings --------------------------------------------------------------
+
+    def _lex_single_quoted(self) -> None:
+        start_line = self.line
+        index = self.pos + 1
+        while index < len(self.source):
+            char = self.source[index]
+            if char == "\\":
+                index += 2
+                continue
+            if char == "'":
+                break
+            index += 1
+        else:
+            raise PhpLexError("unterminated single-quoted string", self.filename, start_line)
+        if index >= len(self.source):
+            raise PhpLexError("unterminated single-quoted string", self.filename, start_line)
+        text = self.source[self.pos : index + 1]
+        self._emit(TokenType.CONSTANT_ENCAPSED_STRING, text, start_line)
+        self._advance(text)
+
+    def _lex_backtick(self) -> None:
+        """Shell-exec strings: lexed like double-quoted with ` delimiters."""
+        self._emit(TokenType.CHAR, "`")
+        self._advance("`")
+        self._lex_interpolated_body(terminator="`")
+        if self._peek() == "`":
+            self._emit(TokenType.CHAR, "`")
+            self._advance("`")
+
+    def _lex_double_quoted(self) -> None:
+        """Double-quoted string, constant or interpolated.
+
+        PHP emits a plain ``T_CONSTANT_ENCAPSED_STRING`` when the string
+        holds no interpolation; otherwise it emits ``"`` as a bare token
+        followed by the encapsed parts.
+        """
+        start_line = self.line
+        body, has_interpolation = self._scan_dq_body(self.pos + 1)
+        if not has_interpolation:
+            text = self.source[self.pos : self.pos + 1 + len(body) + 1]
+            self._emit(TokenType.CONSTANT_ENCAPSED_STRING, text, start_line)
+            self._advance(text)
+            return
+        self._emit(TokenType.CHAR, '"')
+        self._advance('"')
+        self._lex_interpolated_body(terminator='"')
+        if self._peek() != '"':
+            raise PhpLexError("unterminated double-quoted string", self.filename, start_line)
+        self._emit(TokenType.CHAR, '"')
+        self._advance('"')
+
+    def _scan_dq_body(self, start: int) -> tuple:
+        """Scan ahead from ``start`` to the closing quote.
+
+        Returns ``(raw body, has_interpolation)``; raises when unterminated.
+        """
+        index = start
+        has_interpolation = False
+        while index < len(self.source):
+            char = self.source[index]
+            if char == "\\":
+                index += 2
+                continue
+            if char == '"':
+                return self.source[start:index], has_interpolation
+            if char == "$" and index + 1 < len(self.source):
+                nxt = self.source[index + 1]
+                if _IDENT_START.match(nxt) or nxt == "{":
+                    has_interpolation = True
+            if char == "{" and index + 1 < len(self.source) and self.source[index + 1] == "$":
+                has_interpolation = True
+            index += 1
+        raise PhpLexError("unterminated double-quoted string", self.filename, self.line)
+
+    def _lex_interpolated_body(self, terminator: str, heredoc_label: str = "") -> None:
+        """Scan the inside of an interpolated string.
+
+        Emits ``T_ENCAPSED_AND_WHITESPACE`` for literal runs and the
+        interpolation tokens PHP produces for ``$var``, ``$var[i]``,
+        ``$var->prop`` (simple syntax) and ``{$expr}`` / ``${name}``
+        (complex syntax).  Stops *before* the terminator.
+        """
+        literal_start = self.pos
+        literal_line = self.line
+
+        def flush() -> None:
+            nonlocal literal_start, literal_line
+            if self.pos > literal_start:
+                text = self.source[literal_start:self.pos]
+                self.tokens.append(
+                    Token(TokenType.ENCAPSED_AND_WHITESPACE, text, literal_line)
+                )
+            literal_start = self.pos
+            literal_line = self.line
+
+        while self.pos < len(self.source):
+            if heredoc_label:
+                if self._at_heredoc_end(heredoc_label):
+                    flush()
+                    return
+            elif self._peek() == terminator:
+                flush()
+                return
+
+            char = self._peek()
+            if char == "\\" and not heredoc_label:
+                self.pos += 2
+                continue
+            if char == "\n":
+                self.pos += 1
+                self.line += 1
+                continue
+            if char == "$" and _IDENT_START.match(self._peek(1) or ""):
+                flush()
+                self._lex_variable()
+                self._lex_simple_interp_suffix()
+                literal_start = self.pos
+                literal_line = self.line
+                continue
+            if char == "{" and self._peek(1) == "$":
+                flush()
+                self._emit(TokenType.CURLY_OPEN, "{")
+                self._advance("{")
+                self._lex_complex_interp()
+                literal_start = self.pos
+                literal_line = self.line
+                continue
+            if char == "$" and self._peek(1) == "{":
+                flush()
+                self._emit(TokenType.DOLLAR_OPEN_CURLY_BRACES, "${")
+                self._advance("${")
+                self._lex_complex_interp()
+                literal_start = self.pos
+                literal_line = self.line
+                continue
+            self.pos += 1
+        flush()
+
+    def _lex_simple_interp_suffix(self) -> None:
+        """``$var[index]`` and ``$var->prop`` simple interpolation syntax."""
+        if self._peek() == "[":
+            self._emit(TokenType.CHAR, "[")
+            self._advance("[")
+            match = re.match(
+                r"\$[A-Za-z_][A-Za-z0-9_]*|\d+|[A-Za-z_][A-Za-z0-9_]*", self._rest()
+            )
+            if match is not None:
+                text = match.group(0)
+                if text.startswith("$"):
+                    self._emit(TokenType.VARIABLE, text)
+                elif text.isdigit():
+                    self._emit(TokenType.NUM_STRING, text)
+                else:
+                    self._emit(TokenType.STRING, text)
+                self._advance(text)
+            if self._peek() == "]":
+                self._emit(TokenType.CHAR, "]")
+                self._advance("]")
+        elif self._rest().startswith("->") and _IDENT_START.match(self._peek(2) or ""):
+            self._emit(TokenType.OBJECT_OPERATOR, "->")
+            self._advance("->")
+            match = re.match(r"[A-Za-z_][A-Za-z0-9_]*", self._rest())
+            assert match is not None
+            self._emit(TokenType.STRING, match.group(0))
+            self._advance(match.group(0))
+
+    def _lex_complex_interp(self) -> None:
+        """Lex regular PHP tokens until the matching ``}``."""
+        depth = 1
+        while self.pos < len(self.source) and depth > 0:
+            char = self._peek()
+            if char == "{":
+                depth += 1
+                self._emit(TokenType.CHAR, "{")
+                self._advance("{")
+                continue
+            if char == "}":
+                depth -= 1
+                self._emit(TokenType.CHAR, "}")
+                self._advance("}")
+                continue
+            before = self.pos
+            self._lex_php_single()
+            if self.pos == before:  # safety against infinite loops
+                raise PhpLexError(
+                    "stuck while lexing string interpolation", self.filename, self.line
+                )
+
+    def _lex_php_single(self) -> None:
+        """Lex exactly one PHP-mode token (used inside ``{$...}``)."""
+        char = self._peek()
+        if char in " \t\r\n":
+            match = re.match(r"[ \t\r\n]+", self._rest())
+            assert match is not None
+            self._emit(TokenType.WHITESPACE, match.group(0))
+            self._advance(match.group(0))
+        elif char == "$" and _IDENT_START.match(self._peek(1) or ""):
+            self._lex_variable()
+        elif char == "'":
+            self._lex_single_quoted()
+        elif char == '"':
+            self._lex_double_quoted()
+        elif char.isdigit():
+            self._lex_number()
+        elif _IDENT_START.match(char):
+            self._lex_identifier()
+        elif self._match_operator() is not None:
+            pass
+        else:
+            self._emit(TokenType.CHAR, char)
+            self._advance(char)
+
+    # -- heredoc ---------------------------------------------------------------
+
+    def _at_heredoc_end(self, label: str) -> bool:
+        """True when the current line starts the heredoc terminator."""
+        if self.pos != 0 and self.source[self.pos - 1] != "\n":
+            return False
+        match = re.match(rf"[ \t]*{re.escape(label)}(?![A-Za-z0-9_])", self._rest())
+        return match is not None
+
+    def _lex_heredoc(self) -> bool:
+        match = _HEREDOC_START.match(self._rest())
+        if match is None:
+            return False
+        opener = match.group(0)
+        quote = match.group(1)
+        label = match.group(2)
+        start_line = self.line
+        self._emit(TokenType.START_HEREDOC, opener.rstrip("\r\n"), start_line)
+        self._advance(opener)
+        if quote == "'":
+            # nowdoc: no interpolation, scan straight to the terminator
+            literal_start = self.pos
+            literal_line = self.line
+            while self.pos < len(self.source) and not self._at_heredoc_end(label):
+                if self._peek() == "\n":
+                    self.line += 1
+                self.pos += 1
+            if self.pos > literal_start:
+                self.tokens.append(
+                    Token(
+                        TokenType.ENCAPSED_AND_WHITESPACE,
+                        self.source[literal_start:self.pos],
+                        literal_line,
+                    )
+                )
+        else:
+            self._lex_interpolated_body(terminator="", heredoc_label=label)
+        end = re.match(rf"[ \t]*{re.escape(label)}", self._rest())
+        if end is None:
+            raise PhpLexError(f"unterminated heredoc <<<{label}", self.filename, start_line)
+        self._emit(TokenType.END_HEREDOC, end.group(0))
+        self._advance(end.group(0))
+        return True
+
+
+def tokenize(source: str, filename: str = "<string>") -> List[Token]:
+    """Tokenize PHP source, mirroring ``token_get_all`` output."""
+    return Lexer(source, filename).tokenize()
+
+
+def tokenize_significant(source: str, filename: str = "<string>") -> List[Token]:
+    """Tokenize and drop whitespace/comments (the paper's cleaning step)."""
+    return [token for token in tokenize(source, filename) if token.type not in TRIVIA]
+
+
+def iter_lines_of_code(source: str) -> Iterator[str]:
+    """Yield non-blank, non-comment-only physical lines (LOC counting).
+
+    Table III of the paper reports per-KLOC analysis cost; this helper
+    provides the LOC measure used by the evaluation harness.
+    """
+    in_block_comment = False
+    for raw_line in source.splitlines():
+        line = raw_line.strip()
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+                line = line.split("*/", 1)[1].strip()
+            else:
+                continue
+        if not line:
+            continue
+        if line.startswith("/*"):
+            if "*/" not in line:
+                in_block_comment = True
+            continue
+        if line.startswith("//") or line.startswith("#") or line.startswith("*"):
+            continue
+        yield raw_line
+
+
+def count_loc(source: str) -> int:
+    """Count effective lines of code in ``source``."""
+    return sum(1 for _ in iter_lines_of_code(source))

@@ -1,0 +1,1387 @@
+"""Recursive-descent parser from PHP tokens to the AST of :mod:`ast_nodes`.
+
+The parser consumes the *significant* token stream (whitespace and
+comments already dropped — the paper's model-construction cleaning step)
+and produces a :class:`~repro.php.ast_nodes.PhpFile`.
+
+It covers the PHP 5 subset real WordPress plugins are written in:
+procedural code, full OOP (classes, interfaces, traits, properties,
+methods, static members, inheritance), both brace and alternative
+(``if: ... endif;``) statement syntaxes, string interpolation, heredocs,
+closures, and ``include``/``require``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from . import ast_nodes as ast
+from .errors import PhpParseError
+from .lexer import tokenize_significant
+from .tokens import Token, TokenType
+
+# Binary operator precedence, PHP manual order (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "or": 1,
+    "xor": 2,
+    "and": 3,
+    "||": 5,
+    "&&": 6,
+    "|": 7,
+    "^": 8,
+    "&": 9,
+    "==": 10,
+    "!=": 10,
+    "===": 10,
+    "!==": 10,
+    "<>": 10,
+    "<": 11,
+    "<=": 11,
+    ">": 11,
+    ">=": 11,
+    "<<": 12,
+    ">>": 12,
+    "+": 13,
+    "-": 13,
+    ".": 13,
+    "*": 14,
+    "/": 14,
+    "%": 14,
+    "instanceof": 16,
+    "**": 17,
+}
+
+_RIGHT_ASSOC = {"**"}
+
+_COMPOUND_ASSIGN = {
+    TokenType.PLUS_EQUAL: "+",
+    TokenType.MINUS_EQUAL: "-",
+    TokenType.MUL_EQUAL: "*",
+    TokenType.DIV_EQUAL: "/",
+    TokenType.CONCAT_EQUAL: ".",
+    TokenType.MOD_EQUAL: "%",
+    TokenType.AND_EQUAL: "&",
+    TokenType.OR_EQUAL: "|",
+    TokenType.XOR_EQUAL: "^",
+    TokenType.SL_EQUAL: "<<",
+    TokenType.SR_EQUAL: ">>",
+}
+
+_BINARY_TOKEN_SPELLING = {
+    TokenType.BOOLEAN_AND: "&&",
+    TokenType.BOOLEAN_OR: "||",
+    TokenType.LOGICAL_AND: "and",
+    TokenType.LOGICAL_OR: "or",
+    TokenType.LOGICAL_XOR: "xor",
+    TokenType.IS_EQUAL: "==",
+    TokenType.IS_NOT_EQUAL: "!=",
+    TokenType.IS_IDENTICAL: "===",
+    TokenType.IS_NOT_IDENTICAL: "!==",
+    TokenType.IS_SMALLER_OR_EQUAL: "<=",
+    TokenType.IS_GREATER_OR_EQUAL: ">=",
+    TokenType.SL: "<<",
+    TokenType.SR: ">>",
+    TokenType.POW: "**",
+    TokenType.INSTANCEOF: "instanceof",
+}
+
+_CAST_NAMES = {
+    TokenType.INT_CAST: "int",
+    TokenType.BOOL_CAST: "bool",
+    TokenType.DOUBLE_CAST: "float",
+    TokenType.STRING_CAST: "string",
+    TokenType.ARRAY_CAST: "array",
+    TokenType.OBJECT_CAST: "object",
+    TokenType.UNSET_CAST: "unset",
+}
+
+_INCLUDE_KINDS = {
+    TokenType.INCLUDE: "include",
+    TokenType.INCLUDE_ONCE: "include_once",
+    TokenType.REQUIRE: "require",
+    TokenType.REQUIRE_ONCE: "require_once",
+}
+
+_DOUBLE_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "v": "\v",
+    "f": "\f",
+    "e": "\x1b",
+    "\\": "\\",
+    "$": "$",
+    '"': '"',
+    "0": "\0",
+}
+
+
+def unescape_single_quoted(raw: str) -> str:
+    """Decode the contents of a single-quoted PHP string literal."""
+    body = raw[1:-1]
+    out: List[str] = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\" and index + 1 < len(body) and body[index + 1] in ("\\", "'"):
+            out.append(body[index + 1])
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def unescape_double_quoted(body: str) -> str:
+    """Decode escape sequences of a double-quoted PHP string body."""
+    out: List[str] = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\" and index + 1 < len(body):
+            nxt = body[index + 1]
+            if nxt in _DOUBLE_ESCAPES:
+                out.append(_DOUBLE_ESCAPES[nxt])
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+class Parser:
+    """One-pass recursive-descent parser with precedence climbing."""
+
+    def __init__(self, tokens: List[Token], filename: str = "<string>") -> None:
+        self.tokens = tokens
+        self.filename = filename
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = self.pos + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        line = self.tokens[-1].line if self.tokens else 0
+        return Token(TokenType.EOF, "", line)
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _at(self, type_: TokenType) -> bool:
+        return self._peek().type is type_
+
+    def _at_char(self, char: str) -> bool:
+        return self._peek().is_char(char)
+
+    def _accept(self, type_: TokenType) -> Optional[Token]:
+        if self._at(type_):
+            return self._next()
+        return None
+
+    def _accept_char(self, char: str) -> Optional[Token]:
+        if self._at_char(char):
+            return self._next()
+        return None
+
+    def _expect(self, type_: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not type_:
+            raise PhpParseError(
+                f"expected {type_.value}, found {token.name} {token.value!r}",
+                self.filename,
+                token.line,
+            )
+        return self._next()
+
+    def _expect_char(self, char: str) -> Token:
+        token = self._peek()
+        if not token.is_char(char):
+            raise PhpParseError(
+                f"expected {char!r}, found {token.name} {token.value!r}",
+                self.filename,
+                token.line,
+            )
+        return self._next()
+
+    def _error(self, message: str) -> PhpParseError:
+        return PhpParseError(message, self.filename, self._peek().line)
+
+    # -- entry point ----------------------------------------------------------
+
+    def parse_file(self) -> ast.PhpFile:
+        statements: List[ast.Statement] = []
+        while not self._at(TokenType.EOF):
+            statement = self._parse_statement()
+            if statement is not None:
+                statements.append(statement)
+        return ast.PhpFile(line=1, filename=self.filename, statements=statements)
+
+    # -- statements -------------------------------------------------------------
+
+    def _parse_statement(self) -> Optional[ast.Statement]:  # noqa: C901
+        token = self._peek()
+        type_ = token.type
+
+        if type_ in (TokenType.OPEN_TAG,):
+            self._next()
+            return None
+        if type_ is TokenType.OPEN_TAG_WITH_ECHO:
+            self._next()
+            return self._parse_echo_tail(token.line)
+        if type_ is TokenType.CLOSE_TAG:
+            self._next()
+            return None
+        if type_ is TokenType.INLINE_HTML:
+            self._next()
+            return ast.InlineHTML(line=token.line, text=token.value)
+        if token.is_char(";"):
+            self._next()
+            return None
+        if token.is_char("{"):
+            self._next()
+            body = self._parse_statement_list_until("}")
+            self._expect_char("}")
+            return ast.Block(line=token.line, statements=body)
+
+        if type_ is TokenType.ECHO:
+            self._next()
+            return self._parse_echo_tail(token.line)
+        if type_ is TokenType.IF:
+            return self._parse_if()
+        if type_ is TokenType.WHILE:
+            return self._parse_while()
+        if type_ is TokenType.DO:
+            return self._parse_do_while()
+        if type_ is TokenType.FOR:
+            return self._parse_for()
+        if type_ is TokenType.FOREACH:
+            return self._parse_foreach()
+        if type_ is TokenType.SWITCH:
+            return self._parse_switch()
+        if type_ is TokenType.BREAK:
+            return self._parse_break_continue(ast.BreakStatement)
+        if type_ is TokenType.CONTINUE:
+            return self._parse_break_continue(ast.ContinueStatement)
+        if type_ is TokenType.RETURN:
+            self._next()
+            expr = None
+            if not self._at_char(";") and not self._at(TokenType.CLOSE_TAG):
+                expr = self._parse_expression()
+            self._end_statement()
+            return ast.ReturnStatement(line=token.line, expr=expr)
+        if type_ is TokenType.GLOBAL:
+            return self._parse_global()
+        if type_ is TokenType.STATIC and self._peek(1).type is TokenType.VARIABLE:
+            return self._parse_static_vars()
+        if type_ is TokenType.UNSET:
+            return self._parse_unset()
+        if type_ is TokenType.THROW:
+            self._next()
+            expr = self._parse_expression()
+            self._end_statement()
+            return ast.ThrowStatement(line=token.line, expr=expr)
+        if type_ is TokenType.TRY:
+            return self._parse_try()
+        if type_ is TokenType.FUNCTION and self._is_function_declaration():
+            return self._parse_function_declaration()
+        if type_ in (TokenType.ABSTRACT, TokenType.FINAL):
+            return self._parse_class_declaration()
+        if type_ in (TokenType.CLASS, TokenType.INTERFACE, TokenType.TRAIT):
+            return self._parse_class_declaration()
+        if type_ is TokenType.NAMESPACE:
+            return self._parse_namespace()
+        if type_ is TokenType.USE:
+            return self._parse_use()
+        if type_ is TokenType.CONST:
+            return self._parse_const()
+        if type_ is TokenType.DECLARE:
+            return self._parse_declare()
+        if type_ is TokenType.GOTO:
+            self._next()
+            label = self._expect(TokenType.STRING).value
+            self._end_statement()
+            return ast.GotoStatement(line=token.line, label=label)
+        if (
+            type_ is TokenType.STRING
+            and self._peek(1).is_char(":")
+            and not self._peek(2).is_char(":")
+        ):
+            self._next()
+            self._next()
+            return ast.LabelStatement(line=token.line, name=token.value)
+
+        expr = self._parse_expression()
+        self._end_statement()
+        return ast.ExpressionStatement(line=token.line, expr=expr)
+
+    def _end_statement(self) -> None:
+        """Consume the terminating ``;`` (a ``?>`` also terminates)."""
+        if self._accept_char(";"):
+            return
+        if self._at(TokenType.CLOSE_TAG) or self._at(TokenType.EOF):
+            return
+        raise self._error(
+            f"expected ';', found {self._peek().name} {self._peek().value!r}"
+        )
+
+    def _parse_statement_list_until(self, *closers: str) -> List[ast.Statement]:
+        """Parse statements until a closing char token or closing keyword."""
+        closer_types = {
+            TokenType.ENDIF,
+            TokenType.ENDWHILE,
+            TokenType.ENDFOR,
+            TokenType.ENDFOREACH,
+            TokenType.ENDSWITCH,
+            TokenType.ENDDECLARE,
+            TokenType.ELSE,
+            TokenType.ELSEIF,
+            TokenType.CASE,
+            TokenType.DEFAULT,
+        }
+        statements: List[ast.Statement] = []
+        while not self._at(TokenType.EOF):
+            token = self._peek()
+            if any(token.is_char(closer) for closer in closers):
+                break
+            if closers and not closers[0] == "}" and token.type in closer_types:
+                break
+            if closers == ("}",) and token.type in (
+                TokenType.CASE,
+                TokenType.DEFAULT,
+                TokenType.ENDSWITCH,
+            ):
+                break
+            statement = self._parse_statement()
+            if statement is not None:
+                statements.append(statement)
+        return statements
+
+    def _parse_body(self, *end_keywords: TokenType) -> List[ast.Statement]:
+        """Parse a statement body: ``{...}``, ``: ... endX;`` or single stmt."""
+        if self._at_char("{"):
+            self._next()
+            body = self._parse_statement_list_until("}")
+            self._expect_char("}")
+            return body
+        if self._at_char(":"):
+            self._next()
+            body: List[ast.Statement] = []
+            stop = set(end_keywords) | {TokenType.ELSE, TokenType.ELSEIF}
+            while not self._at(TokenType.EOF) and self._peek().type not in stop:
+                statement = self._parse_statement()
+                if statement is not None:
+                    body.append(statement)
+            return body
+        statement = self._parse_statement()
+        return [statement] if statement is not None else []
+
+    # -- control flow --------------------------------------------------------
+
+    def _parse_echo_tail(self, line: int) -> ast.EchoStatement:
+        exprs = [self._parse_expression()]
+        while self._accept_char(","):
+            exprs.append(self._parse_expression())
+        self._end_statement()
+        return ast.EchoStatement(line=line, exprs=exprs)
+
+    def _parse_paren_expression(self) -> ast.Expr:
+        self._expect_char("(")
+        expr = self._parse_expression()
+        self._expect_char(")")
+        return expr
+
+    def _parse_if(self) -> ast.IfStatement:
+        line = self._expect(TokenType.IF).line
+        cond = self._parse_paren_expression()
+        alternative = self._at_char(":")
+        then = self._parse_body(TokenType.ENDIF)
+        elseifs: List[ast.ElseIfClause] = []
+        otherwise: Optional[List[ast.Statement]] = None
+        while True:
+            if self._at(TokenType.ELSEIF):
+                clause_line = self._next().line
+                clause_cond = self._parse_paren_expression()
+                clause_body = self._parse_body(TokenType.ENDIF)
+                elseifs.append(
+                    ast.ElseIfClause(line=clause_line, cond=clause_cond, body=clause_body)
+                )
+                continue
+            if self._at(TokenType.ELSE) and self._peek(1).type is TokenType.IF:
+                # `else if` treated as elseif with a nested parse
+                clause_line = self._next().line
+                self._next()
+                clause_cond = self._parse_paren_expression()
+                clause_body = self._parse_body(TokenType.ENDIF)
+                elseifs.append(
+                    ast.ElseIfClause(line=clause_line, cond=clause_cond, body=clause_body)
+                )
+                continue
+            if self._at(TokenType.ELSE):
+                self._next()
+                otherwise = self._parse_body(TokenType.ENDIF)
+            break
+        if alternative:
+            self._expect(TokenType.ENDIF)
+            self._end_statement()
+        return ast.IfStatement(
+            line=line, cond=cond, then=then, elseifs=elseifs, otherwise=otherwise
+        )
+
+    def _parse_while(self) -> ast.WhileStatement:
+        line = self._expect(TokenType.WHILE).line
+        cond = self._parse_paren_expression()
+        alternative = self._at_char(":")
+        body = self._parse_body(TokenType.ENDWHILE)
+        if alternative:
+            self._expect(TokenType.ENDWHILE)
+            self._end_statement()
+        return ast.WhileStatement(line=line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhileStatement:
+        line = self._expect(TokenType.DO).line
+        body = self._parse_body()
+        self._expect(TokenType.WHILE)
+        cond = self._parse_paren_expression()
+        self._end_statement()
+        return ast.DoWhileStatement(line=line, body=body, cond=cond)
+
+    def _parse_expr_list_until(self, *closers: str) -> List[ast.Expr]:
+        exprs: List[ast.Expr] = []
+        if any(self._at_char(closer) for closer in closers):
+            return exprs
+        exprs.append(self._parse_expression())
+        while self._accept_char(","):
+            exprs.append(self._parse_expression())
+        return exprs
+
+    def _parse_for(self) -> ast.ForStatement:
+        line = self._expect(TokenType.FOR).line
+        self._expect_char("(")
+        init = self._parse_expr_list_until(";")
+        self._expect_char(";")
+        cond = self._parse_expr_list_until(";")
+        self._expect_char(";")
+        update = self._parse_expr_list_until(")")
+        self._expect_char(")")
+        alternative = self._at_char(":")
+        body = self._parse_body(TokenType.ENDFOR)
+        if alternative:
+            self._expect(TokenType.ENDFOR)
+            self._end_statement()
+        return ast.ForStatement(line=line, init=init, cond=cond, update=update, body=body)
+
+    def _parse_foreach(self) -> ast.ForeachStatement:
+        line = self._expect(TokenType.FOREACH).line
+        self._expect_char("(")
+        subject = self._parse_expression()
+        self._expect(TokenType.AS)
+        by_ref = self._accept_char("&") is not None
+        first = self._parse_expression()
+        key_var: Optional[ast.Expr] = None
+        value_var = first
+        if self._accept(TokenType.DOUBLE_ARROW):
+            key_var = first
+            by_ref = self._accept_char("&") is not None
+            value_var = self._parse_expression()
+        self._expect_char(")")
+        alternative = self._at_char(":")
+        body = self._parse_body(TokenType.ENDFOREACH)
+        if alternative:
+            self._expect(TokenType.ENDFOREACH)
+            self._end_statement()
+        return ast.ForeachStatement(
+            line=line,
+            subject=subject,
+            key_var=key_var,
+            value_var=value_var,
+            by_ref=by_ref,
+            body=body,
+        )
+
+    def _parse_switch(self) -> ast.SwitchStatement:
+        line = self._expect(TokenType.SWITCH).line
+        subject = self._parse_paren_expression()
+        alternative = False
+        if self._accept_char("{"):
+            pass
+        elif self._accept_char(":"):
+            alternative = True
+        else:
+            raise self._error("expected '{' or ':' after switch (...)")
+        cases: List[ast.SwitchCase] = []
+        while not self._at(TokenType.EOF):
+            if self._at_char("}") or self._at(TokenType.ENDSWITCH):
+                break
+            if self._accept_char(";"):
+                continue
+            token = self._peek()
+            if token.type is TokenType.CASE:
+                self._next()
+                test: Optional[ast.Expr] = self._parse_expression()
+            elif token.type is TokenType.DEFAULT:
+                self._next()
+                test = None
+            else:
+                raise self._error(f"expected case/default, found {token.name}")
+            if not self._accept_char(":"):
+                self._accept_char(";")
+            body = self._parse_statement_list_until("}")
+            cases.append(ast.SwitchCase(line=token.line, test=test, body=body))
+        if alternative:
+            self._expect(TokenType.ENDSWITCH)
+            self._end_statement()
+        else:
+            self._expect_char("}")
+        return ast.SwitchStatement(line=line, subject=subject, cases=cases)
+
+    def _parse_break_continue(self, cls) -> ast.Statement:
+        token = self._next()
+        level = 1
+        if self._at(TokenType.LNUMBER):
+            level = int(self._next().value, 0)
+        self._end_statement()
+        return cls(line=token.line, level=level)
+
+    def _parse_global(self) -> ast.GlobalStatement:
+        line = self._expect(TokenType.GLOBAL).line
+        names = [self._expect(TokenType.VARIABLE).value[1:]]
+        while self._accept_char(","):
+            names.append(self._expect(TokenType.VARIABLE).value[1:])
+        self._end_statement()
+        return ast.GlobalStatement(line=line, names=names)
+
+    def _parse_static_vars(self) -> ast.StaticVarStatement:
+        line = self._expect(TokenType.STATIC).line
+        vars_: List = []
+        while True:
+            name = self._expect(TokenType.VARIABLE).value[1:]
+            default = None
+            if self._accept_char("="):
+                default = self._parse_expression()
+            vars_.append((name, default))
+            if not self._accept_char(","):
+                break
+        self._end_statement()
+        return ast.StaticVarStatement(line=line, vars=vars_)
+
+    def _parse_unset(self) -> ast.UnsetStatement:
+        line = self._expect(TokenType.UNSET).line
+        self._expect_char("(")
+        vars_ = self._parse_expr_list_until(")")
+        self._expect_char(")")
+        self._end_statement()
+        return ast.UnsetStatement(line=line, vars=vars_)
+
+    def _parse_try(self) -> ast.TryStatement:
+        line = self._expect(TokenType.TRY).line
+        self._expect_char("{")
+        body = self._parse_statement_list_until("}")
+        self._expect_char("}")
+        catches: List[ast.CatchClause] = []
+        finally_body: Optional[List[ast.Statement]] = None
+        while self._at(TokenType.CATCH):
+            catch_line = self._next().line
+            self._expect_char("(")
+            class_name = self._parse_qualified_name()
+            var_token = self._accept(TokenType.VARIABLE)
+            var_name = var_token.value[1:] if var_token else ""
+            self._expect_char(")")
+            self._expect_char("{")
+            catch_body = self._parse_statement_list_until("}")
+            self._expect_char("}")
+            catches.append(
+                ast.CatchClause(
+                    line=catch_line, class_name=class_name, var_name=var_name, body=catch_body
+                )
+            )
+        if self._at(TokenType.STRING) and self._peek().value.lower() == "finally":
+            self._next()
+            self._expect_char("{")
+            finally_body = self._parse_statement_list_until("}")
+            self._expect_char("}")
+        return ast.TryStatement(
+            line=line, body=body, catches=catches, finally_body=finally_body
+        )
+
+    # -- declarations -----------------------------------------------------------
+
+    def _is_function_declaration(self) -> bool:
+        """Distinguish ``function name(...)`` from a closure expression."""
+        offset = 1
+        if self._peek(offset).is_char("&"):
+            offset += 1
+        return self._peek(offset).type is TokenType.STRING
+
+    def _parse_qualified_name(self) -> str:
+        """Parse a possibly namespace-qualified name into one string."""
+        parts: List[str] = []
+        if self._accept(TokenType.NS_SEPARATOR):
+            pass
+        while True:
+            token = self._peek()
+            if token.type in (TokenType.STRING, TokenType.ARRAY, TokenType.STATIC):
+                parts.append(self._next().value)
+            else:
+                break
+            if not self._accept(TokenType.NS_SEPARATOR):
+                break
+        if not parts:
+            raise self._error(f"expected name, found {self._peek().name}")
+        return "\\".join(parts)
+
+    def _parse_params(self) -> List[ast.Param]:
+        self._expect_char("(")
+        params: List[ast.Param] = []
+        while not self._at_char(")") and not self._at(TokenType.EOF):
+            line = self._peek().line
+            type_hint: Optional[str] = None
+            if self._at(TokenType.STRING) or self._at(TokenType.NS_SEPARATOR):
+                type_hint = self._parse_qualified_name()
+            elif self._at(TokenType.ARRAY):
+                type_hint = self._next().value
+            by_ref = self._accept_char("&") is not None
+            self._accept(TokenType.ELLIPSIS)
+            name = self._expect(TokenType.VARIABLE).value[1:]
+            default = None
+            if self._accept_char("="):
+                default = self._parse_expression()
+            params.append(
+                ast.Param(
+                    line=line, name=name, default=default, by_ref=by_ref, type_hint=type_hint
+                )
+            )
+            if not self._accept_char(","):
+                break
+        self._expect_char(")")
+        return params
+
+    def _parse_function_declaration(self) -> ast.FunctionDecl:
+        line = self._expect(TokenType.FUNCTION).line
+        by_ref = self._accept_char("&") is not None
+        name = self._expect(TokenType.STRING).value
+        params = self._parse_params()
+        self._expect_char("{")
+        body = self._parse_statement_list_until("}")
+        self._expect_char("}")
+        return ast.FunctionDecl(line=line, name=name, params=params, body=body, by_ref=by_ref)
+
+    def _parse_class_declaration(self) -> ast.ClassDecl:
+        is_abstract = False
+        is_final = False
+        while True:
+            if self._accept(TokenType.ABSTRACT):
+                is_abstract = True
+            elif self._accept(TokenType.FINAL):
+                is_final = True
+            else:
+                break
+        token = self._peek()
+        if token.type is TokenType.CLASS:
+            kind = "class"
+        elif token.type is TokenType.INTERFACE:
+            kind = "interface"
+        elif token.type is TokenType.TRAIT:
+            kind = "trait"
+        else:
+            raise self._error(f"expected class/interface/trait, found {token.name}")
+        line = self._next().line
+        name = self._expect(TokenType.STRING).value
+        parent: Optional[str] = None
+        interfaces: List[str] = []
+        if self._accept(TokenType.EXTENDS):
+            parent = self._parse_qualified_name()
+            # interfaces may extend several parents; keep the first, record rest
+            while self._accept_char(","):
+                interfaces.append(self._parse_qualified_name())
+        if self._accept(TokenType.IMPLEMENTS):
+            interfaces.append(self._parse_qualified_name())
+            while self._accept_char(","):
+                interfaces.append(self._parse_qualified_name())
+        self._expect_char("{")
+        decl = ast.ClassDecl(
+            line=line,
+            name=name,
+            parent=parent,
+            interfaces=interfaces,
+            kind=kind,
+            is_abstract=is_abstract,
+            is_final=is_final,
+        )
+        while not self._at_char("}") and not self._at(TokenType.EOF):
+            self._parse_class_member(decl)
+        self._expect_char("}")
+        return decl
+
+    def _parse_class_member(self, decl: ast.ClassDecl) -> None:  # noqa: C901
+        if self._accept_char(";"):
+            return
+        if self._at(TokenType.USE):
+            self._next()
+            decl.uses.append(self._parse_qualified_name())
+            while self._accept_char(","):
+                decl.uses.append(self._parse_qualified_name())
+            if self._accept_char("{"):
+                while not self._accept_char("}") and not self._at(TokenType.EOF):
+                    self._next()
+            else:
+                self._end_statement()
+            return
+        if self._at(TokenType.CONST):
+            self._next()
+            while True:
+                const_line = self._peek().line
+                const_name = self._expect(TokenType.STRING).value
+                self._expect_char("=")
+                value = self._parse_expression()
+                decl.constants.append(
+                    ast.ClassConstDecl(line=const_line, name=const_name, value=value)
+                )
+                if not self._accept_char(","):
+                    break
+            self._end_statement()
+            return
+
+        visibility = "public"
+        static = False
+        abstract = False
+        final = False
+        while True:
+            token = self._peek()
+            if token.type in (TokenType.PUBLIC, TokenType.VAR):
+                visibility = "public"
+                self._next()
+            elif token.type is TokenType.PROTECTED:
+                visibility = "protected"
+                self._next()
+            elif token.type is TokenType.PRIVATE:
+                visibility = "private"
+                self._next()
+            elif token.type is TokenType.STATIC:
+                static = True
+                self._next()
+            elif token.type is TokenType.ABSTRACT:
+                abstract = True
+                self._next()
+            elif token.type is TokenType.FINAL:
+                final = True
+                self._next()
+            else:
+                break
+
+        if self._at(TokenType.FUNCTION):
+            line = self._next().line
+            by_ref = self._accept_char("&") is not None
+            name_token = self._peek()
+            if name_token.type is TokenType.STRING or name_token.type.value.startswith("T_"):
+                name = self._next().value
+            else:
+                raise self._error("expected method name")
+            params = self._parse_params()
+            body: Optional[List[ast.Statement]] = None
+            if self._accept_char("{"):
+                body = self._parse_statement_list_until("}")
+                self._expect_char("}")
+            else:
+                self._end_statement()
+            decl.methods.append(
+                ast.MethodDecl(
+                    line=line,
+                    name=name,
+                    params=params,
+                    body=body,
+                    visibility=visibility,
+                    static=static,
+                    abstract=abstract,
+                    final=final,
+                    by_ref=by_ref,
+                )
+            )
+            return
+
+        if self._at(TokenType.VARIABLE):
+            while True:
+                line = self._peek().line
+                name = self._expect(TokenType.VARIABLE).value[1:]
+                default = None
+                if self._accept_char("="):
+                    default = self._parse_expression()
+                decl.properties.append(
+                    ast.PropertyDecl(
+                        line=line,
+                        name=name,
+                        default=default,
+                        visibility=visibility,
+                        static=static,
+                    )
+                )
+                if not self._accept_char(","):
+                    break
+            self._end_statement()
+            return
+
+        raise self._error(f"unexpected token in class body: {self._peek().name}")
+
+    def _parse_namespace(self) -> ast.NamespaceStatement:
+        line = self._expect(TokenType.NAMESPACE).line
+        name = ""
+        if self._at(TokenType.STRING):
+            name = self._parse_qualified_name()
+        if self._accept_char("{"):
+            body = self._parse_statement_list_until("}")
+            self._expect_char("}")
+            return ast.NamespaceStatement(line=line, name=name, body=body)
+        self._end_statement()
+        return ast.NamespaceStatement(line=line, name=name, body=None)
+
+    def _parse_use(self) -> ast.UseStatement:
+        line = self._expect(TokenType.USE).line
+        name = self._parse_qualified_name()
+        alias = None
+        if self._accept(TokenType.AS):
+            alias = self._expect(TokenType.STRING).value
+        while self._accept_char(","):
+            self._parse_qualified_name()
+            if self._accept(TokenType.AS):
+                self._expect(TokenType.STRING)
+        self._end_statement()
+        return ast.UseStatement(line=line, name=name, alias=alias)
+
+    def _parse_const(self) -> ast.ConstStatement:
+        line = self._expect(TokenType.CONST).line
+        consts: List = []
+        while True:
+            name = self._expect(TokenType.STRING).value
+            self._expect_char("=")
+            value = self._parse_expression()
+            consts.append((name, value))
+            if not self._accept_char(","):
+                break
+        self._end_statement()
+        return ast.ConstStatement(line=line, consts=consts)
+
+    def _parse_declare(self) -> ast.DeclareStatement:
+        line = self._expect(TokenType.DECLARE).line
+        self._expect_char("(")
+        directives: List = []
+        while not self._at_char(")"):
+            name = self._expect(TokenType.STRING).value
+            self._expect_char("=")
+            value = self._parse_expression()
+            directives.append((name, value))
+            if not self._accept_char(","):
+                break
+        self._expect_char(")")
+        body: Optional[List[ast.Statement]] = None
+        if self._accept_char("{"):
+            body = self._parse_statement_list_until("}")
+            self._expect_char("}")
+        else:
+            self._accept_char(";")
+        return ast.DeclareStatement(line=line, directives=directives, body=body)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        # `and`/`or`/`xor` bind looser than `=` in PHP, so they sit
+        # above the assignment level.
+        left = self._parse_assignment()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.LOGICAL_AND:
+                op = "and"
+            elif token.type is TokenType.LOGICAL_OR:
+                op = "or"
+            elif token.type is TokenType.LOGICAL_XOR:
+                op = "xor"
+            else:
+                return left
+            self._next()
+            right = self._parse_assignment()
+            left = ast.Binary(line=token.line, op=op, left=left, right=right)
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        token = self._peek()
+        if token.is_char("="):
+            self._next()
+            by_ref = self._accept_char("&") is not None
+            value = self._parse_assignment()
+            return ast.Assignment(
+                line=token.line, target=left, value=value, op="=", by_ref=by_ref
+            )
+        if token.type in _COMPOUND_ASSIGN:
+            self._next()
+            value = self._parse_assignment()
+            return ast.Assignment(
+                line=token.line,
+                target=left,
+                value=value,
+                op=_COMPOUND_ASSIGN[token.type] + "=",
+            )
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(5)
+        if self._at_char("?"):
+            line = self._next().line
+            if self._accept_char(":"):
+                if_false = self._parse_assignment()
+                return ast.Ternary(line=line, cond=cond, if_true=None, if_false=if_false)
+            if_true = self._parse_assignment()
+            self._expect_char(":")
+            if_false = self._parse_assignment()
+            return ast.Ternary(line=line, cond=cond, if_true=if_true, if_false=if_false)
+        return cond
+
+    def _binary_op_at(self) -> Optional[str]:
+        token = self._peek()
+        if token.type is TokenType.CHAR and token.value in "+-*/%.&|^<>":
+            # exclude chars that terminate expressions
+            return token.value
+        return _BINARY_TOKEN_SPELLING.get(token.type)
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            op = self._binary_op_at()
+            if op is None:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(op)
+            if precedence is None or precedence < min_precedence:
+                return left
+            token = self._next()
+            if op == "instanceof":
+                class_name: Union[str, ast.Expr]
+                if self._at(TokenType.STRING) or self._at(TokenType.NS_SEPARATOR):
+                    class_name = self._parse_qualified_name()
+                else:
+                    class_name = self._parse_unary()
+                left = ast.InstanceofExpr(line=token.line, expr=left, class_name=class_name)
+                continue
+            next_min = precedence if op in _RIGHT_ASSOC else precedence + 1
+            right = self._parse_binary(next_min)
+            left = ast.Binary(line=token.line, op=op, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_char("!") or token.is_char("-") or token.is_char("+") or token.is_char("~"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op=token.value, operand=operand)
+        if token.is_char("@"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op="@", operand=operand)
+        if token.type in _CAST_NAMES:
+            self._next()
+            operand = self._parse_unary()
+            return ast.Cast(line=token.line, to=_CAST_NAMES[token.type], operand=operand)
+        if token.type is TokenType.INC or token.type is TokenType.DEC:
+            self._next()
+            target = self._parse_unary()
+            return ast.IncDec(line=token.line, op=token.value, target=target, prefix=True)
+        if token.type in _INCLUDE_KINDS:
+            self._next()
+            path = self._parse_expression()
+            return ast.IncludeExpr(line=token.line, kind=_INCLUDE_KINDS[token.type], path=path)
+        if token.type is TokenType.PRINT:
+            self._next()
+            expr = self._parse_expression()
+            return ast.PrintExpr(line=token.line, expr=expr)
+        if token.type is TokenType.THROW:
+            self._next()
+            expr = self._parse_expression()
+            return ast.Unary(line=token.line, op="throw", operand=expr)
+        if token.type is TokenType.NEW:
+            return self._parse_new()
+        if token.type is TokenType.CLONE:
+            self._next()
+            expr = self._parse_unary()
+            return ast.Clone(line=token.line, expr=expr)
+        if token.type is TokenType.EXIT:
+            self._next()
+            expr = None
+            if self._accept_char("("):
+                if not self._at_char(")"):
+                    expr = self._parse_expression()
+                self._expect_char(")")
+            return ast.ExitExpr(line=token.line, expr=expr)
+        return self._parse_postfix()
+
+    def _parse_new(self) -> ast.Expr:
+        line = self._expect(TokenType.NEW).line
+        class_name: Union[str, ast.Expr]
+        if self._at(TokenType.STRING) or self._at(TokenType.NS_SEPARATOR) or self._at(
+            TokenType.STATIC
+        ):
+            class_name = self._parse_qualified_name()
+        elif self._at(TokenType.VARIABLE):
+            class_name = self._parse_postfix()
+        else:
+            raise self._error("expected class name after new")
+        args: List[ast.Expr] = []
+        if self._at_char("("):
+            args = self._parse_call_args()
+        node: ast.Expr = ast.New(line=line, class_name=class_name, args=args)
+        return self._parse_postfix_operators(node)
+
+    def _parse_call_args(self) -> List[ast.Expr]:
+        self._expect_char("(")
+        args: List[ast.Expr] = []
+        while not self._at_char(")") and not self._at(TokenType.EOF):
+            self._accept_char("&")  # call-time pass-by-reference (PHP4 style)
+            self._accept(TokenType.ELLIPSIS)
+            args.append(self._parse_expression())
+            if not self._accept_char(","):
+                break
+        self._expect_char(")")
+        return args
+
+    def _parse_postfix(self) -> ast.Expr:
+        node = self._parse_primary()
+        return self._parse_postfix_operators(node)
+
+    def _parse_postfix_operators(self, node: ast.Expr) -> ast.Expr:  # noqa: C901
+        while True:
+            token = self._peek()
+            if token.is_char("["):
+                self._next()
+                index: Optional[ast.Expr] = None
+                if not self._at_char("]"):
+                    index = self._parse_expression()
+                self._expect_char("]")
+                node = ast.ArrayAccess(line=token.line, array=node, index=index)
+                continue
+            if token.is_char("{") and isinstance(
+                node, (ast.Variable, ast.ArrayAccess, ast.PropertyAccess)
+            ):
+                # string offset access $str{0} (PHP5) — treat as array access
+                self._next()
+                index = self._parse_expression()
+                self._expect_char("}")
+                node = ast.ArrayAccess(line=token.line, array=node, index=index)
+                continue
+            if token.type is TokenType.OBJECT_OPERATOR:
+                self._next()
+                name = self._parse_member_name()
+                if self._at_char("("):
+                    args = self._parse_call_args()
+                    node = ast.MethodCall(
+                        line=token.line, object=node, method=name, args=args
+                    )
+                else:
+                    node = ast.PropertyAccess(line=token.line, object=node, name=name)
+                continue
+            if token.type is TokenType.DOUBLE_COLON:
+                class_name = self._static_class_name(node)
+                self._next()
+                if self._at(TokenType.VARIABLE):
+                    prop = self._next().value[1:]
+                    if self._at_char("("):
+                        args = self._parse_call_args()
+                        node = ast.StaticCall(
+                            line=token.line,
+                            class_name=class_name,
+                            method=ast.Variable(line=token.line, name=prop),
+                            args=args,
+                        )
+                    else:
+                        node = ast.StaticPropertyAccess(
+                            line=token.line, class_name=class_name, name=prop
+                        )
+                    continue
+                if self._at(TokenType.CLASS):
+                    self._next()
+                    node = ast.ClassConstAccess(
+                        line=token.line, class_name=class_name, name="class"
+                    )
+                    continue
+                member = self._parse_member_name()
+                if self._at_char("("):
+                    args = self._parse_call_args()
+                    node = ast.StaticCall(
+                        line=token.line, class_name=class_name, method=member, args=args
+                    )
+                else:
+                    if not isinstance(member, str):
+                        raise self._error("dynamic class constant access")
+                    node = ast.ClassConstAccess(
+                        line=token.line, class_name=class_name, name=member
+                    )
+                continue
+            if token.is_char("(") and isinstance(
+                node, (ast.Variable, ast.ArrayAccess, ast.PropertyAccess)
+            ):
+                args = self._parse_call_args()
+                node = ast.FunctionCall(line=token.line, name=node, args=args)
+                continue
+            if token.type is TokenType.INC or token.type is TokenType.DEC:
+                self._next()
+                node = ast.IncDec(line=token.line, op=token.value, target=node, prefix=False)
+                continue
+            return node
+
+    def _parse_member_name(self) -> Union[str, ast.Expr]:
+        token = self._peek()
+        if token.type is TokenType.STRING or (
+            token.type.value.startswith("T_") and token.value.isidentifier()
+        ):
+            self._next()
+            return token.value
+        if token.type is TokenType.VARIABLE:
+            self._next()
+            return ast.Variable(line=token.line, name=token.value[1:])
+        if token.is_char("{"):
+            self._next()
+            expr = self._parse_expression()
+            self._expect_char("}")
+            return expr
+        raise self._error(f"expected member name, found {token.name}")
+
+    def _static_class_name(self, node: ast.Expr) -> str:
+        if isinstance(node, ast.ConstFetch):
+            return node.name
+        if isinstance(node, ast.Variable):
+            return "$" + node.name
+        raise self._error("expected class name before '::'")
+
+    def _parse_primary(self) -> ast.Expr:  # noqa: C901
+        token = self._peek()
+
+        if token.type is TokenType.VARIABLE:
+            self._next()
+            return ast.Variable(line=token.line, name=token.value[1:])
+        if token.is_char("$"):
+            self._next()
+            if self._at_char("{"):
+                self._next()
+                expr = self._parse_expression()
+                self._expect_char("}")
+                return ast.VariableVariable(line=token.line, expr=expr)
+            inner = self._parse_primary()
+            return ast.VariableVariable(line=token.line, expr=inner)
+        if token.type is TokenType.LNUMBER:
+            self._next()
+            try:
+                value: object = int(token.value, 0)
+            except ValueError:
+                value = int(token.value)
+            return ast.Literal(line=token.line, value=value, raw=token.value)
+        if token.type is TokenType.DNUMBER:
+            self._next()
+            return ast.Literal(line=token.line, value=float(token.value), raw=token.value)
+        if token.type is TokenType.CONSTANT_ENCAPSED_STRING:
+            self._next()
+            raw = token.value
+            if raw.startswith("'"):
+                value = unescape_single_quoted(raw)
+            else:
+                value = unescape_double_quoted(raw[1:-1])
+            return ast.Literal(line=token.line, value=value, raw=raw)
+        if token.is_char('"'):
+            return self._parse_interpolated('"')
+        if token.is_char("`"):
+            node = self._parse_interpolated("`")
+            return ast.ShellExec(line=node.line, parts=node.parts)
+        if token.type is TokenType.START_HEREDOC:
+            return self._parse_heredoc()
+        if token.type is TokenType.ARRAY and self._peek(1).is_char("("):
+            self._next()
+            return self._parse_array_literal(token.line, ")")
+        if token.is_char("["):
+            self._next()
+            return self._parse_array_items(token.line, "]")
+        if token.is_char("("):
+            self._next()
+            expr = self._parse_expression()
+            self._expect_char(")")
+            return expr
+        if token.type is TokenType.ISSET:
+            self._next()
+            self._expect_char("(")
+            vars_ = self._parse_expr_list_until(")")
+            self._expect_char(")")
+            return ast.IssetExpr(line=token.line, vars=vars_)
+        if token.type is TokenType.EMPTY:
+            self._next()
+            self._expect_char("(")
+            expr = self._parse_expression()
+            self._expect_char(")")
+            return ast.EmptyExpr(line=token.line, expr=expr)
+        if token.type is TokenType.LIST:
+            self._next()
+            self._expect_char("(")
+            targets: List[Optional[ast.Expr]] = []
+            while not self._at_char(")"):
+                if self._at_char(","):
+                    targets.append(None)
+                else:
+                    targets.append(self._parse_expression())
+                if not self._accept_char(","):
+                    break
+            self._expect_char(")")
+            return ast.ListExpr(line=token.line, targets=targets)
+        if token.type is TokenType.FUNCTION:
+            return self._parse_closure(static=False)
+        if token.type is TokenType.STATIC and self._peek(1).type is TokenType.FUNCTION:
+            self._next()
+            return self._parse_closure(static=True)
+        if token.type is TokenType.STATIC and self._peek(1).type is TokenType.DOUBLE_COLON:
+            self._next()
+            return ast.ConstFetch(line=token.line, name="static")
+        if token.is_char("&"):
+            # reference in expression position: &$var — transparent for taint
+            self._next()
+            return self._parse_postfix()
+        if token.type in (
+            TokenType.STRING,
+            TokenType.NS_SEPARATOR,
+            TokenType.FILE,
+            TokenType.LINE,
+            TokenType.DIR,
+            TokenType.FUNC_C,
+            TokenType.CLASS_C,
+            TokenType.METHOD_C,
+        ):
+            name = self._parse_qualified_name() if token.type in (
+                TokenType.STRING,
+                TokenType.NS_SEPARATOR,
+            ) else self._next().value
+            if self._at_char("("):
+                args = self._parse_call_args()
+                return ast.FunctionCall(line=token.line, name=name, args=args)
+            return ast.ConstFetch(line=token.line, name=name)
+
+        raise self._error(f"unexpected token {token.name} {token.value!r}")
+
+    def _parse_array_literal(self, line: int, closer: str) -> ast.ArrayLiteral:
+        self._expect_char("(")
+        return self._parse_array_items(line, closer)
+
+    def _parse_array_items(self, line: int, closer: str) -> ast.ArrayLiteral:
+        items: List[ast.ArrayItem] = []
+        while not self._at_char(closer) and not self._at(TokenType.EOF):
+            item_line = self._peek().line
+            by_ref = self._accept_char("&") is not None
+            first = self._parse_expression()
+            if self._accept(TokenType.DOUBLE_ARROW):
+                value_by_ref = self._accept_char("&") is not None
+                value = self._parse_expression()
+                items.append(
+                    ast.ArrayItem(line=item_line, key=first, value=value, by_ref=value_by_ref)
+                )
+            else:
+                items.append(ast.ArrayItem(line=item_line, key=None, value=first, by_ref=by_ref))
+            if not self._accept_char(","):
+                break
+        self._expect_char(closer)
+        return ast.ArrayLiteral(line=line, items=items)
+
+    def _parse_closure(self, static: bool) -> ast.Closure:
+        line = self._expect(TokenType.FUNCTION).line
+        by_ref = self._accept_char("&") is not None
+        params = self._parse_params()
+        uses: List[ast.ClosureUse] = []
+        if self._at(TokenType.USE):
+            self._next()
+            self._expect_char("(")
+            while not self._at_char(")"):
+                use_line = self._peek().line
+                use_by_ref = self._accept_char("&") is not None
+                use_name = self._expect(TokenType.VARIABLE).value[1:]
+                uses.append(ast.ClosureUse(line=use_line, name=use_name, by_ref=use_by_ref))
+                if not self._accept_char(","):
+                    break
+            self._expect_char(")")
+        self._expect_char("{")
+        body = self._parse_statement_list_until("}")
+        self._expect_char("}")
+        return ast.Closure(
+            line=line, params=params, uses=uses, body=body, static=static, by_ref=by_ref
+        )
+
+    def _parse_interpolated(self, delimiter: str) -> ast.InterpolatedString:
+        line = self._expect_char(delimiter).line
+        parts = self._parse_interpolation_parts(lambda: self._at_char(delimiter))
+        self._expect_char(delimiter)
+        return ast.InterpolatedString(line=line, parts=parts)
+
+    def _parse_heredoc(self) -> ast.InterpolatedString:
+        line = self._expect(TokenType.START_HEREDOC).line
+        parts = self._parse_interpolation_parts(lambda: self._at(TokenType.END_HEREDOC))
+        self._expect(TokenType.END_HEREDOC)
+        return ast.InterpolatedString(line=line, parts=parts)
+
+    def _parse_interpolation_parts(self, at_end) -> List[ast.Expr]:
+        parts: List[ast.Expr] = []
+        while not at_end() and not self._at(TokenType.EOF):
+            token = self._peek()
+            if token.type is TokenType.ENCAPSED_AND_WHITESPACE:
+                self._next()
+                parts.append(
+                    ast.Literal(
+                        line=token.line,
+                        value=unescape_double_quoted(token.value),
+                        raw=token.value,
+                    )
+                )
+                continue
+            if token.type is TokenType.VARIABLE:
+                self._next()
+                node: ast.Expr = ast.Variable(line=token.line, name=token.value[1:])
+                # simple interpolation suffixes: [index] and ->prop
+                if self._at_char("["):
+                    self._next()
+                    index_token = self._next()
+                    index: Optional[ast.Expr]
+                    if index_token.type is TokenType.VARIABLE:
+                        index = ast.Variable(
+                            line=index_token.line, name=index_token.value[1:]
+                        )
+                    elif index_token.type is TokenType.NUM_STRING:
+                        index = ast.Literal(
+                            line=index_token.line,
+                            value=int(index_token.value),
+                            raw=index_token.value,
+                        )
+                    else:
+                        index = ast.Literal(
+                            line=index_token.line,
+                            value=index_token.value,
+                            raw=index_token.value,
+                        )
+                    self._expect_char("]")
+                    node = ast.ArrayAccess(line=token.line, array=node, index=index)
+                elif self._at(TokenType.OBJECT_OPERATOR):
+                    self._next()
+                    prop = self._expect(TokenType.STRING).value
+                    node = ast.PropertyAccess(line=token.line, object=node, name=prop)
+                parts.append(node)
+                continue
+            if token.type is TokenType.CURLY_OPEN:
+                self._next()
+                expr = self._parse_expression()
+                self._expect_char("}")
+                parts.append(expr)
+                continue
+            if token.type is TokenType.DOLLAR_OPEN_CURLY_BRACES:
+                self._next()
+                expr = self._parse_expression()
+                self._expect_char("}")
+                parts.append(ast.VariableVariable(line=token.line, expr=expr))
+                continue
+            raise self._error(
+                f"unexpected token in string interpolation: {token.name}"
+            )
+        return parts
+
+
+def parse_source(source: str, filename: str = "<string>") -> ast.PhpFile:
+    """Lex and parse PHP source into a :class:`PhpFile` AST."""
+    tokens = tokenize_significant(source, filename)
+    return Parser(tokens, filename).parse_file()

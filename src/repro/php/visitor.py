@@ -1,0 +1,119 @@
+"""Generic AST visitor and transformer framework.
+
+:func:`~repro.php.ast_nodes.walk` gives flat iteration; this module adds
+the structured traversal downstream tools want: ``NodeVisitor`` with
+``visit_<NodeType>`` dispatch (like :mod:`ast` in the standard library)
+and ``NodeTransformer`` for rewriting — the mechanism behind custom
+lint rules, metrics collectors, and source-to-source passes on the PHP
+AST.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from . import ast_nodes as ast
+
+
+def iter_child_nodes(node: ast.Node):
+    """Yield the direct AST-node children of ``node``."""
+    for value in vars(node).values():
+        if isinstance(value, ast.Node):
+            yield value
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, ast.Node):
+                    yield item
+                elif isinstance(item, (list, tuple)):
+                    for sub in item:
+                        if isinstance(sub, ast.Node):
+                            yield sub
+
+
+class NodeVisitor:
+    """Dispatch ``visit_<ClassName>`` per node; default recurses.
+
+    Subclass and implement the handlers you care about::
+
+        class EchoCounter(NodeVisitor):
+            count = 0
+            def visit_EchoStatement(self, node):
+                self.count += 1
+                self.generic_visit(node)
+    """
+
+    def visit(self, node: ast.Node) -> Any:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: ast.Node) -> None:
+        for child in iter_child_nodes(node):
+            self.visit(child)
+
+
+class NodeTransformer(NodeVisitor):
+    """Rewriting traversal: handlers return the replacement node.
+
+    Returning the received node keeps it; returning a different node
+    substitutes it; returning ``None`` from a statement handler removes
+    the statement from its containing list.
+    """
+
+    def generic_visit(self, node: ast.Node) -> ast.Node:  # type: ignore[override]
+        for name, value in vars(node).items():
+            if isinstance(value, ast.Node):
+                setattr(node, name, self.visit(value))
+            elif isinstance(value, list):
+                new_items: List[Any] = []
+                for item in value:
+                    if isinstance(item, ast.Node):
+                        replacement = self.visit(item)
+                        if replacement is not None:
+                            new_items.append(replacement)
+                    else:
+                        new_items.append(item)
+                setattr(node, name, new_items)
+        return node
+
+
+class FunctionCollector(NodeVisitor):
+    """Example visitor: collect function/method names with line numbers."""
+
+    def __init__(self) -> None:
+        self.functions: List[tuple] = []
+        self._class: Optional[str] = None
+
+    def visit_ClassDecl(self, node: ast.ClassDecl) -> None:
+        previous = self._class
+        self._class = node.name
+        self.generic_visit(node)
+        self._class = previous
+
+    def visit_FunctionDecl(self, node: ast.FunctionDecl) -> None:
+        self.functions.append((node.name, node.line, None))
+        self.generic_visit(node)
+
+    def visit_MethodDecl(self, node: ast.MethodDecl) -> None:
+        self.functions.append((node.name, node.line, self._class))
+        self.generic_visit(node)
+
+
+class CallGraphCollector(NodeVisitor):
+    """Example visitor: (caller, callee) edges for plain function calls."""
+
+    def __init__(self) -> None:
+        self.edges: List[tuple] = []
+        self._caller = "<main>"
+
+    def visit_FunctionDecl(self, node: ast.FunctionDecl) -> None:
+        previous = self._caller
+        self._caller = node.name
+        self.generic_visit(node)
+        self._caller = previous
+
+    def visit_FunctionCall(self, node: ast.FunctionCall) -> None:
+        if isinstance(node.name, str):
+            self.edges.append((self._caller, node.name))
+        self.generic_visit(node)

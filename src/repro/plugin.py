@@ -1,0 +1,75 @@
+"""Plugin representation shared by analyzers, corpus and evaluation.
+
+A *plugin* is what the paper's tools consume: a named collection of PHP
+source files (the 35 WordPress plugins of the study, in 2012 and 2014
+versions).  The in-memory form keeps ``{relative path: source}``; helpers
+materialize to / load from a directory tree so the CLI can analyze real
+plugin checkouts too.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from .php.lexer import count_loc
+
+
+@dataclass
+class Plugin:
+    """A PHP plugin: a set of source files plus identifying metadata."""
+
+    name: str
+    version: str = ""
+    files: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def slug(self) -> str:
+        """Stable identifier, e.g. ``mail-subscribe-list@2.1.1``."""
+        return f"{self.name}@{self.version}" if self.version else self.name
+
+    @property
+    def file_count(self) -> int:
+        return len(self.files)
+
+    @property
+    def loc(self) -> int:
+        """Total effective lines of code (Table III's KLOC basis)."""
+        return sum(count_loc(source) for source in self.files.values())
+
+    def add_file(self, path: str, source: str) -> None:
+        self.files[path] = source
+
+    def iter_files(self) -> Iterator[Tuple[str, str]]:
+        """Yield ``(path, source)`` in deterministic path order."""
+        for path in sorted(self.files):
+            yield path, self.files[path]
+
+    # -- persistence ------------------------------------------------------
+
+    def write_to(self, root: str) -> str:
+        """Materialize the plugin under ``root``; returns its directory."""
+        plugin_dir = os.path.join(root, self.slug.replace("@", "-"))
+        for path, source in self.files.items():
+            full = os.path.join(plugin_dir, path)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as handle:
+                handle.write(source)
+        return plugin_dir
+
+    @classmethod
+    def load_from(cls, directory: str, name: str = "", version: str = "") -> "Plugin":
+        """Load every ``.php`` file under ``directory``."""
+        plugin = cls(
+            name=name or os.path.basename(os.path.normpath(directory)), version=version
+        )
+        for dirpath, _dirnames, filenames in os.walk(directory):
+            for filename in sorted(filenames):
+                if not filename.endswith(".php"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                rel = os.path.relpath(full, directory)
+                with open(full, "r", encoding="utf-8", errors="replace") as handle:
+                    plugin.files[rel] = handle.read()
+        return plugin

@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+The full-corpus evaluation is expensive, so it runs once per session at
+a reduced noise scale (seeded vulnerability counts are scale-invariant)
+and is shared by the integration and evaluation tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import PixyLike, RipsLike
+from repro.core import PhpSafe
+from repro.corpus import build_corpus
+from repro.evaluation import evaluate_both
+
+
+
+
+@pytest.fixture(scope="session")
+def corpus_2012():
+    return build_corpus("2012", scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def corpus_2014():
+    return build_corpus("2014", scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def evaluations(corpus_2012, corpus_2014):
+    """All three tools over both corpus versions (shared, read-only)."""
+    return evaluate_both(
+        [corpus_2012, corpus_2014],
+        lambda: [PhpSafe(), RipsLike(), PixyLike()],
+    )

@@ -1,0 +1,18 @@
+"""Shared test helpers (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+from repro.core import PhpSafe
+from repro.plugin import Plugin
+
+
+def analyze(source: str, tool=None):
+    """Analyze one PHP source string; returns the report."""
+    tool = tool or PhpSafe()
+    if hasattr(tool, "analyze_source"):
+        return tool.analyze_source(source)
+    return tool.analyze(Plugin(name="t", files={"input.php": source}))
+
+
+def findings_of(source: str, tool=None):
+    return analyze(source, tool).findings

@@ -1,0 +1,115 @@
+"""Tests for automatic remediation proposals."""
+
+from repro.core import PhpSafe
+from repro.core.autofix import apply_fixes, propose_fix, verify_fix
+from repro.plugin import Plugin
+
+
+def analyzed(files):
+    plugin = Plugin(name="t", files=files)
+    return plugin, PhpSafe().analyze(plugin).findings
+
+
+class TestProposeFix:
+    def test_xss_echo_wrapped_in_esc_html(self):
+        plugin, findings = analyzed({"t.php": "<?php echo $_GET['m'];"})
+        proposal = propose_fix(plugin, findings[0])
+        assert proposal is not None and proposal.changed
+        assert "esc_html($_GET['m'])" in proposal.patched_source
+        assert "esc_html()" in proposal.description
+
+    def test_sqli_query_wrapped_in_esc_sql(self):
+        plugin, findings = analyzed(
+            {"t.php": "<?php $wpdb->query('D WHERE i=' . $_GET['i']);"}
+        )
+        proposal = propose_fix(plugin, findings[0])
+        assert proposal and "esc_sql(" in proposal.patched_source
+
+    def test_cmdi_wrapped_in_escapeshellarg(self):
+        plugin, findings = analyzed({"t.php": "<?php system('x ' . $_GET['a']);"})
+        cmdi = [f for f in findings if f.kind.value == "cmdi"]
+        proposal = propose_fix(plugin, cmdi[0])
+        assert proposal and "escapeshellarg(" in proposal.patched_source
+
+    def test_lfi_wrapped_in_basename(self):
+        plugin, findings = analyzed({"t.php": "<?php include $_GET['p'];"})
+        lfi = [f for f in findings if f.kind.value == "lfi"]
+        proposal = propose_fix(plugin, lfi[0])
+        assert proposal and "basename(" in proposal.patched_source
+
+    def test_literals_not_wrapped(self):
+        plugin, findings = analyzed(
+            {"t.php": "<?php echo 'prefix', $_GET['m'];"}
+        )
+        proposal = propose_fix(plugin, findings[0])
+        assert proposal is not None
+        assert "esc_html('prefix')" not in proposal.patched_source
+
+    def test_missing_file_returns_none(self):
+        plugin, findings = analyzed({"t.php": "<?php echo $_GET['m'];"})
+        finding = findings[0]
+        other = Plugin(name="o", files={"other.php": "<?php"})
+        assert propose_fix(other, finding) is None
+
+
+class TestApplyAndVerify:
+    def test_fixes_clear_all_findings(self):
+        plugin, findings = analyzed(
+            {
+                "t.php": (
+                    "<?php\n"
+                    "echo '<p>' . $_GET['m'] . '</p>';\n"
+                    "$wpdb->query(\"D WHERE id = '\" . $_GET['id'] . \"'\");\n"
+                    "function hook() { system('zip ' . $_POST['f']); }\n"
+                )
+            }
+        )
+        assert len(findings) == 3
+        patched, proposals = apply_fixes(plugin, findings)
+        assert len(proposals) == 3
+        assert all(verify_fix(patched, finding) for finding in findings)
+        assert not PhpSafe().analyze(patched).findings
+
+    def test_multiple_sinks_same_file_single_pass(self):
+        plugin, findings = analyzed(
+            {
+                "t.php": (
+                    "<?php\n"
+                    "echo $_GET['a'];\n"
+                    "echo $_GET['b'];\n"
+                    "echo $_GET['c'];\n"
+                )
+            }
+        )
+        patched, proposals = apply_fixes(plugin, findings)
+        assert len(proposals) == 3
+        assert patched.files["t.php"].count("esc_html(") == 3
+
+    def test_fix_in_oop_method(self):
+        plugin, findings = analyzed(
+            {
+                "t.php": (
+                    "<?php class W { public $d;\n"
+                    "  public function a() { $this->d = $_COOKIE['p']; }\n"
+                    "  public function b() { echo $this->d; } }\n"
+                )
+            }
+        )
+        patched, _proposals = apply_fixes(plugin, findings)
+        assert "esc_html($this->d)" in patched.files["t.php"]
+        assert not PhpSafe().analyze(patched).findings
+
+    def test_original_plugin_untouched(self):
+        plugin, findings = analyzed({"t.php": "<?php echo $_GET['m'];"})
+        original = plugin.files["t.php"]
+        apply_fixes(plugin, findings)
+        assert plugin.files["t.php"] == original
+
+    def test_patched_source_parses(self):
+        from repro.php import parse_source
+
+        plugin, findings = analyzed(
+            {"t.php": "<?php echo \"Hello {$_GET['n']}!\";"}
+        )
+        patched, _ = apply_fixes(plugin, findings)
+        parse_source(patched.files["t.php"])  # must not raise

@@ -1,0 +1,82 @@
+"""Tests for the incremental parse cache."""
+
+from repro.core import ModelCache, PhpSafe
+from repro.core.model import PluginModel
+from repro.plugin import Plugin
+
+SOURCE = "<?php echo $_GET['q'];"
+
+
+class TestModelCache:
+    def test_hit_after_store(self):
+        cache = ModelCache()
+        plugin = Plugin(name="p", files={"a.php": SOURCE})
+        PluginModel.build(plugin, cache=cache)
+        assert cache.stats.misses == 1
+        PluginModel.build(plugin, cache=cache)
+        assert cache.stats.hits == 1
+
+    def test_content_change_misses(self):
+        cache = ModelCache()
+        PluginModel.build(Plugin(name="p", files={"a.php": SOURCE}), cache=cache)
+        PluginModel.build(
+            Plugin(name="p", files={"a.php": SOURCE + " echo 1;"}), cache=cache
+        )
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_same_content_different_path_misses(self):
+        # includes resolve by path, so the key is path-sensitive
+        cache = ModelCache()
+        PluginModel.build(Plugin(name="p", files={"a.php": SOURCE}), cache=cache)
+        PluginModel.build(Plugin(name="p", files={"b.php": SOURCE}), cache=cache)
+        assert cache.stats.misses == 2
+
+    def test_parse_failures_cached(self):
+        cache = ModelCache()
+        plugin = Plugin(name="p", files={"bad.php": "<?php $a = ;"})
+        first = PluginModel.build(plugin, cache=cache)
+        second = PluginModel.build(plugin, cache=cache)
+        assert "bad.php" in first.parse_failures
+        assert "bad.php" in second.parse_failures
+        assert cache.stats.hits == 1
+
+    def test_eviction_bounds_size(self):
+        cache = ModelCache(max_entries=4)
+        for index in range(10):
+            plugin = Plugin(name="p", files={f"f{index}.php": SOURCE})
+            PluginModel.build(plugin, cache=cache)
+        assert len(cache) <= 4
+
+    def test_clear(self):
+        cache = ModelCache()
+        PluginModel.build(Plugin(name="p", files={"a.php": SOURCE}), cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 0
+
+
+class TestCachedAnalysis:
+    def test_same_findings_with_and_without_cache(self):
+        plugin = Plugin(
+            name="p",
+            files={
+                "a.php": "<?php echo $_GET['x']; echo esc_html($_GET['y']);",
+                "b.php": "<?php function hook() { echo $_POST['z']; }",
+            },
+        )
+        plain = PhpSafe().analyze(plugin)
+        cache = ModelCache()
+        cached_tool = PhpSafe(cache=cache)
+        first = cached_tool.analyze(plugin)
+        second = cached_tool.analyze(plugin)  # fully from cache
+        keys = lambda report: sorted(f.key for f in report.findings)
+        assert keys(plain) == keys(first) == keys(second)
+        assert cache.stats.hits >= 2
+
+    def test_cache_shared_across_tools(self):
+        cache = ModelCache()
+        plugin = Plugin(name="p", files={"a.php": SOURCE})
+        PhpSafe(cache=cache).analyze(plugin)
+        PhpSafe(cache=cache).analyze(plugin)
+        assert cache.stats.hit_rate >= 0.5

@@ -1,0 +1,153 @@
+"""Tests for control-flow-graph construction."""
+
+from repro.php import parse_source
+from repro.php.cfg import build_cfg, build_file_cfgs
+
+
+def cfg_of(source, name="<main>"):
+    tree = parse_source("<?php\n" + source)
+    return build_cfg(tree.statements, name)
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = cfg_of("$a = 1; $b = 2; echo $b;")
+        reachable = cfg.reachable_blocks()
+        blocks_with_stmts = [
+            b for b in cfg.blocks_in_order() if b.statements and b.block_id in reachable
+        ]
+        assert len(blocks_with_stmts) == 1
+        assert len(blocks_with_stmts[0].statements) == 3
+
+    def test_entry_reaches_exit(self):
+        cfg = cfg_of("$a = 1;")
+        assert cfg.exit_id in cfg.reachable_blocks()
+
+    def test_path_count_straight_line(self):
+        assert cfg_of("$a = 1; $b = 2;").path_count() == 1
+
+
+class TestBranching:
+    def test_if_has_two_paths(self):
+        assert cfg_of("if ($c) { $a = 1; }").path_count() == 2
+
+    def test_if_else_two_paths(self):
+        assert cfg_of("if ($c) { $a = 1; } else { $a = 2; }").path_count() == 2
+
+    def test_elseif_chain_three_paths(self):
+        source = "if ($a) { $x = 1; } elseif ($b) { $x = 2; } else { $x = 3; }"
+        assert cfg_of(source).path_count() == 3
+
+    def test_sequential_ifs_multiply(self):
+        source = "if ($a) { $x = 1; } if ($b) { $y = 2; }"
+        assert cfg_of(source).path_count() == 4
+
+    def test_path_explosion_capped(self):
+        source = "".join(f"if ($c{i}) {{ $x = {i}; }}\n" for i in range(25))
+        assert cfg_of(source).path_count(limit=1000) == 1000
+
+    def test_edge_labels(self):
+        cfg = cfg_of("if ($c) { $a = 1; }")
+        labels = {edge.label for edge in cfg.edges}
+        assert "true" in labels and "false" in labels
+
+
+class TestReturnsAndJumps:
+    def test_return_edges_to_exit(self):
+        cfg = cfg_of("if ($c) { return; } $a = 1;")
+        return_edges = [e for e in cfg.edges if e.label == "return"]
+        assert return_edges and all(e.target == cfg.exit_id for e in return_edges)
+
+    def test_code_after_unconditional_return_unreachable(self):
+        cfg = cfg_of("return; $dead = 1;")
+        dead = cfg.unreachable_blocks()
+        assert dead
+        assert any(
+            stmt.line for block in dead for stmt in block.statements
+        )
+
+    def test_exit_statement_terminates_flow(self):
+        cfg = cfg_of("die(); $dead = 1;")
+        assert cfg.unreachable_blocks()
+
+    def test_break_targets_after_loop(self):
+        cfg = cfg_of("while ($c) { break; } $after = 1;")
+        break_edges = [e for e in cfg.edges if e.label == "break"]
+        assert break_edges
+
+    def test_continue_targets_header(self):
+        cfg = cfg_of("while ($c) { continue; }")
+        continue_edges = [e for e in cfg.edges if e.label == "continue"]
+        loop_headers = [b.block_id for b in cfg.blocks.values() if b.label == "loop"]
+        assert continue_edges and continue_edges[0].target in loop_headers
+
+
+class TestLoops:
+    def test_loop_has_back_edge(self):
+        cfg = cfg_of("while ($c) { $a = 1; }")
+        assert any(e.label == "back" for e in cfg.edges)
+
+    def test_loop_paths_acyclic(self):
+        # skip-loop and one-iteration are the acyclic paths
+        assert cfg_of("while ($c) { $a = 1; }").path_count() >= 1
+
+    def test_foreach_and_for_build(self):
+        for source in (
+            "foreach ($xs as $x) { echo $x; }",
+            "for ($i = 0; $i < 3; $i++) { echo $i; }",
+            "do { $a = 1; } while ($c);",
+        ):
+            cfg = cfg_of(source)
+            assert cfg.exit_id in cfg.reachable_blocks()
+
+
+class TestSwitch:
+    def test_switch_paths(self):
+        source = (
+            "switch ($m) { case 1: $a = 1; break; "
+            "case 2: $a = 2; break; default: $a = 3; }"
+        )
+        cfg = cfg_of(source)
+        assert cfg.path_count() == 3
+
+    def test_fallthrough_edge(self):
+        source = "switch ($m) { case 1: $a = 1; case 2: $a = 2; }"
+        cfg = cfg_of(source)
+        assert any(e.label == "fall" for e in cfg.edges)
+
+    def test_no_default_has_no_match_edge(self):
+        cfg = cfg_of("switch ($m) { case 1: break; }")
+        assert any(e.label == "no-match" for e in cfg.edges)
+
+
+class TestTryCatch:
+    def test_try_catch_paths(self):
+        source = "try { $a = f(); } catch (E $e) { $a = 0; } echo $a;"
+        cfg = cfg_of(source)
+        assert cfg.path_count() >= 2
+        assert any(e.label == "throw" for e in cfg.edges)
+
+    def test_finally_always_on_path(self):
+        source = "try { $a = 1; } catch (E $e) { $a = 2; } finally { $b = 3; }"
+        cfg = cfg_of(source)
+        finally_blocks = [b for b in cfg.blocks.values() if b.label == "finally"]
+        assert len(finally_blocks) == 1
+        assert finally_blocks[0].block_id in cfg.reachable_blocks()
+
+
+class TestFileCfgs:
+    def test_per_function_graphs(self):
+        tree = parse_source(
+            "<?php\n"
+            "function f() { if ($c) { return 1; } return 2; }\n"
+            "class W { public function m() { echo 1; } }\n"
+            "$top = 1;\n"
+        )
+        graphs = build_file_cfgs(tree)
+        assert set(graphs) == {"f", "W::m", "<main>"}
+        assert graphs["f"].path_count() == 2
+
+    def test_dot_rendering(self):
+        cfg = cfg_of("if ($c) { $a = 1; }")
+        dot = cfg.to_dot()
+        assert dot.startswith("digraph") and "->" in dot

@@ -1,0 +1,157 @@
+"""CLI tests (scan / compare / corpus / evaluate plumbing)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def vulnerable_file(tmp_path):
+    path = tmp_path / "plugin.php"
+    path.write_text("<?php echo $_GET['q'];\necho esc_html($_GET['ok']);\n")
+    return str(path)
+
+
+@pytest.fixture()
+def plugin_dir(tmp_path):
+    directory = tmp_path / "my-plugin"
+    directory.mkdir()
+    (directory / "main.php").write_text("<?php echo $_POST['x'];")
+    (directory / "inc").mkdir()
+    (directory / "inc" / "safe.php").write_text("<?php echo intval($_GET['n']);")
+    return str(directory)
+
+
+class TestScan:
+    def test_scan_finds_vulnerability(self, vulnerable_file, capsys):
+        code = main(["scan", vulnerable_file])
+        out = capsys.readouterr().out
+        assert code == 1  # findings -> nonzero exit
+        assert "XSS" in out
+        assert "1 finding(s)" in out
+
+    def test_scan_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.php"
+        path.write_text("<?php echo 'hi';")
+        assert main(["scan", str(path)]) == 0
+
+    def test_scan_directory(self, plugin_dir, capsys):
+        main(["scan", plugin_dir])
+        out = capsys.readouterr().out
+        assert "main.php" in out
+
+    def test_scan_with_rips_tool_reports_esc_html(self, vulnerable_file, capsys):
+        main(["scan", vulnerable_file, "--tool", "rips"])
+        out = capsys.readouterr().out
+        assert "2 finding(s)" in out  # RIPS also flags the esc_html flow
+
+    def test_scan_trace_output(self, vulnerable_file, capsys):
+        main(["scan", vulnerable_file, "--trace"])
+        out = capsys.readouterr().out
+        assert "$_GET" in out
+
+    def test_scan_no_oop_flag(self, tmp_path, capsys):
+        path = tmp_path / "w.php"
+        path.write_text("<?php $v = $wpdb->get_var('Q'); echo $v;")
+        assert main(["scan", str(path)]) == 1
+        assert main(["scan", str(path), "--no-oop"]) == 0
+
+
+class TestCompare:
+    def test_compare_lists_all_tools(self, vulnerable_file, capsys):
+        assert main(["compare", vulnerable_file]) == 0
+        out = capsys.readouterr().out
+        assert "phpSAFE" in out and "RIPS" in out and "Pixy" in out
+
+    def test_compare_verbose(self, vulnerable_file, capsys):
+        main(["compare", vulnerable_file, "-v"])
+        assert "echo" in capsys.readouterr().out
+
+
+class TestCorpusCommand:
+    def test_corpus_generation_to_disk(self, tmp_path, capsys):
+        outdir = str(tmp_path / "corpus")
+        assert main(
+            ["corpus", outdir, "--versions", "2012", "--scale", "0.02"]
+        ) == 0
+        version_dir = os.path.join(outdir, "2012")
+        assert os.path.isdir(version_dir)
+        manifest_path = os.path.join(version_dir, "ground-truth.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        vulnerable = [entry for entry in manifest if entry["vulnerable"]]
+        assert len(vulnerable) == 394
+        # the referenced files exist on disk
+        sample = manifest[0]
+        plugin_dirs = os.listdir(version_dir)
+        assert any(sample["plugin"] in name for name in plugin_dirs)
+
+
+class TestParser:
+    def test_unknown_tool_rejected(self, vulnerable_file):
+        with pytest.raises(SystemExit):
+            main(["scan", vulnerable_file, "--tool", "fortify"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReportCommand:
+    def test_json_report(self, vulnerable_file, capsys):
+        assert main(["report", vulnerable_file, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["tool"] == "phpSAFE"
+        assert document["findings"]
+
+    def test_html_report_to_file(self, vulnerable_file, tmp_path, capsys):
+        out = str(tmp_path / "report.html")
+        assert main(["report", vulnerable_file, "--format", "html", "--out", out]) == 0
+        content = open(out).read()
+        assert content.startswith("<!DOCTYPE html>")
+
+    def test_text_report_default(self, vulnerable_file, capsys):
+        main(["report", vulnerable_file])
+        assert "fix:" in capsys.readouterr().out
+
+
+class TestConfirmCommand:
+    def test_confirm_vulnerable(self, vulnerable_file, capsys):
+        code = main(["confirm", vulnerable_file])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "confirmed" in out
+
+    def test_confirm_clean(self, tmp_path, capsys):
+        path = tmp_path / "ok.php"
+        path.write_text("<?php echo 'hi';")
+        assert main(["confirm", str(path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestFixCommand:
+    def test_fix_prints_verified_proposals(self, vulnerable_file, capsys):
+        assert main(["fix", vulnerable_file]) == 0
+        out = capsys.readouterr().out
+        assert "[verified]" in out and "esc_html" in out
+
+    def test_fix_writes_patched_plugin(self, plugin_dir, tmp_path, capsys):
+        out = str(tmp_path / "patched")
+        assert main(["fix", plugin_dir, "--out", out]) == 0
+        import glob
+        patched_files = glob.glob(os.path.join(out, "**", "*.php"), recursive=True)
+        assert patched_files
+        assert any("esc_html" in open(f).read() for f in patched_files)
+
+
+class TestApproveCommand:
+    def test_vulnerable_rejected(self, vulnerable_file, capsys):
+        assert main(["approve", vulnerable_file]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_lenient_policy_approves(self, vulnerable_file, capsys):
+        assert main(["approve", vulnerable_file, "--max-xss", "5"]) == 0
+        assert "APPROVED" in capsys.readouterr().out

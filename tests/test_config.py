@@ -1,0 +1,154 @@
+"""Unit tests for the knowledge base (configuration stage)."""
+
+from repro.config import (
+    AnalyzerProfile,
+    FilterSpec,
+    InputVector,
+    SinkSpec,
+    SourceSpec,
+    VulnKind,
+    generic_php,
+    pixy_2007,
+    wordpress,
+)
+from repro.config.vulnerability import TABLE2_ROWS
+
+
+class TestInputVector:
+    def test_tiers_follow_section_vc(self):
+        assert InputVector.GET.tier == 1
+        assert InputVector.POST.tier == 1
+        assert InputVector.COOKIE.tier == 1
+        assert InputVector.DB.tier == 2
+        assert InputVector.FILE.tier == 3
+
+    def test_directly_exploitable(self):
+        assert InputVector.GET.directly_exploitable
+        assert not InputVector.DB.directly_exploitable
+
+    def test_table2_rows(self):
+        assert InputVector.POST.table2_row == "POST"
+        assert InputVector.COOKIE.table2_row == "POST/GET/COOKIE"
+        assert InputVector.REQUEST.table2_row == "POST/GET/COOKIE"
+        assert InputVector.FILE.table2_row == "File/Function/Array"
+        assert InputVector.FUNCTION.table2_row == "File/Function/Array"
+        assert set(TABLE2_ROWS) == {
+            v.table2_row for v in InputVector
+        }
+
+
+class TestGenericProfile:
+    def test_superglobals_are_sources(self):
+        profile = generic_php()
+        for name in ("_GET", "_POST", "_COOKIE", "_REQUEST", "_SERVER"):
+            assert profile.superglobal_source(name) is not None
+        assert profile.superglobal_source("not_a_superglobal") is None
+
+    def test_file_and_db_sources(self):
+        profile = generic_php()
+        assert profile.function_source("fgets").vector is InputVector.FILE
+        assert profile.function_source("mysql_fetch_assoc").vector is InputVector.DB
+
+    def test_lookups_case_insensitive(self):
+        profile = generic_php()
+        assert profile.function_filter("HTMLEntities") is not None
+        assert profile.function_sink("MYSQL_QUERY") is not None
+
+    def test_filter_kinds(self):
+        profile = generic_php()
+        assert profile.function_filter("htmlentities").kinds == frozenset({VulnKind.XSS})
+        assert VulnKind.SQLI in profile.function_filter("intval").kinds
+        assert profile.function_filter("addslashes").kinds == frozenset({VulnKind.SQLI})
+
+    def test_reverts(self):
+        profile = generic_php()
+        assert profile.revert("stripslashes") is not None
+        assert profile.revert("htmlentities") is None
+
+    def test_sink_kinds_and_args(self):
+        profile = generic_php()
+        assert profile.function_sink("echo").kind is VulnKind.XSS
+        query = profile.function_sink("mysqli_query")
+        assert query.kind is VulnKind.SQLI
+        assert query.arg_is_sensitive(1)
+        assert not query.arg_is_sensitive(0)
+        assert profile.function_sink("print_r").arg_is_sensitive(0)
+
+    def test_no_wordpress_knowledge(self):
+        profile = generic_php()
+        assert profile.function_filter("esc_html") is None
+        assert profile.method_source("wpdb", "get_results") is None
+        assert profile.known_instance("wpdb") is None
+
+
+class TestWordpressProfile:
+    def test_wpdb_methods(self):
+        profile = wordpress()
+        assert profile.method_source("wpdb", "get_results") is not None
+        assert profile.method_sink("wpdb", "query").kind is VulnKind.SQLI
+        assert profile.method_filter("wpdb", "prepare") is not None
+
+    def test_known_instances(self):
+        profile = wordpress()
+        assert profile.known_instance("wpdb").class_name == "wpdb"
+
+    def test_wp_escaping_functions(self):
+        profile = wordpress()
+        assert profile.function_filter("esc_html").kinds == frozenset({VulnKind.XSS})
+        assert VulnKind.SQLI in profile.function_filter("absint").kinds
+        assert profile.function_filter("esc_sql").kinds == frozenset({VulnKind.SQLI})
+
+    def test_wp_sources(self):
+        profile = wordpress()
+        assert profile.function_source("get_option").vector is InputVector.DB
+        assert profile.function_source("get_post_meta") is not None
+
+    def test_includes_generic_entries_too(self):
+        profile = wordpress()
+        assert profile.function_filter("htmlentities") is not None
+        assert profile.superglobal_source("_GET") is not None
+
+
+class TestPixyProfile:
+    def test_register_globals_enabled(self):
+        assert pixy_2007().register_globals
+        assert not generic_php().register_globals
+
+    def test_no_mysqli_era_functions(self):
+        profile = pixy_2007()
+        assert profile.function_source("mysqli_fetch_assoc") is None
+        assert profile.function_sink("mysqli_query") is None
+        assert profile.function_source("mysql_fetch_assoc") is not None
+
+    def test_reduced_filters(self):
+        profile = pixy_2007()
+        assert profile.function_filter("htmlentities") is not None
+        assert profile.function_filter("filter_var") is None
+
+    def test_no_wordpress(self):
+        assert pixy_2007().function_filter("esc_html") is None
+
+
+class TestProfileComposition:
+    def test_extended_adds_entries(self):
+        base = generic_php()
+        drupal = base.extended(
+            "drupal",
+            sources=[SourceSpec("drupal_get_query", InputVector.GET)],
+            filters=[FilterSpec("check_plain", frozenset({VulnKind.XSS}))],
+            sinks=[SinkSpec("drupal_render_echo", VulnKind.XSS)],
+        )
+        assert drupal.function_source("drupal_get_query") is not None
+        assert drupal.function_filter("check_plain") is not None
+        assert drupal.function_sink("drupal_render_echo") is not None
+        # base profile untouched
+        assert base.function_source("drupal_get_query") is None
+
+    def test_extended_preserves_base(self):
+        drupal = generic_php().extended("drupal")
+        assert drupal.function_filter("htmlentities") is not None
+
+    def test_qualified_names(self):
+        spec = SourceSpec("get_results", InputVector.DB, class_name="wpdb")
+        assert spec.qualified == "wpdb::get_results"
+        assert SourceSpec("_GET", InputVector.GET, is_superglobal=True).qualified == "$_GET"

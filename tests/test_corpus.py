@@ -1,0 +1,169 @@
+"""Tests for the corpus catalog and generator."""
+
+import pytest
+
+from repro.config.vulnerability import InputVector, VulnKind
+from repro.corpus import PLUGINS, build_corpus, build_specs
+from repro.corpus.catalog import (
+    ALLOCATION_2012,
+    ALLOCATION_2014,
+    CARRIED,
+    FAILED_FILES_2014,
+    OOP_VULN_PLUGINS_2012,
+    OOP_VULN_PLUGINS_2014,
+)
+from repro.corpus.spec import REGION_DETECTORS, VULNERABLE_REGIONS
+from repro.php import parse_source
+
+
+class TestCatalog:
+    def test_thirty_five_plugins_nineteen_oop(self):
+        assert len(PLUGINS) == 35
+        assert sum(1 for p in PLUGINS if p.is_oop) == 19
+
+    def test_paper_example_plugins_present(self):
+        slugs = {p.slug for p in PLUGINS}
+        for name in (
+            "mail-subscribe-list",
+            "wp-symposium",
+            "wp-photo-album-plus",
+            "qtranslate",
+        ):
+            assert name in slugs
+
+    def test_oop_vuln_plugin_counts(self):
+        assert len(OOP_VULN_PLUGINS_2012) == 10
+        assert len(OOP_VULN_PLUGINS_2014) == 7
+        assert set(OOP_VULN_PLUGINS_2014) <= set(OOP_VULN_PLUGINS_2012)
+
+    def test_distinct_vulnerability_totals(self):
+        def total(allocation):
+            return sum(
+                count
+                for region, vectors in allocation.items()
+                if region in VULNERABLE_REGIONS
+                for count in vectors.values()
+            )
+
+        assert total(ALLOCATION_2012) == 394
+        assert total(ALLOCATION_2014) == 586
+
+    def test_carried_within_both_allocations(self):
+        for region, vectors in CARRIED.items():
+            for vector, count in vectors.items():
+                assert count <= ALLOCATION_2012[region].get(vector, 0)
+                assert count <= ALLOCATION_2014[region].get(vector, 0)
+
+    def test_every_region_has_detectors(self):
+        for allocation in (ALLOCATION_2012, ALLOCATION_2014):
+            for region in allocation:
+                assert region in REGION_DETECTORS
+
+
+class TestSpecs:
+    def test_spec_counts(self):
+        specs12 = build_specs("2012")
+        specs14 = build_specs("2014")
+        assert sum(1 for s in specs12 if s.is_vulnerable) == 394
+        assert sum(1 for s in specs14 if s.is_vulnerable) == 586
+
+    def test_spec_ids_unique(self):
+        specs = build_specs("2014")
+        assert len({s.spec_id for s in specs}) == len(specs)
+
+    def test_carried_ids_shared_across_versions(self):
+        carried12 = {s.spec_id for s in build_specs("2012") if s.carried}
+        carried14 = {s.spec_id for s in build_specs("2014") if s.carried}
+        assert carried12 == carried14
+        assert all(spec_id.startswith("c-") for spec_id in carried12)
+
+    def test_sqli_regions_kind(self):
+        for spec in build_specs("2012"):
+            if spec.region in ("e_sqli", "fp_sqli_ps", "fp_sqli_rips"):
+                assert spec.kind is VulnKind.SQLI
+            else:
+                assert spec.kind is VulnKind.XSS
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            build_specs("2016")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus("2014", scale=0.05)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        one = build_corpus("2012", scale=0.05)
+        two = build_corpus("2012", scale=0.05)
+        assert [p.files for p in one.plugins] == [p.files for p in two.plugins]
+
+    def test_file_count_targets(self, corpus):
+        assert corpus.total_files == 356
+        assert build_corpus("2012", scale=0.05).total_files == 266
+
+    def test_all_files_parse(self, corpus):
+        for plugin in corpus.plugins:
+            for path, source in plugin.iter_files():
+                parse_source(source, path)  # must not raise
+
+    def test_ground_truth_lines_hold_sinks(self, corpus):
+        """Every manifest entry points at a line containing its sink."""
+        sink_markers = {
+            VulnKind.XSS: ("echo", "print"),
+            VulnKind.SQLI: ("query", "mysql_query"),
+        }
+        for entry in corpus.truth.entries:
+            plugin = corpus.plugin(entry.plugin)
+            lines = plugin.files[entry.file].splitlines()
+            line_text = lines[entry.line - 1]
+            assert any(
+                marker in line_text for marker in sink_markers[entry.spec.kind]
+            ), (entry.spec.spec_id, line_text)
+
+    def test_oop_specs_confined_to_oop_plugins(self, corpus):
+        for entry in corpus.truth.entries:
+            if entry.spec.region in ("e_oop", "e_sqli"):
+                assert entry.plugin in OOP_VULN_PLUGINS_2014
+
+    def test_failed_file_specs_in_failed_files(self, corpus):
+        failed = set(FAILED_FILES_2014)
+        for entry in corpus.truth.entries:
+            if entry.spec.region in ("d", "f"):
+                assert (entry.plugin, entry.file) in failed
+
+    def test_carried_specs_same_plugin_both_versions(self, corpus):
+        older = build_corpus("2012", scale=0.05)
+        older_places = {
+            e.spec.spec_id: e.plugin for e in older.truth.entries if e.spec.carried
+        }
+        for entry in corpus.truth.entries:
+            if entry.spec.carried:
+                assert older_places[entry.spec.spec_id] == entry.plugin
+
+    def test_scale_changes_loc_not_truth(self):
+        small = build_corpus("2012", scale=0.05)
+        large = build_corpus("2012", scale=0.2)
+        assert large.total_loc > small.total_loc
+        assert len(small.truth.entries) == len(large.truth.entries)
+
+    def test_lookup_by_location(self, corpus):
+        entry = corpus.truth.entries[0]
+        found = corpus.truth.lookup(
+            entry.plugin, entry.spec.kind.value, entry.file, entry.line
+        )
+        assert found is entry
+        assert corpus.truth.lookup(entry.plugin, "xss", "nope.php", 1) is None
+
+    def test_vulnerable_and_bait_partition(self, corpus):
+        vulnerable = list(corpus.truth.vulnerabilities())
+        baits = list(corpus.truth.baits())
+        assert len(vulnerable) == 586
+        assert len(vulnerable) + len(baits) == len(corpus.truth.entries)
+
+    def test_plugin_versions_differ_between_snapshots(self):
+        older = build_corpus("2012", scale=0.05)
+        newer = build_corpus("2014", scale=0.05)
+        assert older.plugins[0].version != newer.plugins[0].version

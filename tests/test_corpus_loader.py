@@ -1,0 +1,58 @@
+"""Round-trip tests for corpus disk persistence."""
+
+import pytest
+
+from repro.core import PhpSafe
+from repro.corpus import build_corpus, load_corpus, save_corpus
+from repro.evaluation import evaluate_version
+
+
+@pytest.fixture(scope="module")
+def roundtripped(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("corpus"))
+    original = build_corpus("2012", scale=0.02)
+    version_dir = save_corpus(original, root)
+    return original, load_corpus(version_dir)
+
+
+class TestRoundTrip:
+    def test_plugin_set_preserved(self, roundtripped):
+        original, loaded = roundtripped
+        assert {p.name for p in loaded.plugins} == {p.name for p in original.plugins}
+
+    def test_file_contents_preserved(self, roundtripped):
+        original, loaded = roundtripped
+        for plugin in original.plugins:
+            other = loaded.plugin(plugin.name)
+            assert other.files == plugin.files, plugin.name
+
+    def test_truth_preserved(self, roundtripped):
+        original, loaded = roundtripped
+        original_ids = {e.spec.spec_id for e in original.truth.entries}
+        loaded_ids = {e.spec.spec_id for e in loaded.truth.entries}
+        assert original_ids == loaded_ids
+        assert loaded.truth.vulnerable_count() == original.truth.vulnerable_count()
+
+    def test_lookup_works_after_reload(self, roundtripped):
+        original, loaded = roundtripped
+        entry = original.truth.entries[0]
+        reloaded = loaded.truth.lookup(
+            entry.plugin, entry.spec.kind.value, entry.file, entry.line
+        )
+        assert reloaded is not None
+        assert reloaded.spec.spec_id == entry.spec.spec_id
+
+    def test_evaluation_identical_on_loaded_corpus(self, roundtripped):
+        """The headline property: evaluating the on-disk corpus gives the
+        same phpSAFE confusion counts as the in-memory one."""
+        original, loaded = roundtripped
+        in_memory = evaluate_version(original, [PhpSafe()])
+        from_disk = evaluate_version(loaded, [PhpSafe()])
+        assert (
+            from_disk.confusion("phpSAFE").tp
+            == in_memory.confusion("phpSAFE").tp
+        )
+        assert (
+            from_disk.confusion("phpSAFE").fp
+            == in_memory.confusion("phpSAFE").fp
+        )

@@ -1,0 +1,183 @@
+"""Engine behaviour: sources, sinks, sanitizers, reverts (Section III.C)."""
+
+from repro.config.vulnerability import InputVector, VulnKind
+from repro.core import PhpSafe
+
+from tests.helpers import findings_of
+
+
+def xss(source):
+    return [f for f in findings_of(source) if f.kind is VulnKind.XSS]
+
+
+def sqli(source):
+    return [f for f in findings_of(source) if f.kind is VulnKind.SQLI]
+
+
+class TestSources:
+    def test_get_to_echo(self):
+        found = xss("<?php echo $_GET['q'];")
+        assert len(found) == 1
+        assert found[0].vectors == (InputVector.GET,)
+
+    def test_post_cookie_request(self):
+        for superglobal, vector in (
+            ("$_POST", InputVector.POST),
+            ("$_COOKIE", InputVector.COOKIE),
+            ("$_REQUEST", InputVector.REQUEST),
+        ):
+            found = xss(f"<?php echo {superglobal}['k'];")
+            assert found and found[0].vectors == (vector,)
+
+    def test_server_is_source(self):
+        assert xss("<?php echo $_SERVER['HTTP_USER_AGENT'];")
+
+    def test_file_function_source(self):
+        found = xss("<?php $l = fgets($fp, 128); echo $l;")
+        assert found and found[0].vectors == (InputVector.FILE,)
+
+    def test_db_function_source(self):
+        found = xss("<?php $r = mysql_fetch_assoc($res); echo $r['x'];")
+        assert found and found[0].vectors == (InputVector.DB,)
+
+    def test_get_option_is_wordpress_db_source(self):
+        found = xss("<?php $v = get_option('k'); echo $v;")
+        assert found and found[0].vectors == (InputVector.DB,)
+
+    def test_literal_is_clean(self):
+        assert not findings_of("<?php echo 'hello';")
+
+    def test_unknown_variable_clean(self):
+        assert not findings_of("<?php echo $mystery;")
+
+
+class TestSinks:
+    def test_print_and_exit_sinks(self):
+        assert xss("<?php print $_GET['a'];")
+        assert xss("<?php die($_GET['a']);")
+
+    def test_printf_sink(self):
+        assert xss("<?php printf($_GET['fmt']);")
+
+    def test_short_echo_tag_sink(self):
+        assert xss("<?= $_GET['x'] ?>")
+
+    def test_mysql_query_sqli_sink(self):
+        found = sqli("<?php mysql_query('SELECT 1 WHERE x=' . $_GET['id']);")
+        assert len(found) == 1
+        assert found[0].sink == "mysql_query"
+
+    def test_mysqli_query_arg_position(self):
+        # only argument 1 of mysqli_query is the SQL string
+        assert sqli("<?php mysqli_query($link, 'X' . $_GET['id']);")
+        assert not sqli("<?php mysqli_query($_GET['id'], 'SELECT 1');")
+
+    def test_xss_taint_does_not_fire_sqli_sink_alone(self):
+        # htmlentities clears XSS but not SQLi; echo stays clean
+        assert not xss("<?php echo htmlentities($_GET['x']);")
+
+    def test_finding_line_is_sink_line(self):
+        found = xss("<?php\n$x = $_GET['a'];\n\necho $x;\n")
+        assert found[0].line == 4
+
+
+class TestSanitizers:
+    def test_htmlentities_blocks_xss(self):
+        assert not xss("<?php echo htmlentities($_GET['x']);")
+
+    def test_intval_blocks_everything(self):
+        source = "<?php $n = intval($_GET['n']); echo $n; mysql_query('Q' . $n);"
+        assert not findings_of(source)
+
+    def test_cast_blocks_everything(self):
+        assert not findings_of("<?php $n = (int)$_GET['n']; echo $n;")
+
+    def test_sql_escape_blocks_sqli_not_xss(self):
+        source = "<?php $e = mysql_real_escape_string($_GET['x']);"
+        assert not sqli(source + " mysql_query('Q' . $e);")
+        assert xss(source + " echo $e;")  # the paper's blended attack
+
+    def test_wordpress_esc_html(self):
+        assert not xss("<?php echo esc_html($_GET['x']);")
+
+    def test_wordpress_sanitize_text_field(self):
+        assert not findings_of("<?php echo sanitize_text_field($_POST['x']);")
+
+    def test_wpdb_prepare_blocks_sqli(self):
+        source = (
+            "<?php $q = $wpdb->prepare('SELECT %s', $_GET['x']);"
+            "$wpdb->query($q);"
+        )
+        assert not sqli(source)
+
+    def test_sanitized_variable_stays_clean_across_uses(self):
+        source = "<?php $s = htmlentities($_GET['a']); echo $s; echo $s;"
+        assert not xss(source)
+
+
+class TestReverts:
+    def test_stripslashes_reverts_sanitization(self):
+        source = (
+            "<?php $s = htmlentities($_GET['x']);"
+            "$r = stripslashes($s); echo $r;"
+        )
+        assert xss(source)
+
+    def test_urldecode_reverts(self):
+        source = (
+            "<?php $s = htmlentities($_GET['x']);"
+            "echo urldecode($s);"
+        )
+        assert xss(source)
+
+    def test_revert_on_clean_value_is_clean(self):
+        assert not xss("<?php echo stripslashes('static');")
+
+    def test_revert_on_tainted_keeps_taint(self):
+        assert xss("<?php echo stripslashes($_GET['x']);")
+
+
+class TestPropagation:
+    def test_assignment_chain(self):
+        assert xss("<?php $a = $_GET['x']; $b = $a; $c = $b; echo $c;")
+
+    def test_concat_propagates(self):
+        assert xss("<?php $m = 'Hello ' . $_GET['name']; echo $m;")
+
+    def test_concat_equal_propagates(self):
+        assert xss("<?php $m = 'Hi'; $m .= $_GET['x']; echo $m;")
+
+    def test_interpolation_propagates(self):
+        assert xss('<?php $x = $_GET[\'v\']; echo "value: $x";')
+
+    def test_arithmetic_clears_taint(self):
+        assert not findings_of("<?php $n = $_GET['a'] + 1; echo $n;")
+
+    def test_comparison_clears_taint(self):
+        assert not findings_of("<?php $b = $_GET['a'] == 'x'; echo $b;")
+
+    def test_passthrough_builtin(self):
+        assert xss("<?php echo trim($_GET['x']);")
+        assert xss("<?php echo sprintf('%s', strtolower($_GET['x']));")
+
+    def test_clean_builtin(self):
+        assert not findings_of("<?php echo strpos($_GET['x'], 'a');")
+
+    def test_array_element_write_taints_container(self):
+        assert xss("<?php $a = array(); $a['k'] = $_GET['x']; echo $a['k'];")
+
+    def test_array_literal_propagates(self):
+        assert xss("<?php $a = array($_GET['x']); echo $a[0];")
+
+    def test_unset_clears(self):
+        # T_UNSET: variable becomes untainted (Section III.C)
+        assert not findings_of("<?php $x = $_GET['a']; unset($x); echo $x;")
+
+    def test_reassignment_clears(self):
+        assert not findings_of("<?php $x = $_GET['a']; $x = 'safe'; echo $x;")
+
+    def test_multiple_findings_deduplicated_per_sink_line(self):
+        report = PhpSafe().analyze_source(
+            "<?php function f($v) { echo $v; } f($_GET['a']); f($_GET['b']);"
+        )
+        assert len(report.findings) == 1  # one sink line, one finding

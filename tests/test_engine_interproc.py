@@ -1,0 +1,172 @@
+"""Engine behaviour: inter-procedural analysis and function summaries."""
+
+from repro.config.vulnerability import VulnKind
+from repro.core import PhpSafe, PhpSafeOptions
+
+from tests.helpers import analyze, findings_of
+
+
+def xss(source, tool=None):
+    return [f for f in findings_of(source, tool) if f.kind is VulnKind.XSS]
+
+
+class TestParameterFlow:
+    def test_tainted_argument_reaches_sink_in_callee(self):
+        assert xss("<?php function out($v) { echo $v; } out($_GET['x']);")
+
+    def test_clean_argument_no_finding(self):
+        assert not xss("<?php function out($v) { echo $v; } out('static');")
+
+    def test_argument_position_matters(self):
+        source = (
+            "<?php function pick($a, $b) { echo $b; }"
+            "pick($_GET['x'], 'safe');"
+        )
+        assert not xss(source)
+        source = (
+            "<?php function pick($a, $b) { echo $b; }"
+            "pick('safe', $_GET['x']);"
+        )
+        assert xss(source)
+
+    def test_sanitization_inside_callee(self):
+        source = (
+            "<?php function out($v) { echo htmlentities($v); }"
+            "out($_GET['x']);"
+        )
+        assert not xss(source)
+
+    def test_two_hop_call_chain(self):
+        source = (
+            "<?php function inner($v) { echo $v; }"
+            "function outer($v) { inner($v); }"
+            "outer($_POST['x']);"
+        )
+        assert xss(source)
+
+    def test_three_hop_call_chain(self):
+        source = (
+            "<?php function a($v) { b($v); }"
+            "function b($v) { c($v); }"
+            "function c($v) { echo $v; }"
+            "a($_GET['deep']);"
+        )
+        assert xss(source)
+
+
+class TestReturnFlow:
+    def test_tainted_return_value(self):
+        source = (
+            "<?php function fetch() { return $_GET['x']; }"
+            "echo fetch();"
+        )
+        assert xss(source)
+
+    def test_param_to_return_transfer(self):
+        source = (
+            "<?php function wrap($v) { return '<b>' . $v . '</b>'; }"
+            "echo wrap($_GET['x']);"
+        )
+        assert xss(source)
+
+    def test_sanitizing_identity(self):
+        source = (
+            "<?php function clean($v) { return htmlentities($v); }"
+            "echo clean($_GET['x']);"
+        )
+        assert not xss(source)
+
+    def test_return_of_clean_is_clean(self):
+        source = "<?php function version() { return '1.0'; } echo version();"
+        assert not xss(source)
+
+    def test_conditional_return_joined(self):
+        source = (
+            "<?php function pick($c) { if ($c) { return 'safe'; }"
+            "return $_GET['x']; } echo pick(1);"
+        )
+        assert xss(source)
+
+
+class TestByReference:
+    def test_by_ref_out_parameter(self):
+        source = (
+            "<?php function fill(&$out) { $out = $_GET['x']; }"
+            "fill($result); echo $result;"
+        )
+        assert xss(source)
+
+    def test_by_ref_clean_write(self):
+        source = (
+            "<?php function fill(&$out) { $out = 'safe'; }"
+            "$result = $_GET['x']; fill($result); echo $result;"
+        )
+        # weak update: the engine may keep the old taint (join) — but it
+        # must not crash; accept either result and require determinism
+        first = xss(source)
+        second = xss(source)
+        assert len(first) == len(second)
+
+
+class TestRecursion:
+    def test_direct_recursion_terminates(self):
+        source = (
+            "<?php function spin($v) { if ($v) { spin($v); } echo $v; }"
+            "spin($_GET['x']);"
+        )
+        assert xss(source)
+
+    def test_mutual_recursion_terminates(self):
+        source = (
+            "<?php function ping($v) { pong($v); }"
+            "function pong($v) { ping($v); echo $v; }"
+            "ping($_GET['x']);"
+        )
+        assert findings_of(source) is not None  # termination is the test
+
+    def test_self_recursive_uncalled(self):
+        source = "<?php function loop() { loop(); echo $_GET['x']; }"
+        assert xss(source)
+
+
+class TestUncalledFunctions:
+    def test_uncalled_function_analyzed(self):
+        # "these functions should be parsed anyway, as they may be
+        # directly called from the main application" (Section III.B)
+        assert xss("<?php function hook() { echo $_GET['x']; }")
+
+    def test_uncalled_param_flows_dropped(self):
+        # no caller binds the parameter: not reported
+        assert not xss("<?php function hook($v) { echo $v; }")
+
+    def test_uncalled_with_internal_source(self):
+        source = "<?php function hook($v) { echo $v; echo $_POST['y']; }"
+        found = xss(source)
+        assert len(found) == 1
+
+    def test_uncalled_disabled_by_option(self):
+        options = PhpSafeOptions(analyze_uncalled=False)
+        tool = PhpSafe(options=options)
+        assert not xss("<?php function hook() { echo $_GET['x']; }", tool)
+
+
+class TestSummaryReuse:
+    def test_function_summarized_once(self):
+        source = (
+            "<?php function show($v) { echo $v; }"
+            + "".join(f"show($_GET['k{i}']);" for i in range(20))
+        )
+        report = analyze(source)
+        assert len(report.findings) == 1  # one sink line
+
+    def test_summary_off_same_findings(self):
+        source = (
+            "<?php function show($v) { echo $v; } show($_GET['a']);"
+        )
+        on = analyze(source)
+        off = analyze(source, PhpSafe(options=PhpSafeOptions(use_summaries=False)))
+        assert {f.key for f in on.findings} == {f.key for f in off.findings}
+
+    def test_closures_do_not_crash(self):
+        source = "<?php $f = function ($v) { return $v; }; echo $f($_GET['x']);"
+        analyze(source)  # closures are opaque; must not raise

@@ -1,0 +1,212 @@
+"""Cross-feature interaction matrix: combinations of engine features
+(sanitizers × reverts × OOP × scopes × baselines) not covered by the
+per-feature suites."""
+
+from repro.baselines import PixyLike, RipsLike
+from repro.config.vulnerability import InputVector, VulnKind
+from repro.core import PhpSafe
+
+from tests.helpers import analyze, findings_of
+
+
+def xss(source, tool=None):
+    return [f for f in findings_of(source, tool) if f.kind is VulnKind.XSS]
+
+
+def sqli(source, tool=None):
+    return [f for f in findings_of(source, tool) if f.kind is VulnKind.SQLI]
+
+
+class TestSanitizerRevertInteractions:
+    def test_wp_filter_then_revert(self):
+        source = (
+            "<?php $s = esc_html($_GET['x']); echo html_entity_decode($s);"
+        )
+        assert xss(source)
+
+    def test_double_sanitization_stays_clean(self):
+        source = "<?php echo esc_html(htmlentities($_GET['x']));"
+        assert not xss(source)
+
+    def test_revert_then_sanitize_is_clean(self):
+        source = "<?php echo htmlentities(stripslashes($_GET['x']));"
+        assert not xss(source)
+
+    def test_kind_specific_filters_compose(self):
+        # esc_sql removes SQLi, esc_html removes XSS; both applied = clean
+        source = (
+            "<?php $v = esc_html(esc_sql($_GET['x']));"
+            "echo $v; $wpdb->query('Q' . $v);"
+        )
+        assert not findings_of(source)
+
+    def test_partial_sanitization_in_concat(self):
+        # one branch sanitized, one not: taint survives the concat
+        source = "<?php echo esc_html($_GET['a']) . $_GET['b'];"
+        assert xss(source)
+
+    def test_sanitizer_inside_interpolation(self):
+        # function calls cannot appear in PHP interpolation directly;
+        # pre-computed sanitized value stays clean
+        source = "<?php $c = esc_html($_GET['a']); echo \"v: $c\";"
+        assert not xss(source)
+
+
+class TestOopScopeInteractions:
+    def test_method_reading_global_wpdb_data(self):
+        source = (
+            "<?php class R {"
+            "  public function pull() { global $wpdb;"
+            "    return $wpdb->get_var('SELECT x'); } }"
+            "$r = new R(); echo $r->pull();"
+        )
+        found = xss(source)
+        assert found and found[0].vectors == (InputVector.DB,)
+
+    def test_property_sanitized_on_write(self):
+        source = (
+            "<?php class W { public $d;"
+            "  public function set() { $this->d = esc_html($_GET['x']); }"
+            "  public function show() { echo $this->d; } }"
+        )
+        assert not xss(source)
+
+    def test_property_sanitized_on_read(self):
+        source = (
+            "<?php class W { public $d;"
+            "  public function set() { $this->d = $_GET['x']; }"
+            "  public function show() { echo esc_html($this->d); } }"
+        )
+        assert not xss(source)
+
+    def test_two_classes_properties_do_not_mix(self):
+        source = (
+            "<?php class A { public $v;"
+            "  public function fill() { $this->v = $_GET['x']; } }"
+            "class B { public $v;"
+            "  public function show() { echo $this->v; } }"
+        )
+        assert not xss(source)
+
+    def test_sibling_classes_shared_parent_property(self):
+        source = (
+            "<?php class Base { public $buf; }"
+            "class A extends Base {"
+            "  public function fill() { $this->buf = $_GET['x']; } }"
+            "class B extends Base {"
+            "  public function show() { echo $this->buf; } }"
+        )
+        # object-insensitive store: siblings share the declaring class's
+        # slot, so the flow is (conservatively) connected
+        assert xss(source)
+
+    def test_static_method_on_instance_variable_class(self):
+        source = (
+            "<?php class U { public static function put($v) { echo $v; } }"
+            "$cls = new U(); $cls::put($_GET['x']);"
+        )
+        assert xss(source)
+
+    def test_method_argument_then_property_then_sink(self):
+        source = (
+            "<?php class Pipe { public $held;"
+            "  public function take($v) { $this->held = $v; }"
+            "  public function out() { echo $this->held; } }"
+            "$p = new Pipe(); $p->take($_COOKIE['c']); $p->out();"
+        )
+        found = xss(source)
+        assert found and found[0].vectors == (InputVector.COOKIE,)
+
+
+class TestBaselineInteractions:
+    def test_rips_propagate_does_not_invent_sources(self):
+        # unknown functions propagate args but literals stay clean
+        source = "<?php echo mystery_format('static', 'also static');"
+        assert not xss(source, RipsLike())
+
+    def test_rips_propagates_through_unknown_chains(self):
+        source = "<?php echo wp_mangle(wp_fold($_GET['x']));"
+        assert xss(source, RipsLike())
+        assert not xss(source, PhpSafe())  # phpSAFE trusts unknown code
+
+    def test_pixy_register_globals_not_in_functions(self):
+        # uninitialized locals inside called functions are not sources
+        source = "<?php function f() { echo $local_never_set; } f();"
+        assert not xss(source, PixyLike())
+
+    def test_pixy_sees_flows_in_called_functions(self):
+        source = "<?php function f() { echo $_GET['x']; } f();"
+        assert xss(source, PixyLike())
+
+    def test_pixy_include_still_analyzed(self):
+        from repro.baselines import PixyLike
+        from repro.plugin import Plugin
+
+        plugin = Plugin(
+            name="p",
+            files={
+                "main.php": "<?php $v = $_GET['v']; include 'part.php';",
+                "part.php": "<?php echo $v;",
+            },
+        )
+        report = PixyLike().analyze(plugin)
+        assert report.findings
+
+    def test_all_tools_agree_on_textbook_flow(self):
+        source = "<?php echo $_GET['q'];"
+        for tool in (PhpSafe(), RipsLike(), PixyLike()):
+            assert xss(source, tool), tool.name
+
+    def test_all_tools_silent_on_constant_page(self):
+        source = "<?php echo '<h1>About</h1>'; echo date('Y');"
+        for tool in (PhpSafe(), RipsLike(), PixyLike()):
+            assert not findings_of(source, tool), tool.name
+
+
+class TestVectorBookkeeping:
+    def test_multiple_sources_merge_vectors(self):
+        source = "<?php $m = $_GET['a'] . $_POST['b']; echo $m;"
+        found = xss(source)
+        assert found[0].vectors == (InputVector.GET, InputVector.POST)
+
+    def test_primary_vector_prefers_direct(self):
+        source = "<?php $m = get_option('k') . $_COOKIE['c']; echo $m;"
+        found = xss(source)
+        assert found[0].primary_vector is InputVector.COOKIE
+
+    def test_file_vector_through_function_chain(self):
+        source = (
+            "<?php function tail($fp) { return fgets($fp); }"
+            "echo tail($h);"
+        )
+        found = xss(source)
+        assert found and found[0].vectors == (InputVector.FILE,)
+
+    def test_sqli_and_xss_same_variable_distinct_findings(self):
+        source = (
+            "<?php $v = $_GET['x'];"
+            "echo $v;\n"
+            "mysql_query('Q' . $v);"
+        )
+        report = analyze(source)
+        kinds = sorted(f.kind.value for f in report.findings)
+        assert kinds == ["sqli", "xss"]
+
+
+class TestTraceQuality:
+    def test_trace_names_source_and_hops(self):
+        source = "<?php $a = $_GET['x']; $b = $a; echo $b;"
+        found = xss(source)
+        trace_text = " ".join(found[0].trace)
+        assert "$_GET" in trace_text
+        assert "$a" in trace_text and "$b" in trace_text
+
+    def test_trace_bounded(self):
+        hops = "".join(f"$v{i+1} = $v{i};" for i in range(50))
+        source = f"<?php $v0 = $_GET['x']; {hops} echo $v50;"
+        found = xss(source)
+        assert len(found[0].trace) <= 12
+
+    def test_variable_name_reported(self):
+        found = xss("<?php $greeting = $_GET['x']; echo $greeting;")
+        assert found[0].variable == "$greeting"

@@ -1,0 +1,190 @@
+"""Engine behaviour: OOP support (paper Section III.E)."""
+
+from repro.config.vulnerability import InputVector, VulnKind
+from repro.core import PhpSafe, PhpSafeOptions
+
+from tests.helpers import findings_of
+
+
+def xss(source, tool=None):
+    return [f for f in findings_of(source, tool) if f.kind is VulnKind.XSS]
+
+
+def sqli(source, tool=None):
+    return [f for f in findings_of(source, tool) if f.kind is VulnKind.SQLI]
+
+
+class TestWpdbObject:
+    def test_paper_example_mail_subscribe_list(self):
+        """The paper's Section III.E example, almost verbatim."""
+        source = (
+            "<?php\n"
+            'global $wpdb;\n'
+            '$results = $wpdb->get_results("SELECT * FROM " . $wpdb->prefix . "sml");\n'
+            "foreach ($results as $row) {\n"
+            "    echo '<td>' . $row->sml_name . '</td>';\n"
+            "}\n"
+        )
+        found = xss(source)
+        assert len(found) == 1
+        assert found[0].vectors == (InputVector.DB,)
+        assert found[0].via_oop
+
+    def test_wpdb_without_global_at_main(self):
+        # $wpdb is a known WordPress instance even unassigned
+        assert xss("<?php $v = $wpdb->get_var('SELECT x'); echo $v;")
+
+    def test_wpdb_query_sink(self):
+        found = sqli("<?php $wpdb->query('DELETE WHERE x=' . $_GET['id']);")
+        assert found and found[0].via_oop
+
+    def test_wpdb_get_results_sink_and_source(self):
+        # get_results is both a SQLi sink (arg) and a DB source (return)
+        source = "<?php $r = $wpdb->get_results('SELECT ' . $_GET['c']); echo $r;"
+        assert sqli(source)
+        assert xss(source)
+
+    def test_wpdb_prepare_is_sqli_filter(self):
+        source = (
+            "<?php $wpdb->query($wpdb->prepare('SELECT %s', $_GET['x']));"
+        )
+        assert not sqli(source)
+
+    def test_oop_disabled_misses_wpdb(self):
+        tool = PhpSafe(options=PhpSafeOptions(oop=False))
+        source = "<?php $r = $wpdb->get_var('Q'); echo $r;"
+        assert not xss(source, tool)
+
+
+class TestUserClasses:
+    def test_property_flow_between_methods(self):
+        source = (
+            "<?php class W {\n"
+            "  public $data;\n"
+            "  public function collect() { $this->data = $_COOKIE['p']; }\n"
+            "  public function render() { echo $this->data; }\n"
+            "}\n"
+        )
+        found = xss(source)
+        assert len(found) == 1
+        assert found[0].vectors == (InputVector.COOKIE,)
+        assert found[0].via_oop
+
+    def test_clean_property_no_finding(self):
+        source = (
+            "<?php class W { public $v;\n"
+            "  public function a() { $this->v = 'safe'; }\n"
+            "  public function b() { echo $this->v; } }\n"
+        )
+        assert not xss(source)
+
+    def test_method_call_with_tainted_argument(self):
+        source = (
+            "<?php class W { public function show($v) { echo $v; } }\n"
+            "$w = new W(); $w->show($_GET['x']);"
+        )
+        assert xss(source)
+
+    def test_method_return_flow(self):
+        source = (
+            "<?php class W { public function raw() { return $_GET['x']; } }\n"
+            "$w = new W(); echo $w->raw();"
+        )
+        assert xss(source)
+
+    def test_constructor_flow(self):
+        source = (
+            "<?php class W { public $v;\n"
+            "  public function __construct($x) { $this->v = $x; }\n"
+            "  public function show() { echo $this->v; } }\n"
+            "$w = new W($_POST['i']); $w->show();"
+        )
+        assert xss(source)
+
+    def test_php4_style_constructor(self):
+        source = (
+            "<?php class Legacy { public $v;\n"
+            "  public function Legacy($x) { $this->v = $x; }\n"
+            "  public function show() { echo $this->v; } }\n"
+            "$l = new Legacy($_GET['x']); $l->show();"
+        )
+        assert xss(source)
+
+    def test_inherited_method_resolved(self):
+        source = (
+            "<?php class Base { public function show($v) { echo $v; } }\n"
+            "class Child extends Base {}\n"
+            "$c = new Child(); $c->show($_GET['x']);"
+        )
+        assert xss(source)
+
+    def test_parent_property_shared(self):
+        source = (
+            "<?php class Base { public $buf;\n"
+            "  public function fill() { $this->buf = $_GET['x']; } }\n"
+            "class Child extends Base {\n"
+            "  public function flush() { echo $this->buf; } }\n"
+        )
+        # object-insensitive property store joins the hierarchy;
+        # a Child's $buf read resolves through the parent's write
+        found = findings_of(source)
+        assert found  # must connect the flow
+
+    def test_static_method_call(self):
+        source = (
+            "<?php class U { public static function put($v) { echo $v; } }\n"
+            "U::put($_GET['x']);"
+        )
+        assert xss(source)
+
+    def test_static_property_flow(self):
+        source = (
+            "<?php class C { public static $shared; }\n"
+            "C::$shared = $_GET['x']; echo C::$shared;"
+        )
+        assert xss(source)
+
+    def test_self_static_call(self):
+        source = (
+            "<?php class C {\n"
+            "  public function outer() { self::inner($_GET['x']); }\n"
+            "  public static function inner($v) { echo $v; } }\n"
+            "$c = new C(); $c->outer();"
+        )
+        assert xss(source)
+
+    def test_untyped_object_property_propagates_container(self):
+        # a DB row object: property reads carry the row's taint
+        source = (
+            "<?php $row = mysql_fetch_object($r); echo $row->title;"
+        )
+        assert xss(source)
+
+    def test_method_on_unknown_object_clean(self):
+        assert not xss("<?php echo $mystery->render();")
+
+    def test_sanitizing_method(self):
+        source = (
+            "<?php class W { public function safe($v) { return esc_html($v); } }\n"
+            "$w = new W(); echo $w->safe($_GET['x']);"
+        )
+        assert not xss(source)
+
+    def test_trait_method_resolved(self):
+        source = (
+            "<?php trait Output { public function put($v) { echo $v; } }\n"
+            "class C { use Output; }\n"
+            "$c = new C(); $c->put($_GET['x']);"
+        )
+        assert xss(source)
+
+
+class TestViaOopFlag:
+    def test_procedural_flow_not_flagged(self):
+        found = xss("<?php echo $_GET['x'];")
+        assert found and not found[0].via_oop
+
+    def test_wordpress_function_source_not_flagged(self):
+        # get_option is a plain function: WordPress-specific but not OOP
+        found = xss("<?php $v = get_option('k'); echo $v;")
+        assert found and not found[0].via_oop

@@ -1,0 +1,103 @@
+"""Tests for the extension vulnerability kinds (CMDI, LFI).
+
+These extend the paper's XSS/SQLi coverage along its future-work axis;
+they ride the same taint machinery and must not disturb the calibrated
+XSS/SQLi behaviour (the integration suite guards that separately).
+"""
+
+from repro.baselines import PixyLike, RipsLike
+from repro.config.vulnerability import VulnKind
+from repro.core import PhpSafe
+
+from tests.helpers import findings_of
+
+
+def of_kind(source, kind, tool=None):
+    return [f for f in findings_of(source, tool) if f.kind is kind]
+
+
+class TestCommandInjection:
+    def test_system_sink(self):
+        found = of_kind("<?php system('ping ' . $_GET['h']);", VulnKind.CMDI)
+        assert len(found) == 1
+        assert found[0].sink == "system"
+
+    def test_exec_family(self):
+        for sink in ("exec", "passthru", "shell_exec", "popen"):
+            assert of_kind(f"<?php {sink}($_POST['c']);", VulnKind.CMDI), sink
+
+    def test_backtick_operator(self):
+        found = of_kind('<?php $out = `cat {$_GET["f"]}`;', VulnKind.CMDI)
+        assert found and found[0].sink == "`...`"
+
+    def test_escapeshellarg_sanitizes(self):
+        source = "<?php system('ping ' . escapeshellarg($_GET['h']));"
+        assert not of_kind(source, VulnKind.CMDI)
+
+    def test_escapeshellarg_does_not_sanitize_xss(self):
+        source = "<?php echo escapeshellarg($_GET['h']);"
+        assert of_kind(source, VulnKind.XSS)
+
+    def test_htmlentities_does_not_sanitize_cmdi(self):
+        source = "<?php system(htmlentities($_GET['h']));"
+        assert of_kind(source, VulnKind.CMDI)
+
+    def test_intval_sanitizes_cmdi(self):
+        assert not findings_of("<?php system('kill ' . intval($_GET['pid']));")
+
+    def test_only_command_argument_is_sensitive(self):
+        source = "<?php exec('ls', $output, $_GET['x']);"
+        assert not of_kind(source, VulnKind.CMDI)
+
+    def test_flows_through_functions(self):
+        source = (
+            "<?php function run($c) { system($c); }"
+            "run('convert ' . $_GET['file']);"
+        )
+        assert of_kind(source, VulnKind.CMDI)
+
+
+class TestFileInclusion:
+    def test_tainted_include(self):
+        found = of_kind("<?php include $_GET['page'] . '.php';", VulnKind.LFI)
+        assert found and found[0].sink == "include"
+
+    def test_all_include_forms(self):
+        for form in ("include", "include_once", "require", "require_once"):
+            found = of_kind(f"<?php {form} $_GET['p'];", VulnKind.LFI)
+            assert found and found[0].sink == form
+
+    def test_literal_include_clean(self):
+        assert not of_kind("<?php include 'templates/header.php';", VulnKind.LFI)
+
+    def test_basename_sanitizes(self):
+        source = "<?php include 'tpl/' . basename($_GET['t']) . '.php';"
+        assert not of_kind(source, VulnKind.LFI)
+
+    def test_basename_does_not_sanitize_xss(self):
+        assert of_kind("<?php echo basename($_GET['t']);", VulnKind.XSS)
+
+    def test_include_in_uncalled_function(self):
+        source = "<?php function loader() { include $_COOKIE['skin']; }"
+        assert of_kind(source, VulnKind.LFI)
+
+    def test_db_data_in_include(self):
+        source = "<?php $tpl = get_option('theme'); include $tpl;"
+        assert of_kind(source, VulnKind.LFI)
+
+
+class TestBaselineScope:
+    def test_rips_also_covers_extensions(self):
+        # real RIPS detects 20 types; the RIPS-like inherits the generic
+        # knowledge base, so procedural CMDI flows are in its reach
+        assert of_kind("<?php system($_GET['c']);", VulnKind.CMDI, RipsLike())
+
+    def test_pixy_stays_xss_sqli_only(self):
+        assert not of_kind("<?php system($_GET['c']);", VulnKind.CMDI, PixyLike())
+        assert not of_kind("<?php include $_GET['p'];", VulnKind.LFI, PixyLike())
+
+    def test_extension_kinds_do_not_disturb_xss(self):
+        source = "<?php system($_GET['c']); echo $_GET['x'];"
+        report = PhpSafe().analyze_source(source)
+        kinds = sorted(f.kind.value for f in report.findings)
+        assert kinds == ["cmdi", "xss"]

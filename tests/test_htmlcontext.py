@@ -1,0 +1,103 @@
+"""Tests for markup-context analysis (context-sensitive XSS)."""
+
+import pytest
+
+from repro.core import PhpSafe
+from repro.php.htmlcontext import MarkupContext, context_at_end, sanitizer_for
+
+
+class TestStateMachine:
+    @pytest.mark.parametrize(
+        "markup,expected",
+        [
+            ("", MarkupContext.HTML_TEXT),
+            ("<p>Hello ", MarkupContext.HTML_TEXT),
+            ("<div><span>x</span>", MarkupContext.HTML_TEXT),
+            ('<input value="', MarkupContext.ATTRIBUTE),
+            ("<input value='", MarkupContext.ATTRIBUTE),
+            ('<a href="', MarkupContext.URL_ATTRIBUTE),
+            ('<img src="', MarkupContext.URL_ATTRIBUTE),
+            ('<form action="', MarkupContext.URL_ATTRIBUTE),
+            ("<b class=", MarkupContext.ATTRIBUTE_UNQUOTED),
+            ("<script>var a = ", MarkupContext.SCRIPT),
+            ("<script type='text/javascript'>f(", MarkupContext.SCRIPT),
+            ("<style>.x { color: ", MarkupContext.STYLE),
+            ("<!-- note ", MarkupContext.COMMENT),
+            ("<div ", MarkupContext.TAG),
+            ('<div id="a" ', MarkupContext.TAG),
+            ('<div onclick="go(', MarkupContext.SCRIPT),  # event handler
+        ],
+    )
+    def test_context_detection(self, markup, expected):
+        assert context_at_end(markup) is expected
+
+    def test_closed_contexts_return_to_text(self):
+        assert context_at_end('<input value="x">') is MarkupContext.HTML_TEXT
+        assert context_at_end("<script>f();</script>") is MarkupContext.HTML_TEXT
+        assert context_at_end("<!-- c -->") is MarkupContext.HTML_TEXT
+
+    def test_attribute_closes_back_to_tag(self):
+        assert context_at_end('<a href="x" title="') is MarkupContext.ATTRIBUTE
+
+    def test_script_not_fooled_by_less_than(self):
+        assert context_at_end("<script>if (a < b) {") is MarkupContext.SCRIPT
+
+    def test_sanitizer_recommendations(self):
+        assert sanitizer_for("<p>") == "esc_html"
+        assert sanitizer_for('<input value="') == "esc_attr"
+        assert sanitizer_for('<a href="') == "esc_url"
+        assert sanitizer_for("<script>x(") == "esc_js"
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("<?php echo '<p>' . $_GET['a'] . '</p>';", "html"),
+            ("<?php echo '<input value=\"' . $_GET['a'] . '\">';", "attribute"),
+            ("<?php echo '<a href=\"' . $_GET['a'] . '\">';", "url"),
+            ("<?php echo '<script>v(' . $_GET['a'] . ')</script>';", "script"),
+            ("<?php echo $_GET['a'];", "html"),
+        ],
+    )
+    def test_findings_carry_context(self, source, expected):
+        finding = PhpSafe().analyze_source(source).findings[0]
+        assert finding.markup_context == expected
+
+    def test_interpolated_string_context(self):
+        source = '<?php $u = $_GET[\'u\']; echo "<a href=\\"$u\\">";'
+        finding = PhpSafe().analyze_source(source).findings[0]
+        assert finding.markup_context == "url"
+
+    def test_context_through_variable_prefix(self):
+        # prefix built in a variable: the engine only sees the sink
+        # expression, so the context falls back to the default
+        source = "<?php $p = '<b>'; echo $p . $_GET['a'];"
+        finding = PhpSafe().analyze_source(source).findings[0]
+        assert finding.markup_context in ("html", "")
+
+    def test_non_xss_findings_have_no_context(self):
+        source = "<?php mysql_query('Q' . $_GET['a']);"
+        finding = PhpSafe().analyze_source(source).findings[0]
+        assert finding.markup_context == ""
+
+    def test_fix_hint_uses_context(self):
+        from repro.core.review import fix_hint
+
+        finding = PhpSafe().analyze_source(
+            "<?php echo '<a href=\"' . $_GET['u'] . '\">';"
+        ).findings[0]
+        assert "esc_url()" in fix_hint(finding)
+
+    def test_autofix_uses_context_sanitizer(self):
+        from repro.core.autofix import apply_fixes
+        from repro.plugin import Plugin
+
+        plugin = Plugin(
+            name="t",
+            files={"t.php": "<?php echo '<input value=\"' . $_GET['v'] . '\">';"},
+        )
+        report = PhpSafe().analyze(plugin)
+        patched, _proposals = apply_fixes(plugin, report.findings)
+        assert "esc_attr(" in patched.files["t.php"]
+        assert not PhpSafe().analyze(patched).findings

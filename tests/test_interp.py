@@ -1,0 +1,227 @@
+"""Tests for the PHP interpreter subset."""
+
+import pytest
+
+from repro.php.interp import (
+    Interpreter,
+    MagicTaintArray,
+    PhpArray,
+    PhpRuntimeError,
+    to_number,
+    to_php_string,
+    truthy,
+)
+
+
+def run(source, superglobals=None):
+    interp = Interpreter(superglobals=superglobals or {})
+    interp.load_source("<?php\n" + source)
+    interp.run_file("input.php")
+    return interp
+
+
+def page(source, superglobals=None):
+    return run(source, superglobals).effects.page
+
+
+class TestValues:
+    def test_php_string_coercions(self):
+        assert to_php_string(None) == ""
+        assert to_php_string(True) == "1"
+        assert to_php_string(False) == ""
+        assert to_php_string(3.0) == "3"
+        assert to_php_string(3.5) == "3.5"
+        assert to_php_string(PhpArray()) == "Array"
+
+    def test_truthiness(self):
+        assert not truthy("")
+        assert not truthy("0")
+        assert truthy("0.0")  # PHP quirk: only "" and "0" are falsy
+        assert not truthy(PhpArray())
+        assert truthy(PhpArray({0: 1}))
+
+    def test_numeric_coercion(self):
+        assert to_number("42abc") == 42
+        assert to_number("3.5x") == 3.5
+        assert to_number("abc") == 0
+        assert to_number(True) == 1
+
+    def test_array_key_normalization(self):
+        array = PhpArray()
+        array.set("3", "x")
+        assert array.get(3) == "x"
+        array.append("y")
+        assert array.get(4) == "y"
+
+
+class TestExecution:
+    def test_echo_and_arithmetic(self):
+        assert page("echo 1 + 2 * 3;") == "7"
+
+    def test_string_concat_and_interpolation(self):
+        assert page("$a = 'wo'; echo \"hello {$a}rld\";") == "hello world"
+
+    def test_if_elseif_else(self):
+        source = "$x = 2; if ($x == 1) { echo 'a'; } elseif ($x == 2) { echo 'b'; } else { echo 'c'; }"
+        assert page(source) == "b"
+
+    def test_while_and_for(self):
+        assert page("$i = 0; while ($i < 3) { echo $i; $i++; }") == "012"
+        assert page("for ($i = 3; $i > 0; $i--) { echo $i; }") == "321"
+
+    def test_foreach_key_value(self):
+        source = "foreach (array('a' => 1, 'b' => 2) as $k => $v) { echo \"$k$v\"; }"
+        assert page(source) == "a1b2"
+
+    def test_break_continue(self):
+        source = "for ($i = 0; $i < 5; $i++) { if ($i == 1) { continue; } if ($i == 3) { break; } echo $i; }"
+        assert page(source) == "02"
+
+    def test_switch_with_fallthrough(self):
+        source = "switch (2) { case 1: echo 'a'; case 2: echo 'b'; case 3: echo 'c'; break; default: echo 'd'; }"
+        assert page(source) == "bc"
+
+    def test_functions_and_recursion(self):
+        source = "function fact($n) { if ($n <= 1) { return 1; } return $n * fact($n - 1); } echo fact(5);"
+        assert page(source) == "120"
+
+    def test_default_parameters(self):
+        source = "function greet($name = 'world') { return 'hi ' . $name; } echo greet(); echo greet('php');"
+        assert page(source) == "hi worldhi php"
+
+    def test_globals(self):
+        source = "$count = 5; function show() { global $count; echo $count; $count = 9; } show(); echo $count;"
+        assert page(source) == "59"
+
+    def test_ternary_and_isset(self):
+        assert page("$a = null; echo isset($a) ? 'y' : 'n';") == "n"
+        assert page("$a = 1; echo isset($a) ? 'y' : 'n';") == "y"
+
+    def test_exit_stops_script(self):
+        assert page("echo 'a'; die('bye'); echo 'never';") == "abye"
+
+    def test_infinite_loop_budget(self):
+        with pytest.raises(PhpRuntimeError):
+            run("while (true) { $x = 1; }")
+
+    def test_inline_html(self):
+        interp = Interpreter()
+        interp.load_source("<b>hi</b><?php echo '!'; ?> there")
+        interp.run_file("input.php")
+        assert interp.effects.page == "<b>hi</b>! there"
+
+
+class TestOop:
+    def test_object_lifecycle(self):
+        source = (
+            "class Counter { public $n = 0;"
+            " public function __construct($start) { $this->n = $start; }"
+            " public function bump() { $this->n++; return $this->n; } }"
+            "$c = new Counter(10); $c->bump(); echo $c->bump();"
+        )
+        assert page(source) == "12"
+
+    def test_inherited_method(self):
+        source = (
+            "class Base { public function hello() { return 'base'; } }"
+            "class Child extends Base {}"
+            "$c = new Child(); echo $c->hello();"
+        )
+        assert page(source) == "base"
+
+    def test_property_defaults_from_parent(self):
+        source = (
+            "class Base { public $tag = 'b'; }"
+            "class Child extends Base { public $extra = 'c'; }"
+            "$c = new Child(); echo $c->tag . $c->extra;"
+        )
+        assert page(source) == "bc"
+
+    def test_static_call_and_self(self):
+        source = (
+            "class U { public static function twice($x) { return $x * 2; }"
+            " public function quad($x) { return self::twice(self::twice($x)); } }"
+            "$u = new U(); echo $u->quad(3);"
+        )
+        assert page(source) == "12"
+
+    def test_php4_constructor(self):
+        source = (
+            "class Legacy { public $v; public function Legacy($x) { $this->v = $x; } }"
+            "$l = new Legacy('ok'); echo $l->v;"
+        )
+        assert page(source) == "ok"
+
+
+class TestBuiltins:
+    def test_sanitizers_match_php_semantics(self):
+        assert page("echo htmlentities('<a>&');") == "&lt;a&gt;&amp;"
+        assert page("echo strip_tags('<b>bold</b>!');") == "bold!"
+        assert page("echo intval('12abc');") == "12"
+        assert page("echo addslashes(\"o'clock\");") == "o\\'clock"
+        assert page("echo basename('/etc/../passwd');") == "passwd"
+        assert page("echo escapeshellarg('a;b');") == "'a;b'"
+
+    def test_string_functions(self):
+        assert page("echo strtoupper('abc') . strrev('xyz');") == "ABCzyx"
+        assert page("echo substr('abcdef', 1, 3);") == "bcd"
+        assert page("echo str_replace('a', 'o', 'banana');") == "bonono"
+        assert page("echo sprintf('%s-%d', 'x', 5);") == "x-5"
+        assert page("echo implode(',', array(1, 2, 3));") == "1,2,3"
+
+    def test_array_functions(self):
+        assert page("echo count(array(1, 2, 3));") == "3"
+        assert page("echo in_array(2, array(1, 2)) ? 'y' : 'n';") == "y"
+
+    def test_unknown_function_is_noop(self):
+        assert page("echo 'a'; some_wordpress_hook('x'); echo 'b';") == "ab"
+
+    def test_commands_recorded_not_run(self):
+        interp = run("system('rm -rf /tmp/x'); shell_exec('ls');")
+        assert interp.effects.commands == ["rm -rf /tmp/x", "ls"]
+        assert interp.effects.page == ""
+
+
+class TestSuperglobals:
+    def test_injected_values(self):
+        interp = run(
+            "echo $_GET['name'];",
+            superglobals={"_GET": PhpArray({"name": "alice"})},
+        )
+        assert interp.effects.page == "alice"
+
+    def test_magic_taint_array_answers_everything(self):
+        magic = MagicTaintArray("PAYLOAD")
+        assert magic.get("anything") == "PAYLOAD"
+        assert magic.has("whatever")
+        interp = run("echo $_GET['surprise'];", superglobals={"_GET": magic})
+        assert interp.effects.page == "PAYLOAD"
+
+    def test_superglobals_visible_inside_functions(self):
+        interp = run(
+            "function f() { echo $_POST['k']; } f();",
+            superglobals={"_POST": PhpArray({"k": "deep"})},
+        )
+        assert interp.effects.page == "deep"
+
+
+class TestEntryPoints:
+    def test_call_function_directly(self):
+        interp = Interpreter()
+        interp.load_source("<?php function add($a, $b) { return $a + $b; }")
+        assert interp.call_function("add", [2, 3]) == 5
+
+    def test_instantiate_and_call_method(self):
+        interp = Interpreter()
+        interp.load_source(
+            "<?php class Box { public $v; public function put($x) { $this->v = $x; } }"
+        )
+        box = interp.instantiate("Box")
+        interp.call_method(box, "put", ["gold"])
+        assert box.properties["v"] == "gold"
+
+    def test_undefined_function_raises(self):
+        interp = Interpreter()
+        interp.load_source("<?php $a = 1;")
+        with pytest.raises(PhpRuntimeError):
+            interp.call_function("nope")

@@ -1,0 +1,74 @@
+"""Unit and property tests for the classification metrics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import Confusion, percent
+
+
+class TestConfusion:
+    def test_paper_cell_phpsafe_2012_xss(self):
+        # Table I: TP=307, FP=63 -> Precision 83%
+        confusion = Confusion(tp=307, fp=63, fn=72)
+        assert percent(confusion.precision) == "83%"
+        assert percent(confusion.recall) == "81%"
+
+    def test_precision_none_when_nothing_reported(self):
+        confusion = Confusion(tp=0, fp=0, fn=5)
+        assert confusion.precision is None
+        assert percent(confusion.precision) == "-"
+
+    def test_recall_none_when_no_positives_exist(self):
+        assert Confusion(tp=0, fp=3, fn=0).recall is None
+
+    def test_fscore_none_when_undefined(self):
+        assert Confusion(tp=0, fp=0, fn=0).f_score is None
+        assert Confusion(tp=0, fp=1, fn=1).f_score is None  # P=R=0
+
+    def test_perfect_tool(self):
+        confusion = Confusion(tp=10, fp=0, fn=0)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+        assert confusion.f_score == 1.0
+
+    def test_addition(self):
+        total = Confusion(1, 2, 3) + Confusion(4, 5, 6)
+        assert (total.tp, total.fp, total.fn) == (5, 7, 9)
+
+
+counts = st.integers(min_value=0, max_value=1000)
+
+
+@given(counts, counts, counts)
+def test_rates_bounded(tp, fp, fn):
+    confusion = Confusion(tp=tp, fp=fp, fn=fn)
+    for rate in (confusion.precision, confusion.recall, confusion.f_score):
+        assert rate is None or 0.0 <= rate <= 1.0
+
+
+@given(counts, counts, counts)
+def test_fscore_between_precision_and_recall(tp, fp, fn):
+    """The harmonic mean lies between its operands."""
+    confusion = Confusion(tp=tp, fp=fp, fn=fn)
+    precision = confusion.precision
+    recall = confusion.recall
+    f_score = confusion.f_score
+    if f_score is None or precision is None or recall is None:
+        return
+    low, high = min(precision, recall), max(precision, recall)
+    assert low - 1e-9 <= f_score <= high + 1e-9
+
+
+@given(counts, st.integers(min_value=1, max_value=1000))
+def test_more_fp_never_raises_precision(tp, fp):
+    worse = Confusion(tp=tp, fp=fp, fn=0)
+    better = Confusion(tp=tp, fp=fp - 1, fn=0)
+    if better.precision is not None and worse.precision is not None:
+        assert worse.precision <= better.precision
+
+
+@given(counts)
+def test_percent_formatting(value):
+    confusion = Confusion(tp=value, fp=0, fn=0)
+    if value:
+        assert percent(confusion.precision) == "100%"

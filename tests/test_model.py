@@ -1,0 +1,183 @@
+"""Unit tests for the model-construction stage (Section III.B)."""
+
+from repro.core.model import PluginModel
+from repro.plugin import Plugin
+
+
+def build(files, budget=400_000):
+    return PluginModel.build(Plugin(name="p", files=files), include_budget=budget)
+
+
+class TestFunctionTable:
+    def test_functions_collected(self):
+        model = build({"a.php": "<?php function foo() {} function Bar($x) {}"})
+        assert set(model.functions) == {"foo", "bar"}
+        assert model.lookup_function("FOO") is not None
+        assert model.functions["bar"].params[0].name == "x"
+
+    def test_methods_collected_with_qualified_keys(self):
+        model = build(
+            {"a.php": "<?php class W { public function go() {} }"}
+        )
+        assert "w::go" in model.functions
+        assert model.functions["w::go"].is_method
+
+    def test_abstract_methods_skipped(self):
+        model = build(
+            {"a.php": "<?php abstract class A { abstract public function f(); }"}
+        )
+        assert "a::f" not in model.functions
+
+    def test_nested_function_in_branch_collected(self):
+        model = build({"a.php": "<?php if ($x) { function late() {} }"})
+        assert "late" in model.functions
+
+
+class TestClassTable:
+    def test_class_with_parent(self):
+        model = build(
+            {"a.php": "<?php class Base {} class Child extends Base {}"}
+        )
+        assert model.lookup_class("child").parent == "Base"
+
+    def test_resolve_method_walks_inheritance(self):
+        model = build(
+            {
+                "a.php": (
+                    "<?php class Base { public function show() {} }"
+                    "class Child extends Base {}"
+                )
+            }
+        )
+        info = model.resolve_method("Child", "show")
+        assert info is not None and info.class_name == "Base"
+
+    def test_resolve_method_through_trait(self):
+        model = build(
+            {
+                "a.php": (
+                    "<?php trait T { public function t() {} }"
+                    "class C { use T; }"
+                )
+            }
+        )
+        assert model.resolve_method("C", "t") is not None
+
+    def test_resolve_missing_method(self):
+        model = build({"a.php": "<?php class C {}"})
+        assert model.resolve_method("C", "nope") is None
+
+    def test_inheritance_cycle_terminates(self):
+        model = build(
+            {"a.php": "<?php class A extends B {} class B extends A {}"}
+        )
+        assert model.resolve_method("A", "x") is None
+
+
+class TestCalledAndUncalled:
+    def test_called_function_not_in_uncalled(self):
+        model = build({"a.php": "<?php function used() {} used();"})
+        assert [info.name for info in model.uncalled_functions()] == []
+
+    def test_uncalled_function_listed(self):
+        model = build({"a.php": "<?php function hook_cb() {}"})
+        assert [info.name for info in model.uncalled_functions()] == ["hook_cb"]
+
+    def test_uncalled_method_listed(self):
+        model = build(
+            {"a.php": "<?php class W { public function render() {} }"}
+        )
+        assert [info.name for info in model.uncalled_functions()] == ["render"]
+
+    def test_called_method_by_name_anywhere(self):
+        model = build(
+            {
+                "a.php": (
+                    "<?php class W { public function render() {} }"
+                    "$w->render();"
+                )
+            }
+        )
+        assert model.uncalled_functions() == []
+
+    def test_cross_file_call_detected(self):
+        model = build(
+            {
+                "a.php": "<?php function helper() {}",
+                "b.php": "<?php helper();",
+            }
+        )
+        assert model.uncalled_functions() == []
+
+
+class TestIncludes:
+    def test_literal_include_collected(self):
+        model = build(
+            {"a.php": "<?php include 'inc/x.php';", "inc/x.php": "<?php $a;"}
+        )
+        assert model.files["a.php"].includes == ["inc/x.php"]
+
+    def test_dirname_idiom_resolved(self):
+        model = build(
+            {
+                "admin/a.php": "<?php require_once(dirname(__FILE__) . '/../lib/b.php');",
+                "lib/b.php": "<?php $x;",
+            }
+        )
+        resolved = model.resolve_include(
+            model.files["admin/a.php"].includes[0], "admin/a.php"
+        )
+        assert resolved == "lib/b.php"
+
+    def test_basename_fallback(self):
+        model = build(
+            {"a.php": "<?php include 'unknown/prefix/tool.php';", "deep/tool.php": "<?php"}
+        )
+        assert model.resolve_include("unknown/prefix/tool.php", "a.php") == "deep/tool.php"
+
+    def test_ambiguous_basename_not_resolved(self):
+        model = build(
+            {
+                "a.php": "<?php",
+                "x/t.php": "<?php",
+                "y/t.php": "<?php",
+            }
+        )
+        assert model.resolve_include("nowhere/t.php", "a.php") is None
+
+    def test_dynamic_include_ignored(self):
+        model = build({"a.php": "<?php include $path;"})
+        assert model.files["a.php"].includes == []
+
+
+class TestBudget:
+    def test_oversized_closure_fails_file(self):
+        lib = "<?php " + "$pad = 'x';\n" * 2000
+        model = build(
+            {
+                "lib.php": lib,
+                "panel.php": "<?php include 'lib.php';",
+                "small.php": "<?php $ok = 1;",
+            },
+            budget=5_000,
+        )
+        assert "panel.php" in model.parse_failures
+        assert "lib.php" in model.parse_failures
+        assert "small.php" in model.files
+
+    def test_budget_cycle_counts_once(self):
+        files = {
+            "a.php": "<?php include 'b.php'; " + "$x = 1;\n" * 50,
+            "b.php": "<?php include 'a.php'; " + "$y = 2;\n" * 50,
+        }
+        model = build(files, budget=10_000)
+        assert not model.parse_failures
+
+    def test_parse_failures_recorded(self):
+        model = build({"bad.php": "<?php $a = ;", "ok.php": "<?php $b = 1;"})
+        assert "bad.php" in model.parse_failures
+        assert "ok.php" in model.files
+
+    def test_total_loc(self):
+        model = build({"a.php": "<?php\n$a = 1;\n$b = 2;\n"})
+        assert model.total_loc == 3

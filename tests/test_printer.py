@@ -1,0 +1,67 @@
+"""Printer round-trip tests: parse → print → parse must be stable."""
+
+import pytest
+
+from repro.php import parse_source, print_expr, print_file
+
+SAMPLES = [
+    "<?php\n$a = 1;\n",
+    "<?php\necho '<p>' . $_GET['x'] . '</p>';\n",
+    "<?php\nif ($a) { echo 1; } elseif ($b) { echo 2; } else { echo 3; }\n",
+    "<?php\nwhile ($a) { $a--; }\ndo { $b++; } while ($b < 3);\n",
+    "<?php\nfor ($i = 0; $i < 3; $i++) { echo $i; }\n",
+    "<?php\nforeach ($rows as $k => $v) { echo $v; }\n",
+    "<?php\nswitch ($x) { case 1: echo 'a'; break; default: echo 'b'; }\n",
+    "<?php\nfunction f($a, &$b, $c = array(1)) { return $a . $b; }\n",
+    "<?php\nclass W extends B implements I {\n  const L = 1;\n  public $p = 'x';\n  private static $s;\n  public function m() { return $this->p; }\n}\n",
+    "<?php\n$r = $wpdb->get_results(\"SELECT * FROM {$wpdb->prefix}t\");\n",
+    "<?php\n$x = isset($a) ? $a : 'd';\n$y = $b ?: 'e';\n",
+    "<?php\nunset($a);\nglobal $g;\nstatic $s = 0;\n",
+    "<?php\ntry { f(); } catch (E $e) { g(); }\n",
+    "<?php\n$f = function ($x) use (&$y) { return $x + $y; };\n",
+    "<?php\nrequire_once dirname(__FILE__) . '/inc.php';\n",
+    "<?php\n$a = (int)$_GET['n'];\n$b = !$a;\n$c = @file('x');\n",
+    "<?php\nlist($a, $b) = each($arr);\n",
+    "<?php\nnew Widget($a, 2);\nWidget::boot();\nWidget::$shared = 1;\n",
+    "<?php\necho <<<EOT\nhello $name dear\nEOT;\n",
+    "<?php\n$x = $a and $b;\n",
+]
+
+
+def normalize(source):
+    return print_file(parse_source(source))
+
+
+@pytest.mark.parametrize("source", SAMPLES, ids=range(len(SAMPLES)))
+def test_roundtrip_stable(source):
+    """print(parse(x)) is a fixed point of print∘parse."""
+    once = normalize(source)
+    twice = print_file(parse_source(once))
+    assert once == twice
+
+
+@pytest.mark.parametrize("source", SAMPLES, ids=range(len(SAMPLES)))
+def test_roundtrip_preserves_statement_count(source):
+    original = parse_source(source)
+    reparsed = parse_source(print_file(original))
+    assert len(reparsed.statements) == len(original.statements)
+
+
+class TestExprPrinting:
+    def test_method_call(self):
+        tree = parse_source("<?php $wpdb->get_results($sql);")
+        expr = tree.statements[0].expr
+        assert print_expr(expr) == "$wpdb->get_results($sql)"
+
+    def test_string_escaping(self):
+        tree = parse_source("<?php $a = 'it\\'s';")
+        printed = print_expr(tree.statements[0].expr)
+        assert printed == "$a = 'it\\'s'"
+
+    def test_interpolation_printing(self):
+        tree = parse_source('<?php $a = "x $y z";')
+        printed = print_expr(tree.statements[0].expr)
+        assert "{$y}" in printed
+
+    def test_none_prints_empty(self):
+        assert print_expr(None) == ""

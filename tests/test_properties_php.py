@@ -1,0 +1,101 @@
+"""Property-based tests on the PHP substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.php import parse_source, print_file, tokenize, tokenize_significant
+from repro.php import ast_nodes as ast
+from repro.php.parser import unescape_single_quoted
+from repro.php.printer import print_expr
+
+identifiers = st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True)
+php_strings = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    max_size=40,
+)
+
+
+@given(php_strings)
+def test_single_quoted_string_roundtrip(value):
+    """Escaping then lexing+unescaping a single-quoted literal is identity."""
+    escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+    raw = f"'{escaped}'"
+    assert unescape_single_quoted(raw) == value
+
+
+@given(php_strings)
+def test_literal_value_survives_parse_print_parse(value):
+    """A string literal's decoded value survives a full round trip."""
+    escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+    source = f"<?php $x = '{escaped}';"
+    tree = parse_source(source)
+    literal = tree.statements[0].expr.value
+    assert isinstance(literal, ast.Literal)
+    assert literal.value == value
+    reparsed = parse_source(print_file(tree))
+    assert reparsed.statements[0].expr.value.value == value
+
+
+@given(st.text(max_size=200))
+def test_lexer_never_crashes_on_html(text):
+    """Arbitrary text outside <?php is one INLINE_HTML token."""
+    if "<?" in text:
+        return
+    tokens = tokenize(text)
+    assert len(tokens) <= 1
+
+
+@given(identifiers, identifiers)
+def test_variable_names_tokenize_exactly(name_a, name_b):
+    tokens = tokenize_significant(f"<?php ${name_a} = ${name_b};")
+    values = [t.value for t in tokens]
+    assert f"${name_a}" in values and f"${name_b}" in values
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+def test_integer_literals_roundtrip(number):
+    tree = parse_source(f"<?php $n = {number};")
+    assert tree.statements[0].expr.value.value == number
+
+
+@given(
+    st.recursive(
+        st.sampled_from(["$a", "$b", "1", "'s'"]),
+        lambda inner: st.tuples(
+            inner, st.sampled_from([".", "+", "*", "&&"]), inner
+        ).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+        max_leaves=8,
+    )
+)
+@settings(max_examples=60)
+def test_expression_print_parse_fixed_point(expr_text):
+    """Printing a parsed expression and reparsing yields identical print."""
+    tree = parse_source(f"<?php $x = {expr_text};")
+    printed = print_expr(tree.statements[0].expr)
+    reparsed = parse_source(f"<?php {printed};")
+    assert print_expr(reparsed.statements[0].expr) == printed
+
+
+@given(st.lists(st.sampled_from(
+    ["$a = 1;", "echo $a;", "if ($a) { $b = 2; }", "function f() { return 3; }",
+     "while ($a) { $a--; }", "unset($a);", "global $g;"]), min_size=0, max_size=8))
+@settings(max_examples=60)
+def test_statement_sequences_roundtrip(statements):
+    """Any sequence of statement samples parses and round-trips stably."""
+    source = "<?php\n" + "\n".join(statements)
+    once = print_file(parse_source(source))
+    assert print_file(parse_source(once)) == once
+
+
+@given(st.text(alphabet="abc$ {}()'\"\\<>;=/*#\n", max_size=60))
+@settings(max_examples=120)
+def test_lexer_total_or_structured_error(source):
+    """The lexer either tokenizes or raises a structured PhpSyntaxError."""
+    from repro.php import PhpSyntaxError
+
+    try:
+        tokens = tokenize("<?php " + source)
+    except PhpSyntaxError as error:
+        assert error.line >= 1
+    else:
+        assert all(token.line >= 1 for token in tokens)

@@ -1,0 +1,178 @@
+"""Tests for the review exporters and the history/approval module."""
+
+import json
+
+from repro.config.vulnerability import VulnKind
+from repro.core import PhpSafe
+from repro.core.review import coverage_summary, fix_hint, to_html, to_json, to_text
+from repro.history import (
+    ApprovalPolicy,
+    HistoryStore,
+    ScanRecord,
+    diff_scans,
+)
+from repro.plugin import Plugin
+
+VULN_SOURCE = """<?php
+echo '<p>' . $_GET['m'] . '</p>';
+$wpdb->query("D WHERE id = " . $_GET['id']);
+function hook_cb() { echo $_POST['x']; }
+"""
+
+FIXED_SOURCE = """<?php
+echo '<p>' . esc_html($_GET['m']) . '</p>';
+$wpdb->query($wpdb->prepare("D WHERE id = %d", $_GET['id']));
+function hook_cb() { echo $_POST['x']; }
+"""
+
+
+def scan(source, version="1.0", name="demo"):
+    plugin = Plugin(name=name, version=version, files={"demo.php": source})
+    report = PhpSafe().analyze(plugin)
+    return plugin, report
+
+
+class TestExporters:
+    def test_json_schema(self):
+        _plugin, report = scan(VULN_SOURCE)
+        document = json.loads(to_json(report))
+        assert document["tool"] == "phpSAFE"
+        assert len(document["findings"]) == 3
+        first = document["findings"][0]
+        assert {"kind", "file", "line", "sink", "vectors", "trace", "fix_hint"} <= set(
+            first
+        )
+
+    def test_json_orders_by_severity(self):
+        _plugin, report = scan(VULN_SOURCE)
+        document = json.loads(to_json(report))
+        assert document["findings"][0]["kind"] == "sqli"
+
+    def test_text_contains_fix_hints(self):
+        _plugin, report = scan(VULN_SOURCE)
+        text = to_text(report)
+        assert "prepare()" in text and "esc_html()" in text
+
+    def test_html_page_self_contained(self):
+        plugin, report = scan(VULN_SOURCE)
+        page = to_html(report, plugin)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "SQLI" in page and "XSS" in page
+        assert "demo.php:2" in page
+        # source snippet around the sink is embedded
+        assert "$_GET[&#x27;m&#x27;]" in page or "$_GET" in page
+
+    def test_html_escapes_payloads(self):
+        plugin, report = scan("<?php echo $_GET['<script>'];")
+        page = to_html(report, plugin)
+        assert "<script>" not in page.split("<style>")[1]
+
+    def test_html_without_findings(self):
+        plugin, report = scan("<?php echo 'safe';")
+        assert "No vulnerabilities detected" in to_html(report, plugin)
+
+    def test_fix_hints_per_kind(self):
+        from repro.core.results import Finding
+
+        hints = {
+            VulnKind.XSS: "esc_html",
+            VulnKind.SQLI: "prepare",
+            VulnKind.CMDI: "escapeshellarg",
+            VulnKind.LFI: "basename",
+        }
+        for kind, expected in hints.items():
+            finding = Finding(kind=kind, file="f.php", line=1, sink="s")
+            assert expected in fix_hint(finding)
+
+    def test_coverage_summary(self):
+        plugin, _report = scan(VULN_SOURCE)
+        summary = coverage_summary(plugin)
+        assert summary["files"] == 1
+        assert summary["functions"] == 1
+        assert summary["entry_points_never_called"] == 1
+        assert summary["acyclic_paths"] >= 1
+
+
+class TestHistory:
+    def test_record_and_diff(self):
+        store = HistoryStore()
+        _p1, report1 = scan(VULN_SOURCE, "1.0")
+        _p2, report2 = scan(FIXED_SOURCE, "2.0")
+        store.record(report1, version="1.0", scanned_at="2012-11-01")
+        store.record(report2, version="2.0", scanned_at="2014-11-01")
+        diff = store.diff_latest("demo")
+        assert diff is not None
+        assert len(diff.fixed) == 2  # the reflected XSS and the SQLi
+        assert len(diff.persistent) == 1  # hook_cb() never fixed
+        assert not diff.introduced
+        assert "persistent" in diff.summary()
+
+    def test_persistence_share(self):
+        _p1, report1 = scan(VULN_SOURCE, "1.0")
+        _p2, report2 = scan(VULN_SOURCE, "2.0")
+        older = ScanRecord.from_report(report1, "1.0", "2012-11-01")
+        newer = ScanRecord.from_report(report2, "2.0", "2014-11-01")
+        diff = diff_scans(older, newer)
+        assert diff.persistence_share == 1.0  # nothing fixed at all
+
+    def test_evolution_series(self):
+        store = HistoryStore()
+        for version, source in (("1.0", VULN_SOURCE), ("2.0", FIXED_SOURCE)):
+            _p, report = scan(source, version)
+            store.record(report, version=version, scanned_at="2014-01-01")
+        assert store.evolution("demo") == [("1.0", 3), ("2.0", 1)]
+
+    def test_json_roundtrip(self, tmp_path):
+        path = str(tmp_path / "history.json")
+        store = HistoryStore(path)
+        _p, report = scan(VULN_SOURCE, "1.0")
+        store.record(report, version="1.0", scanned_at="2012-11-01")
+        store.save()
+        reloaded = HistoryStore(path)
+        assert reloaded.plugins() == ["demo"]
+        assert reloaded.latest("demo").count() == 3
+
+    def test_diff_requires_two_scans(self):
+        store = HistoryStore()
+        _p, report = scan(VULN_SOURCE)
+        store.record(report, version="1.0", scanned_at="2012-11-01")
+        assert store.diff_latest("demo") is None
+
+
+class TestApproval:
+    def test_vulnerable_plugin_rejected(self):
+        _p, report = scan(VULN_SOURCE, "1.0")
+        record = ScanRecord.from_report(report, "1.0", "2014-01-01")
+        decision = ApprovalPolicy().evaluate(record)
+        assert not decision.approved
+        assert any("SQLi" in reason for reason in decision.reasons)
+        assert "REJECTED" in str(decision)
+
+    def test_clean_plugin_approved(self):
+        _p, report = scan("<?php echo esc_html($_GET['q']);", "1.0")
+        record = ScanRecord.from_report(report, "1.0", "2014-01-01")
+        decision = ApprovalPolicy().evaluate(record)
+        assert decision.approved
+
+    def test_lenient_policy(self):
+        _p, report = scan("<?php echo $_GET['q'];", "1.0")
+        record = ScanRecord.from_report(report, "1.0", "2014-01-01")
+        assert not ApprovalPolicy().evaluate(record).approved
+        assert ApprovalPolicy(max_xss=5).evaluate(record).approved
+
+    def test_failed_files_block_approval(self):
+        plugin = Plugin(name="p", version="1", files={"bad.php": "<?php $a = ;"})
+        report = PhpSafe().analyze(plugin)
+        record = ScanRecord.from_report(report, "1", "2014-01-01")
+        decision = ApprovalPolicy().evaluate(record)
+        assert not decision.approved
+        assert any("could not be analyzed" in reason for reason in decision.reasons)
+
+    def test_regression_blocks_approval(self):
+        _p1, clean = scan("<?php echo 'ok';", "1.0")
+        _p2, vuln = scan("<?php echo $_GET['q'];", "2.0")
+        older = ScanRecord.from_report(clean, "1.0", "2012-01-01")
+        newer = ScanRecord.from_report(vuln, "2.0", "2014-01-01")
+        decision = ApprovalPolicy(max_xss=5).evaluate(newer, previous=older)
+        assert not decision.approved
+        assert any("new finding" in reason for reason in decision.reasons)

@@ -1,0 +1,182 @@
+"""Unit and property tests for the taint lattice."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config.vulnerability import InputVector, VulnKind
+from repro.core.taint import ConcreteSource, ParamRef, PropRef, TaintState
+
+
+def source(name="$_GET", vector=InputVector.GET, line=1):
+    return ConcreteSource(vector=vector, name=name, file="f.php", line=line)
+
+
+class TestConstruction:
+    def test_clean_state(self):
+        state = TaintState.clean()
+        assert state.is_clean()
+        assert not state.is_tainted(VulnKind.XSS)
+
+    def test_from_label_all_kinds(self):
+        state = TaintState.from_label(source())
+        assert state.is_tainted(VulnKind.XSS)
+        assert state.is_tainted(VulnKind.SQLI)
+
+    def test_from_label_single_kind(self):
+        state = TaintState.from_label(source(), kinds={VulnKind.XSS})
+        assert state.is_tainted(VulnKind.XSS)
+        assert not state.is_tainted(VulnKind.SQLI)
+
+    def test_copy_is_independent(self):
+        state = TaintState.from_label(source())
+        clone = state.copy()
+        clone.active[VulnKind.XSS].clear()
+        assert state.is_tainted(VulnKind.XSS)
+
+
+class TestJoin:
+    def test_join_accumulates_labels(self):
+        get = TaintState.from_label(source("$_GET"))
+        post = TaintState.from_label(source("$_POST", InputVector.POST))
+        joined = get.joined(post)
+        assert len(joined.labels(VulnKind.XSS)) == 2
+
+    def test_join_preserves_operands(self):
+        get = TaintState.from_label(source())
+        joined = get.joined(TaintState.clean())
+        joined.active[VulnKind.XSS].add(ParamRef("f", 0))
+        assert len(get.labels(VulnKind.XSS)) == 1
+
+    def test_vectors_sorted_and_deduped(self):
+        state = TaintState.from_label(source(line=1)).joined(
+            TaintState.from_label(source(line=2))
+        )
+        assert state.vectors(VulnKind.XSS) == (InputVector.GET,)
+
+
+class TestFilterAndRevert:
+    def test_filter_one_kind(self):
+        state = TaintState.from_label(source()).filtered({VulnKind.XSS})
+        assert not state.is_tainted(VulnKind.XSS)
+        assert state.is_tainted(VulnKind.SQLI)
+
+    def test_revert_restores_filtered(self):
+        state = TaintState.from_label(source()).filtered({VulnKind.XSS})
+        restored = state.reverted({VulnKind.XSS})
+        assert restored.is_tainted(VulnKind.XSS)
+
+    def test_revert_without_filter_is_noop(self):
+        state = TaintState.from_label(source()).reverted({VulnKind.XSS})
+        assert len(state.labels(VulnKind.XSS)) == 1
+
+    def test_filter_then_join_keeps_suppressed(self):
+        filtered = TaintState.from_label(source()).filtered({VulnKind.XSS})
+        joined = filtered.joined(TaintState.clean())
+        assert joined.reverted({VulnKind.XSS}).is_tainted(VulnKind.XSS)
+
+
+class TestSubstitution:
+    def test_param_ref_substituted(self):
+        ref = ParamRef("f", 0)
+        state = TaintState.from_label(ref)
+        actual = TaintState.from_label(source())
+        result = state.substituted({ref: actual})
+        assert result.is_tainted(VulnKind.XSS)
+        assert all(
+            isinstance(label, ConcreteSource) for label in result.labels(VulnKind.XSS)
+        )
+
+    def test_unmapped_placeholder_dropped(self):
+        state = TaintState.from_label(ParamRef("f", 0))
+        assert state.substituted({}).is_clean()
+
+    def test_concrete_labels_pass_through(self):
+        state = TaintState.from_label(source())
+        assert state.substituted({}).is_tainted(VulnKind.XSS)
+
+    def test_kind_restriction_respected(self):
+        ref = ParamRef("f", 0)
+        state = TaintState.from_label(ref, kinds={VulnKind.SQLI})
+        actual = TaintState.from_label(source(), kinds={VulnKind.SQLI})
+        result = state.substituted({ref: actual})
+        assert result.is_tainted(VulnKind.SQLI)
+        assert not result.is_tainted(VulnKind.XSS)
+
+    def test_has_placeholders(self):
+        assert TaintState.from_label(PropRef("c", "p")).has_placeholders()
+        assert not TaintState.from_label(source()).has_placeholders()
+
+
+# ---- property tests -------------------------------------------------------
+
+labels = st.one_of(
+    st.builds(
+        ConcreteSource,
+        vector=st.sampled_from(list(InputVector)),
+        name=st.sampled_from(["$_GET", "$_POST", "fgets()"]),
+        file=st.just("f.php"),
+        line=st.integers(min_value=1, max_value=99),
+    ),
+    st.builds(ParamRef, function_key=st.sampled_from(["f", "g"]), index=st.integers(0, 3)),
+    st.builds(PropRef, class_name=st.sampled_from(["a", "b"]), prop=st.sampled_from(["p", "q"])),
+)
+
+states = st.lists(labels, max_size=4).map(
+    lambda items: TaintState(
+        active={kind: set(items) for kind in VulnKind} if items else {}
+    )
+)
+
+
+@given(states, states)
+def test_join_commutative_on_labels(left, right):
+    one = left.joined(right)
+    other = right.joined(left)
+    for kind in VulnKind:
+        assert one.labels(kind) == other.labels(kind)
+
+
+@given(states, states, states)
+def test_join_associative_on_labels(a, b, c):
+    one = a.joined(b).joined(c)
+    other = a.joined(b.joined(c))
+    for kind in VulnKind:
+        assert one.labels(kind) == other.labels(kind)
+
+
+@given(states)
+def test_join_idempotent(state):
+    joined = state.joined(state)
+    for kind in VulnKind:
+        assert joined.labels(kind) == state.labels(kind)
+
+
+@given(states)
+def test_filter_monotone_decreasing(state):
+    filtered = state.filtered({VulnKind.XSS})
+    assert filtered.labels(VulnKind.XSS) <= state.labels(VulnKind.XSS)
+    assert filtered.labels(VulnKind.SQLI) == state.labels(VulnKind.SQLI)
+
+
+@given(states)
+def test_filter_then_revert_identity_on_active(state):
+    """filter;revert restores exactly the active labels."""
+    roundtrip = state.filtered(list(VulnKind)).reverted(list(VulnKind))
+    for kind in VulnKind:
+        assert roundtrip.labels(kind) == state.labels(kind)
+
+
+@given(states)
+def test_substitute_empty_leaves_only_concrete(state):
+    result = state.substituted({})
+    for kind in VulnKind:
+        assert all(isinstance(label, ConcreteSource) for label in result.labels(kind))
+        concrete = {
+            label for label in state.labels(kind) if isinstance(label, ConcreteSource)
+        }
+        assert result.labels(kind) == concrete
+
+
+@given(states)
+def test_signature_equal_for_copies(state):
+    assert state.copy().signature() == state.signature()

@@ -1,0 +1,96 @@
+"""Tests for the AST visitor/transformer framework."""
+
+from repro.php import parse_source, print_file
+from repro.php import ast_nodes as ast
+from repro.php.visitor import (
+    CallGraphCollector,
+    FunctionCollector,
+    NodeTransformer,
+    NodeVisitor,
+    iter_child_nodes,
+)
+
+SOURCE = """<?php
+function top() { helper(1); }
+function helper($n) { echo $n; }
+class W {
+    public function render() { helper(2); }
+}
+top();
+"""
+
+
+class TestVisitor:
+    def test_iter_child_nodes(self):
+        tree = parse_source("<?php if ($a) { echo 1; }")
+        statement = tree.statements[0]
+        children = list(iter_child_nodes(statement))
+        assert any(isinstance(c, ast.Variable) for c in children)
+        assert any(isinstance(c, ast.EchoStatement) for c in children)
+
+    def test_dispatch_by_type_name(self):
+        class Counter(NodeVisitor):
+            echos = 0
+            variables = 0
+
+            def visit_EchoStatement(self, node):
+                self.echos += 1
+                self.generic_visit(node)
+
+            def visit_Variable(self, node):
+                self.variables += 1
+
+        counter = Counter()
+        counter.visit(parse_source("<?php echo $a; echo $b . $c;"))
+        assert counter.echos == 2
+        assert counter.variables == 3
+
+    def test_function_collector(self):
+        collector = FunctionCollector()
+        collector.visit(parse_source(SOURCE))
+        names = {(name, cls) for name, _line, cls in collector.functions}
+        assert names == {("top", None), ("helper", None), ("render", "W")}
+
+    def test_call_graph_collector(self):
+        collector = CallGraphCollector()
+        collector.visit(parse_source(SOURCE))
+        assert ("top", "helper") in collector.edges
+        assert ("<main>", "top") in collector.edges
+
+
+class TestTransformer:
+    def test_replace_nodes(self):
+        class LiteralUpper(NodeTransformer):
+            def visit_Literal(self, node):
+                if isinstance(node.value, str):
+                    node.value = node.value.upper()
+                return node
+
+        tree = parse_source("<?php echo 'hello';")
+        LiteralUpper().visit(tree)
+        assert "HELLO" in print_file(tree)
+
+    def test_remove_statements(self):
+        class DropEchos(NodeTransformer):
+            def visit_EchoStatement(self, node):
+                return None
+
+        tree = parse_source("<?php $a = 1; echo $a; $b = 2;")
+        DropEchos().visit(tree)
+        assert len(tree.statements) == 2
+        assert "echo" not in print_file(tree)
+
+    def test_wrap_expressions(self):
+        class EscapeEchoArgs(NodeTransformer):
+            def visit_EchoStatement(self, node):
+                node.exprs = [
+                    ast.FunctionCall(line=e.line, name="esc_html", args=[e])
+                    for e in node.exprs
+                ]
+                return node
+
+        tree = parse_source("<?php echo $_GET['x'];")
+        EscapeEchoArgs().visit(tree)
+        from repro.core import PhpSafe
+
+        assert not PhpSafe().analyze_source(print_file(tree)).findings
