@@ -16,6 +16,7 @@ Quickstart::
 """
 
 from .baselines import PixyLike, RipsLike
+from .batch import BatchScanner, DiskModelCache, ScanTelemetry, ToolSpec, scan_corpus
 from .config import AnalyzerProfile, InputVector, VulnKind, generic_php, wordpress
 from .core import Finding, PhpSafe, PhpSafeOptions, ToolReport
 from .corpus import GeneratedCorpus, build_both, build_corpus
@@ -29,6 +30,11 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalyzerProfile",
     "ApprovalPolicy",
+    "BatchScanner",
+    "DiskModelCache",
+    "ScanTelemetry",
+    "ToolSpec",
+    "scan_corpus",
     "ExploitConfirmer",
     "Finding",
     "GeneratedCorpus",

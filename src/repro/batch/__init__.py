@@ -1,0 +1,29 @@
+"""Batch scanning subsystem (paper Section VI performance work).
+
+Fans per-plugin analysis out over worker processes with crash/timeout
+isolation (:mod:`.scheduler`), backed by a disk-persistent parse cache
+(:mod:`.diskcache`), and reports wall time, throughput, cache hit rate
+and robustness incidents as JSON telemetry (:mod:`.telemetry`).
+"""
+
+from .diskcache import DiskModelCache
+from .scheduler import (
+    BatchOptions,
+    BatchResult,
+    BatchScanner,
+    ToolSpec,
+    scan_corpus,
+)
+from .telemetry import SCHEMA, PluginScanStats, ScanTelemetry
+
+__all__ = [
+    "BatchOptions",
+    "BatchResult",
+    "BatchScanner",
+    "DiskModelCache",
+    "PluginScanStats",
+    "SCHEMA",
+    "ScanTelemetry",
+    "ToolSpec",
+    "scan_corpus",
+]

@@ -1,0 +1,356 @@
+"""Parallel batch scanning with per-plugin crash/timeout isolation.
+
+Per-plugin analysis is embarrassingly parallel (every plugin is an
+independent file set), so the scheduler fans a corpus out over a
+``ProcessPoolExecutor`` of analyzer workers.  Robustness follows the
+paper's Section V.E incident taxonomy: a worker that raises, exceeds
+its deadline or dies outright yields a ``FileFailure(file="<plugin>",
+completed=False)`` on that plugin's report instead of aborting the
+batch.
+
+Isolation mechanics:
+
+- *Exceptions* are caught inside the worker and returned as a failure
+  report.
+- *Deadlines* are enforced in the worker with a ``SIGALRM`` interval
+  timer, so a runaway plugin is interrupted mid-analysis.
+- *Process death* (segfault, ``os._exit``) breaks the whole pool; the
+  scheduler then restarts and re-runs each unresolved plugin in its own
+  single-worker pool, which pins the crash on the guilty plugin while
+  every innocent one still completes.
+
+Workers are described by a picklable :class:`ToolSpec` (not a live tool
+instance) and share a persistent :class:`DiskModelCache` when a cache
+directory is configured, so repeated scans never re-parse unchanged
+files.  ``jobs=1`` runs the identical worker pipeline in-process — same
+findings, no pool overhead.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import signal
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cache import ModelCache
+from ..core.phpsafe import PhpSafe, PhpSafeOptions
+from ..core.results import FileFailure, ToolReport
+from ..core.tool import AnalyzerTool
+from ..plugin import Plugin
+from .diskcache import DiskModelCache
+from .telemetry import PluginScanStats, ScanTelemetry
+
+#: profile names ToolSpec can rebuild from options alone
+_REBUILDABLE_PHPSAFE_PROFILES = ("wordpress", "generic-php")
+
+
+@dataclass(frozen=True)
+class ToolSpec:
+    """Picklable recipe for constructing an analyzer inside a worker.
+
+    ``name`` is a registry key (``"phpsafe"``, ``"rips"``, ``"pixy"``)
+    or a ``"module:qualname"`` reference to any :class:`AnalyzerTool`
+    subclass with a no-argument constructor.
+    """
+
+    name: str = "phpsafe"
+    options: Optional[PhpSafeOptions] = None
+
+    def build(self, cache: Optional[ModelCache] = None) -> AnalyzerTool:
+        if self.name == "phpsafe":
+            return PhpSafe(options=self.options, cache=cache)
+        if self.name == "rips":
+            from ..baselines import RipsLike
+
+            return RipsLike()
+        if self.name == "pixy":
+            from ..baselines import PixyLike
+
+            return PixyLike()
+        if ":" in self.name:
+            module_name, qualname = self.name.split(":", 1)
+            tool_cls = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                tool_cls = getattr(tool_cls, part)
+            return tool_cls()  # type: ignore[operator]
+        raise ValueError(f"unknown tool spec {self.name!r}")
+
+    @classmethod
+    def from_tool(cls, tool: AnalyzerTool) -> Optional["ToolSpec"]:
+        """Capture a live tool instance, or ``None`` when it cannot be
+        reconstructed in a worker (custom profile objects)."""
+        from ..baselines import PixyLike, RipsLike
+
+        if isinstance(tool, PhpSafe):
+            expected = (
+                "wordpress" if tool.options.wordpress_config else "generic-php"
+            )
+            if tool.profile.name != expected:
+                return None
+            return cls(name="phpsafe", options=tool.options)
+        if isinstance(tool, RipsLike):
+            return cls(name="rips") if tool.profile.name == "rips" else None
+        if isinstance(tool, PixyLike):
+            return cls(name="pixy") if tool.profile.name == "pixy-2007" else None
+        return None
+
+
+@dataclass
+class BatchOptions:
+    """Knobs of one batch scan."""
+
+    #: worker processes; 1 = run the worker pipeline in-process
+    jobs: int = 1
+    #: per-plugin deadline in seconds (None = no deadline)
+    timeout: Optional[float] = None
+    #: persistent parse-cache directory (None = per-process memory cache)
+    cache_dir: Optional[str] = None
+    #: memory-LRU bound of each worker's cache
+    max_entries: int = 4096
+
+
+# -- worker side (runs in the child processes) ------------------------------
+
+_worker_tool: Optional[AnalyzerTool] = None
+_worker_timeout: Optional[float] = None
+
+
+class _ScanDeadline(Exception):
+    """Raised inside a worker when the per-plugin deadline fires."""
+
+
+def _on_alarm(signum, frame):  # pragma: no cover - fires asynchronously
+    raise _ScanDeadline()
+
+
+def _init_worker(spec: ToolSpec, options: BatchOptions) -> None:
+    """Pool initializer: build the tool once per worker process."""
+    global _worker_tool, _worker_timeout
+    cache: Optional[ModelCache] = None
+    if options.cache_dir:
+        cache = DiskModelCache(options.cache_dir, max_entries=options.max_entries)
+    elif spec.name == "phpsafe":
+        cache = ModelCache(max_entries=options.max_entries)
+    _worker_tool = spec.build(cache=cache)
+    _worker_timeout = options.timeout
+    signal.signal(signal.SIGALRM, _on_alarm)
+
+
+#: worker return value: (report, seconds, outcome, (hits, misses, disk_hits))
+_TaskResult = Tuple[ToolReport, float, str, Tuple[int, int, int]]
+
+
+def _failure_report(tool_name: str, plugin_slug: str, reason: str) -> ToolReport:
+    report = ToolReport(tool=tool_name, plugin=plugin_slug)
+    report.failures.append(
+        FileFailure(file="<plugin>", reason=reason, completed=False)
+    )
+    return report
+
+
+def _scan_one(payload: Tuple[str, str, Dict[str, str]]) -> _TaskResult:
+    """Analyze one plugin inside a worker, isolating failures."""
+    name, version, files = payload
+    plugin = Plugin(name=name, version=version, files=files)
+    tool = _worker_tool
+    assert tool is not None, "worker used before initialization"
+    cache = getattr(tool, "cache", None)
+    stats_before = (
+        (cache.stats.hits, cache.stats.misses, cache.stats.disk_hits)
+        if cache is not None
+        else (0, 0, 0)
+    )
+    outcome = "ok"
+    start = time.perf_counter()
+    if _worker_timeout:
+        signal.setitimer(signal.ITIMER_REAL, _worker_timeout)
+    try:
+        report = tool.analyze(plugin)
+    except _ScanDeadline:
+        outcome = "timeout"
+        report = _failure_report(
+            tool.name,
+            plugin.slug,
+            f"scan deadline of {_worker_timeout:g}s exceeded",
+        )
+    except Exception as error:
+        outcome = "error"
+        report = _failure_report(
+            tool.name, plugin.slug, f"worker exception: {error!r}"
+        )
+    finally:
+        if _worker_timeout:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+    report.seconds = time.perf_counter() - start
+    # the reviewer variable dump is large and holds analysis-internal
+    # objects; don't ship it over the result pickle channel
+    report.variables = {}
+    stats_after = (
+        (cache.stats.hits, cache.stats.misses, cache.stats.disk_hits)
+        if cache is not None
+        else stats_before
+    )
+    delta = tuple(after - before for after, before in zip(stats_after, stats_before))
+    return report, report.seconds, outcome, delta  # type: ignore[return-value]
+
+
+# -- scheduler side ---------------------------------------------------------
+
+
+@dataclass
+class BatchResult:
+    """Reports (in input order) plus the run's telemetry."""
+
+    reports: List[ToolReport]
+    telemetry: ScanTelemetry
+
+    def merged_report(self) -> Optional[ToolReport]:
+        """Whole-corpus totals (plugin-scoped finding dedup)."""
+        if not self.reports:
+            return None
+        return functools.reduce(ToolReport.merged, self.reports)
+
+
+class BatchScanner:
+    """Fans per-plugin analysis out over worker processes."""
+
+    def __init__(
+        self,
+        spec: Optional[ToolSpec] = None,
+        options: Optional[BatchOptions] = None,
+    ) -> None:
+        self.spec = spec or ToolSpec()
+        self.options = options or BatchOptions()
+
+    def scan(self, plugins: Sequence[Plugin]) -> BatchResult:
+        plugins = list(plugins)
+        telemetry = ScanTelemetry(jobs=max(1, self.options.jobs))
+        start = time.perf_counter()
+        if self.options.jobs <= 1:
+            results = self._scan_in_process(plugins)
+        else:
+            results = self._scan_parallel(plugins, telemetry)
+        telemetry.wall_seconds = time.perf_counter() - start
+        reports: List[ToolReport] = []
+        for plugin, (report, seconds, outcome, delta) in zip(plugins, results):
+            if outcome == "timeout":
+                telemetry.timeouts += 1
+            elif outcome in ("crashed", "error"):
+                telemetry.crashes += 1
+            telemetry.record(
+                PluginScanStats(
+                    plugin=plugin.slug,
+                    seconds=seconds,
+                    files=report.files_analyzed,
+                    loc=report.loc_analyzed,
+                    findings=len(report.findings),
+                    failures=len(report.failures),
+                    cache_hits=delta[0],
+                    cache_misses=delta[1],
+                    disk_hits=delta[2],
+                    outcome=outcome,
+                )
+            )
+            reports.append(report)
+        return BatchResult(reports=reports, telemetry=telemetry)
+
+    # -- serial path -------------------------------------------------------
+
+    def _scan_in_process(self, plugins: Sequence[Plugin]) -> List[_TaskResult]:
+        """``jobs=1``: the identical worker pipeline, no pool."""
+        _init_worker(self.spec, self.options)
+        return [_scan_one(self._payload(plugin)) for plugin in plugins]
+
+    # -- parallel path -----------------------------------------------------
+
+    def _scan_parallel(
+        self, plugins: Sequence[Plugin], telemetry: ScanTelemetry
+    ) -> List[_TaskResult]:
+        results: Dict[int, _TaskResult] = {}
+        unresolved = set(range(len(plugins)))
+        pool_broken = False
+        with ProcessPoolExecutor(
+            max_workers=self.options.jobs,
+            initializer=_init_worker,
+            initargs=(self.spec, self.options),
+        ) as executor:
+            futures = {
+                executor.submit(_scan_one, self._payload(plugins[index])): index
+                for index in sorted(unresolved)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except (BrokenProcessPool, CancelledError):
+                    # a worker died; which task killed it is unknown yet
+                    pool_broken = True
+                    continue
+                except Exception as error:  # pragma: no cover - defensive
+                    results[index] = self._crash_result(
+                        plugins[index], f"scheduler error: {error!r}"
+                    )
+                unresolved.discard(index)
+        if pool_broken:
+            telemetry.worker_restarts += 1
+            self._isolate(plugins, sorted(unresolved), results, telemetry)
+        return [results[index] for index in range(len(plugins))]
+
+    def _isolate(
+        self,
+        plugins: Sequence[Plugin],
+        indexes: Sequence[int],
+        results: Dict[int, _TaskResult],
+        telemetry: ScanTelemetry,
+    ) -> None:
+        """Re-run each unresolved plugin in its own single-worker pool so
+        the crasher is identified and every innocent plugin completes."""
+        for index in indexes:
+            with ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_init_worker,
+                initargs=(self.spec, self.options),
+            ) as solo:
+                try:
+                    results[index] = solo.submit(
+                        _scan_one, self._payload(plugins[index])
+                    ).result()
+                except (BrokenProcessPool, CancelledError):
+                    telemetry.worker_restarts += 1
+                    results[index] = self._crash_result(
+                        plugins[index], "worker process died during analysis"
+                    )
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _payload(plugin: Plugin) -> Tuple[str, str, Dict[str, str]]:
+        return plugin.name, plugin.version, dict(plugin.files)
+
+    def _tool_name(self) -> str:
+        names = {"phpsafe": "phpSAFE", "rips": "RIPS", "pixy": "Pixy"}
+        return names.get(self.spec.name, self.spec.name)
+
+    def _crash_result(self, plugin: Plugin, reason: str) -> _TaskResult:
+        report = _failure_report(self._tool_name(), plugin.slug, reason)
+        return report, 0.0, "crashed", (0, 0, 0)
+
+
+def scan_corpus(
+    plugins: Sequence[Plugin],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    spec: Optional[ToolSpec] = None,
+) -> BatchResult:
+    """One-call batch scan of a plugin corpus."""
+    scanner = BatchScanner(
+        spec=spec,
+        options=BatchOptions(jobs=jobs, timeout=timeout, cache_dir=cache_dir),
+    )
+    return scanner.scan(plugins)

@@ -1,0 +1,144 @@
+"""Batch-scan telemetry: the JSON report a scan leaves behind.
+
+Each batch run aggregates one :class:`PluginScanStats` per plugin
+(wall time, size, findings, cache counters, outcome) plus run-level
+incidents (worker restarts, deadline timeouts, crashes) into a
+:class:`ScanTelemetry` that serializes to a stable JSON schema
+(``schema`` key: ``repro.batch.telemetry/v1``) for CI dashboards and
+the performance benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+SCHEMA = "repro.batch.telemetry/v1"
+
+
+@dataclass
+class PluginScanStats:
+    """Per-plugin telemetry row."""
+
+    plugin: str
+    seconds: float = 0.0
+    files: int = 0
+    loc: int = 0
+    findings: int = 0
+    failures: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    disk_hits: int = 0
+    #: "ok" | "timeout" | "crashed" | "error"
+    outcome: str = "ok"
+
+    @property
+    def files_per_second(self) -> float:
+        return self.files / self.seconds if self.seconds else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plugin": self.plugin,
+            "seconds": round(self.seconds, 6),
+            "files": self.files,
+            "loc": self.loc,
+            "findings": self.findings,
+            "failures": self.failures,
+            "files_per_second": round(self.files_per_second, 3),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "disk_hits": self.disk_hits,
+            },
+            "outcome": self.outcome,
+        }
+
+
+@dataclass
+class ScanTelemetry:
+    """Everything one batch scan measured."""
+
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    worker_restarts: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    plugins: List[PluginScanStats] = field(default_factory=list)
+
+    def record(self, stats: PluginScanStats) -> None:
+        self.plugins.append(stats)
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def total_files(self) -> int:
+        return sum(stats.files for stats in self.plugins)
+
+    @property
+    def total_loc(self) -> int:
+        return sum(stats.loc for stats in self.plugins)
+
+    @property
+    def total_findings(self) -> int:
+        return sum(stats.findings for stats in self.plugins)
+
+    @property
+    def analysis_seconds(self) -> float:
+        """Summed per-plugin time (> wall time when workers overlap)."""
+        return sum(stats.seconds for stats in self.plugins)
+
+    @property
+    def files_per_second(self) -> float:
+        return self.total_files / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(stats.cache_hits for stats in self.plugins)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(stats.cache_misses for stats in self.plugins)
+
+    @property
+    def disk_hits(self) -> int:
+        return sum(stats.disk_hits for stats in self.plugins)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "analysis_seconds": round(self.analysis_seconds, 6),
+            "files": self.total_files,
+            "loc": self.total_loc,
+            "findings": self.total_findings,
+            "files_per_second": round(self.files_per_second, 3),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "disk_hits": self.disk_hits,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            },
+            "incidents": {
+                "worker_restarts": self.worker_restarts,
+                "timeouts": self.timeouts,
+                "crashes": self.crashes,
+            },
+            "plugins": [stats.to_dict() for stats in self.plugins],
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")

@@ -4,7 +4,11 @@ Subcommands:
 
 ``scan PATH``
     Analyze a plugin directory (or single ``.php`` file) with phpSAFE
-    and print the findings with their flow traces.
+    and print the findings with their flow traces.  A directory of
+    plugin directories (e.g. a generated corpus version) is scanned as
+    a batch; ``--jobs N`` fans the batch out over worker processes,
+    ``--cache-dir`` persists the parse cache across runs, ``--timeout``
+    bounds each plugin, and ``--telemetry`` writes the JSON scan report.
 ``compare PATH``
     Run phpSAFE, RIPS-like and Pixy-like on the same target and print a
     side-by-side summary.
@@ -61,6 +65,28 @@ def _load_target(path: str) -> Plugin:
     return Plugin(name=os.path.basename(path), files={os.path.basename(path): source})
 
 
+def _load_targets(path: str) -> list:
+    """Expand ``path`` to the plugins it holds.
+
+    A directory with no PHP files of its own whose subdirectories do
+    contain PHP (a corpus checkout, e.g. ``out/2012/``) yields one
+    plugin per subdirectory; anything else is a single plugin.
+    """
+    if not os.path.isdir(path):
+        return [_load_target(path)]
+    entries = sorted(os.listdir(path))
+    if any(entry.endswith(".php") for entry in entries):
+        return [Plugin.load_from(path)]
+    plugins = []
+    for entry in entries:
+        subdir = os.path.join(path, entry)
+        if os.path.isdir(subdir):
+            plugin = Plugin.load_from(subdir)
+            if plugin.files:
+                plugins.append(plugin)
+    return plugins or [Plugin.load_from(path)]
+
+
 def _make_tool(name: str, no_oop: bool = False, generic: bool = False):
     if name == "phpsafe":
         options = PhpSafeOptions(oop=not no_oop, wordpress_config=not generic)
@@ -73,8 +99,14 @@ def _make_tool(name: str, no_oop: bool = False, generic: bool = False):
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
-    plugin = _load_target(args.path)
     tool = _make_tool(args.tool, no_oop=args.no_oop, generic=args.generic)
+    targets = _load_targets(args.path)
+    batch_requested = (
+        args.jobs != 1 or args.cache_dir or args.timeout or args.telemetry
+    )
+    if len(targets) > 1 or batch_requested:
+        return _scan_batch(args, tool, targets)
+    plugin = targets[0]
     report = tool.analyze_timed(plugin)
     print(
         f"{tool.name}: {plugin.slug} — {report.files_analyzed} files, "
@@ -89,6 +121,57 @@ def cmd_scan(args: argparse.Namespace) -> int:
         print(f"  ! {failure.file}: {failure.reason}")
     print(f"{len(report.findings)} finding(s), {len(report.failed_files)} failed file(s)")
     return 0 if not report.findings else 1
+
+
+def _scan_batch(args: argparse.Namespace, tool, targets) -> int:
+    from .batch import BatchOptions, BatchScanner, ToolSpec
+
+    spec = ToolSpec.from_tool(tool)
+    if spec is None:
+        raise SystemExit(f"tool {tool.name} cannot run in batch mode")
+    if args.cache_dir:
+        try:
+            os.makedirs(args.cache_dir, exist_ok=True)
+        except OSError as exc:
+            raise SystemExit(f"--cache-dir {args.cache_dir}: {exc}")
+    scanner = BatchScanner(
+        spec,
+        BatchOptions(
+            jobs=args.jobs, timeout=args.timeout, cache_dir=args.cache_dir
+        ),
+    )
+    result = scanner.scan(targets)
+    telemetry = result.telemetry
+    print(
+        f"{tool.name}: batch of {len(targets)} plugin(s), jobs={telemetry.jobs}"
+        f" — {telemetry.total_files} files, {telemetry.total_loc} LOC,"
+        f" {telemetry.wall_seconds:.2f}s wall"
+    )
+    total_failed = 0
+    for report, stats in zip(result.reports, telemetry.plugins):
+        marker = "" if stats.outcome == "ok" else f" [{stats.outcome}]"
+        print(
+            f"  {report.plugin}: {len(report.findings)} finding(s), "
+            f"{stats.seconds:.2f}s{marker}"
+        )
+        for finding in report.findings:
+            print(f"    {finding.describe()}")
+            if args.trace:
+                for step in finding.trace:
+                    print(f"        {step}")
+        for failure in report.failures:
+            print(f"    ! {failure.file}: {failure.reason}")
+        total_failed += len(report.failed_files)
+    print(
+        f"{telemetry.total_findings} finding(s), {total_failed} failed file(s), "
+        f"cache hit rate {telemetry.cache_hit_rate:.0%}, "
+        f"incidents: {telemetry.timeouts} timeout(s) / {telemetry.crashes} crash(es)"
+        f" / {telemetry.worker_restarts} restart(s)"
+    )
+    if args.telemetry:
+        telemetry.write(args.telemetry)
+        print(f"telemetry written to {args.telemetry}")
+    return 0 if not telemetry.total_findings else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -144,6 +227,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         corpora,
         lambda: [PhpSafe(), RipsLike(), PixyLike()],
         timing_repetitions=args.repetitions,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     older, newer = evaluations["2012"], evaluations["2014"]
     print(render_table1(evaluations, convention=args.convention))
@@ -254,6 +339,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--generic", action="store_true", help="generic PHP profile (no WordPress)"
     )
     scan.add_argument("--trace", action="store_true", help="print flow traces")
+    scan.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for batch scans (default: 1, serial)",
+    )
+    scan.add_argument(
+        "--cache-dir", help="persistent parse-cache directory (batch mode)"
+    )
+    scan.add_argument(
+        "--timeout", type=float,
+        help="per-plugin deadline in seconds (batch mode)",
+    )
+    scan.add_argument(
+        "--telemetry", help="write the batch telemetry JSON report here"
+    )
     scan.set_defaults(func=cmd_scan)
 
     compare = sub.add_parser("compare", help="run all three tools on a target")
@@ -273,6 +372,13 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--scale", type=float, default=0.1)
     evaluate.add_argument("--repetitions", type=int, default=1)
     evaluate.add_argument("--convention", choices=("paper", "exact"), default="paper")
+    evaluate.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel batch analysis (1 = paper-faithful serial)",
+    )
+    evaluate.add_argument(
+        "--cache-dir", help="persistent parse-cache directory"
+    )
     evaluate.set_defaults(func=cmd_evaluate)
 
     report = sub.add_parser("report", help="export a review report")

@@ -8,6 +8,13 @@ model-construction products — token stream, AST, LOC, include list —
 keyed by a content hash, so an unchanged file is never re-lexed or
 re-parsed.  ASTs are treated as immutable by the analysis stage, so
 sharing them across runs is safe.
+
+Eviction is true LRU: a lookup hit refreshes the entry's recency, and
+inserting beyond ``max_entries`` evicts the least recently used entry.
+Parse failures share the same budget and recency queue as models.
+:class:`~repro.batch.diskcache.DiskModelCache` layers a persistent
+content-addressed tier under this memory cache via the :meth:`_load` /
+:meth:`_insert` hooks.
 """
 
 from __future__ import annotations
@@ -29,11 +36,18 @@ def content_key(path: str, source: str) -> str:
 class CacheStats:
     hits: int = 0
     misses: int = 0
+    #: subset of ``hits`` served from a persistent tier (disk cache)
+    disk_hits: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+#: One cached outcome: ``(file model, None)`` or ``(None, parse failure)``.
+_Slot = Tuple[Optional[object], Optional[PhpSyntaxError]]
 
 
 @dataclass
@@ -46,41 +60,46 @@ class ModelCache:
 
     max_entries: int = 4096
     stats: CacheStats = field(default_factory=CacheStats)
-    _entries: Dict[str, object] = field(default_factory=dict, repr=False)
-    _failures: Dict[str, PhpSyntaxError] = field(default_factory=dict, repr=False)
+    #: recency-ordered (dict insertion order): first key is the LRU victim
+    _slots: Dict[str, _Slot] = field(default_factory=dict, repr=False)
 
     def lookup(self, path: str, source: str) -> Tuple[object, Optional[PhpSyntaxError]]:
         """Return ``(file model or None, cached failure or None)``."""
-        key = content_key(path, source)
-        if key in self._entries:
-            self.stats.hits += 1
-            return self._entries[key], None
-        if key in self._failures:
-            self.stats.hits += 1
-            return None, self._failures[key]
-        self.stats.misses += 1
-        return None, None
+        slot = self._load(content_key(path, source))
+        if slot is None:
+            self.stats.misses += 1
+            return None, None
+        self.stats.hits += 1
+        return slot
 
     def store(self, path: str, source: str, file_model: object) -> None:
-        self._evict_if_full()
-        self._entries[content_key(path, source)] = file_model
+        self._insert(content_key(path, source), (file_model, None))
 
     def store_failure(self, path: str, source: str, error: PhpSyntaxError) -> None:
-        self._evict_if_full()
-        self._failures[content_key(path, source)] = error
+        self._insert(content_key(path, source), (None, error))
 
-    def _evict_if_full(self) -> None:
-        """Simple FIFO eviction; cache keys are content-stable."""
-        while len(self._entries) + len(self._failures) >= self.max_entries:
-            if self._entries:
-                self._entries.pop(next(iter(self._entries)))
-            elif self._failures:  # pragma: no cover - failure-only cache
-                self._failures.pop(next(iter(self._failures)))
+    # -- storage hooks (extended by the persistent disk tier) ---------------
+
+    def _load(self, key: str) -> Optional[_Slot]:
+        """Memory probe; a hit moves the entry to the back of the queue."""
+        slot = self._slots.pop(key, None)
+        if slot is not None:
+            self._slots[key] = slot
+        return slot
+
+    def _insert(self, key: str, slot: _Slot) -> None:
+        """Insert (or refresh) ``key``, then evict LRU entries only once
+        the cache is strictly over capacity — the cache holds exactly
+        ``max_entries`` entries, not ``max_entries - 1``."""
+        self._slots.pop(key, None)
+        self._slots[key] = slot
+        while len(self._slots) > self.max_entries:
+            self._slots.pop(next(iter(self._slots)))
+            self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._failures.clear()
+        self._slots.clear()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries) + len(self._failures)
+        return len(self._slots)

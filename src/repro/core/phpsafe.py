@@ -53,9 +53,16 @@ class PhpSafe(AnalyzerTool):
         profile: Optional[AnalyzerProfile] = None,
         options: Optional[PhpSafeOptions] = None,
         cache: Optional[ModelCache] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.options = options or PhpSafeOptions()
-        #: optional cross-run parse cache (Section VI performance work)
+        if cache is None and cache_dir is not None:
+            # late import: the batch subsystem builds on top of core
+            from ..batch.diskcache import DiskModelCache
+
+            cache = DiskModelCache(cache_dir)
+        #: optional cross-run parse cache (Section VI performance work);
+        #: ``cache_dir`` selects the disk-persistent variant
         self.cache = cache
         if profile is not None:
             self.profile = profile

@@ -9,8 +9,8 @@ variable dump phpSAFE exposes for manual review (Section III.D).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..config.vulnerability import InputVector, VulnKind
 from .taint import VariableRecord
@@ -36,11 +36,21 @@ class Finding:
     #: markup context for XSS findings ("html", "attribute", "url",
     #: "script", ...) — empty for non-XSS kinds
     markup_context: str = ""
+    #: originating plugin slug.  Empty inside a single-plugin report
+    #: (where ``file`` is unambiguous); :meth:`ToolReport.merged` stamps
+    #: it so findings from different plugins that share a file name
+    #: (``index.php`` everywhere) stay distinct in corpus-wide totals.
+    plugin: str = ""
 
     @property
     def key(self) -> Tuple[str, str, int]:
         """Dedup/matching identity: kind + sink location."""
         return (self.kind.value, self.file, self.line)
+
+    @property
+    def dedup_key(self) -> Tuple[str, str, str, int]:
+        """Report-level dedup identity: plugin provenance + :attr:`key`."""
+        return (self.plugin, self.kind.value, self.file, self.line)
 
     @property
     def primary_vector(self) -> Optional[InputVector]:
@@ -85,13 +95,22 @@ class ToolReport:
     seconds: float = 0.0
     #: phpSAFE's reviewer resources: the final parser_variables dump.
     variables: Dict[str, VariableRecord] = field(default_factory=dict)
+    #: index of the dedup keys already in :attr:`findings`, so inserts
+    #: stay O(1) on large-corpus merges instead of a linear rescan.
+    _seen_keys: Set[Tuple[str, str, str, int]] = field(
+        default_factory=set, init=False, repr=False, compare=False
+    )
 
     def add_finding(self, finding: Finding) -> bool:
         """Append ``finding`` unless an identical sink was already
         reported; returns True when added."""
-        if any(existing.key == finding.key for existing in self.findings):
+        if len(self._seen_keys) != len(self.findings):
+            # findings was assigned or mutated directly; rebuild the index
+            self._seen_keys = {existing.dedup_key for existing in self.findings}
+        if finding.dedup_key in self._seen_keys:
             return False
         self.findings.append(finding)
+        self._seen_keys.add(finding.dedup_key)
         return True
 
     def findings_of(self, kind: VulnKind) -> List[Finding]:
@@ -107,11 +126,20 @@ class ToolReport:
         return sum(1 for failure in self.failures if failure.is_error)
 
     def merged(self, other: "ToolReport") -> "ToolReport":
-        """Combine reports of two plugins (used for whole-corpus totals)."""
+        """Combine reports of two plugins (used for whole-corpus totals).
+
+        Each finding is stamped with the plugin it came from before
+        deduplication, so two plugins flagging the same ``(kind, file,
+        line)`` — common when both ship an ``index.php`` — contribute two
+        findings, while true duplicates (re-merging the same plugin)
+        still collapse.
+        """
         merged = ToolReport(tool=self.tool, plugin=f"{self.plugin}+{other.plugin}")
-        merged.findings = list(self.findings)
-        for finding in other.findings:
-            merged.add_finding(finding)
+        for report in (self, other):
+            for finding in report.findings:
+                if not finding.plugin:
+                    finding = replace(finding, plugin=report.plugin)
+                merged.add_finding(finding)
         merged.failures = self.failures + other.failures
         merged.files_analyzed = self.files_analyzed + other.files_analyzed
         merged.loc_analyzed = self.loc_analyzed + other.loc_analyzed

@@ -19,6 +19,12 @@ class PhpSyntaxError(Exception):
         self.filename = filename
         self.line = line
 
+    def __reduce__(self):
+        # default Exception pickling would re-call __init__ with the
+        # pre-formatted args, losing filename/line; rebuild from the
+        # structured fields so cached failures round-trip through disk
+        return (self.__class__, (self.message, self.filename, self.line))
+
 
 class PhpLexError(PhpSyntaxError):
     """The scanner could not tokenize the source."""
@@ -53,3 +59,6 @@ class AnalysisBudgetExceeded(Exception):
         self.filename = filename
         self.budget = budget
         self.used = used
+
+    def __reduce__(self):
+        return (self.__class__, (self.filename, self.budget, self.used))

@@ -60,6 +60,66 @@ class TestScan:
         assert main(["scan", str(path), "--no-oop"]) == 0
 
 
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    """A directory of plugin directories (corpus checkout layout)."""
+    root = tmp_path / "plugins"
+    for name, source in (
+        ("alpha", "<?php echo $_GET['a'];"),
+        ("beta", "<?php echo esc_html($_GET['b']);"),
+        ("gamma", "<?php echo $_COOKIE['c'];"),
+    ):
+        (root / name).mkdir(parents=True)
+        (root / name / "index.php").write_text(source)
+    return str(root)
+
+
+class TestBatchScan:
+    def test_directory_of_plugins_scans_as_batch(self, corpus_dir, capsys):
+        code = main(["scan", corpus_dir])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "batch of 3 plugin(s)" in out
+        assert "alpha" in out and "beta" in out and "gamma" in out
+
+    def test_parallel_findings_match_serial(self, corpus_dir, capsys):
+        main(["scan", corpus_dir, "--jobs", "1"])
+        serial_out = capsys.readouterr().out
+        main(["scan", corpus_dir, "--jobs", "2"])
+        parallel_out = capsys.readouterr().out
+
+        def findings(text):
+            return sorted(
+                line.strip() for line in text.splitlines() if " at " in line
+            )
+
+        assert findings(serial_out) == findings(parallel_out)
+        assert findings(serial_out)  # the corpus does have findings
+
+    def test_warm_cache_telemetry(self, corpus_dir, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        cold_path = str(tmp_path / "cold.json")
+        warm_path = str(tmp_path / "warm.json")
+        main(["scan", corpus_dir, "--cache-dir", cache_dir,
+              "--telemetry", cold_path])
+        main(["scan", corpus_dir, "--cache-dir", cache_dir,
+              "--telemetry", warm_path])
+        capsys.readouterr()
+        with open(warm_path) as handle:
+            warm = json.load(handle)
+        assert warm["schema"] == "repro.batch.telemetry/v1"
+        assert warm["cache"]["hit_rate"] > 0.9
+        with open(cold_path) as handle:
+            cold = json.load(handle)
+        assert cold["findings"] == warm["findings"]
+
+    def test_single_plugin_with_jobs_flag_uses_batch(self, plugin_dir, capsys):
+        code = main(["scan", plugin_dir, "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "batch of 1 plugin(s)" in out
+
+
 class TestCompare:
     def test_compare_lists_all_tools(self, vulnerable_file, capsys):
         assert main(["compare", vulnerable_file]) == 0

@@ -135,6 +135,39 @@ class TestRunnerAndOverlap:
         assert len(evaluation.tools["phpSAFE"].timing_runs) == 3
         assert evaluation.tools["phpSAFE"].seconds_mean > 0
 
+    def test_classification_happens_for_every_plugin(self):
+        # matching runs outside the timed region but must still see
+        # every plugin's report exactly once
+        corpus = tiny_corpus()
+        evaluation = evaluate_version(corpus, [PhpSafe()], timing_repetitions=2)
+        assert evaluation.tools["phpSAFE"].match.detected_ids == {
+            "v-all", "v-unc", "v-wp",
+        }
+        assert len(evaluation.tools["phpSAFE"].match.classified) == 3
+
+    def test_parallel_jobs_match_serial(self):
+        corpus = tiny_corpus()
+        serial = evaluate_version(corpus, [PhpSafe()])
+        parallel = evaluate_version(corpus, [PhpSafe()], jobs=2)
+        assert (
+            parallel.tools["phpSAFE"].match.detected_ids
+            == serial.tools["phpSAFE"].match.detected_ids
+        )
+        assert (
+            parallel.tools["phpSAFE"].files_analyzed
+            == serial.tools["phpSAFE"].files_analyzed
+        )
+
+    def test_cache_dir_keeps_results_stable(self, tmp_path):
+        corpus = tiny_corpus()
+        cache_dir = str(tmp_path / "cache")
+        first = evaluate_version(corpus, [PhpSafe()], cache_dir=cache_dir)
+        second = evaluate_version(corpus, [PhpSafe()], cache_dir=cache_dir)
+        assert (
+            first.tools["phpSAFE"].match.detected_ids
+            == second.tools["phpSAFE"].match.detected_ids
+        )
+
 
 class TestVectorsAndInertia:
     def test_vector_breakdown_detected_only(self):

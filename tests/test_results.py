@@ -58,12 +58,49 @@ class TestToolReport:
         one = ToolReport(tool="t", plugin="p1", files_analyzed=2, loc_analyzed=10)
         one.add_finding(finding())
         two = ToolReport(tool="t", plugin="p2", files_analyzed=3, loc_analyzed=20)
-        two.add_finding(finding())  # duplicate key
+        two.add_finding(finding())  # same key, but a *different* plugin
         two.add_finding(finding(line=99))
         merged = one.merged(two)
-        assert len(merged.findings) == 2
+        assert len(merged.findings) == 3
         assert merged.files_analyzed == 5
         assert merged.loc_analyzed == 30
+
+    def test_merged_keeps_cross_plugin_findings_sharing_file_names(self):
+        """Regression: two plugins both shipping an ``index.php`` with a
+        flaw at the same line used to collapse into one merged finding."""
+        one = ToolReport(tool="t", plugin="plugin-a")
+        one.add_finding(finding(file="index.php"))
+        two = ToolReport(tool="t", plugin="plugin-b")
+        two.add_finding(finding(file="index.php"))
+        merged = one.merged(two)
+        assert len(merged.findings) == 2
+        assert sorted(f.plugin for f in merged.findings) == ["plugin-a", "plugin-b"]
+        # per-plugin key semantics are untouched (truth matching uses it)
+        assert merged.findings[0].key == merged.findings[1].key
+
+    def test_merge_same_plugin_still_dedups(self):
+        one = ToolReport(tool="t", plugin="p1")
+        one.add_finding(finding())
+        two = ToolReport(tool="t", plugin="p2")
+        two.add_finding(finding(line=99))
+        merged = one.merged(two)
+        again = merged.merged(two)  # re-merging p2 must not double-count
+        assert len(again.findings) == 2
+
+    def test_chained_merge_preserves_provenance(self):
+        reports = [ToolReport(tool="t", plugin=f"p{i}") for i in range(3)]
+        for report in reports:
+            report.add_finding(finding(file="index.php"))
+        merged = reports[0].merged(reports[1]).merged(reports[2])
+        assert len(merged.findings) == 3
+
+    def test_add_finding_after_direct_assignment(self):
+        # older call sites assign ``findings`` wholesale; the dedup index
+        # must rebuild itself instead of trusting a stale set
+        report = ToolReport(tool="t", plugin="p")
+        report.findings = [finding()]
+        assert not report.add_finding(finding())
+        assert report.add_finding(finding(line=42))
 
 
 class TestPlugin:
