@@ -84,8 +84,10 @@ class DiskModelCache(ModelCache):
         except FileNotFoundError:
             return None
         except Exception:
-            # truncated/corrupted/stale-format object: treat as a miss
-            # and drop it so the next store rewrites a clean one
+            # truncated/corrupted/stale-format object: quarantine it
+            # (unlink so the next store rewrites a clean one) and count
+            # the incident so batch telemetry surfaces silent cache rot
+            self.stats.corrupt += 1
             try:
                 os.remove(path)
             except OSError:  # pragma: no cover - already gone

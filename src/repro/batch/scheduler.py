@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.cache import ModelCache
 from ..core.phpsafe import PhpSafe, PhpSafeOptions
 from ..core.results import FileFailure, ToolReport
+from ..incidents import Incident, IncidentSeverity, IncidentStage
 from ..core.tool import AnalyzerTool
 from ..plugin import Plugin
 from .diskcache import DiskModelCache
@@ -120,8 +121,14 @@ _worker_tool: Optional[AnalyzerTool] = None
 _worker_timeout: Optional[float] = None
 
 
-class _ScanDeadline(Exception):
-    """Raised inside a worker when the per-plugin deadline fires."""
+class _ScanDeadline(BaseException):
+    """Raised inside a worker when the per-plugin deadline fires.
+
+    Derives from ``BaseException`` so the fault-tolerant pipeline's
+    per-unit ``except Exception`` boundaries cannot swallow the alarm —
+    the deadline must abort the whole plugin scan, not degrade to a
+    recovered unit incident.
+    """
 
 
 def _on_alarm(signum, frame):  # pragma: no cover - fires asynchronously
@@ -141,14 +148,24 @@ def _init_worker(spec: ToolSpec, options: BatchOptions) -> None:
     signal.signal(signal.SIGALRM, _on_alarm)
 
 
-#: worker return value: (report, seconds, outcome, (hits, misses, disk_hits))
-_TaskResult = Tuple[ToolReport, float, str, Tuple[int, int, int]]
+#: worker return value:
+#: (report, seconds, outcome, (hits, misses, disk_hits, corrupt))
+_TaskResult = Tuple[ToolReport, float, str, Tuple[int, int, int, int]]
 
 
 def _failure_report(tool_name: str, plugin_slug: str, reason: str) -> ToolReport:
     report = ToolReport(tool=tool_name, plugin=plugin_slug)
     report.failures.append(
         FileFailure(file="<plugin>", reason=reason, completed=False)
+    )
+    report.incidents.append(
+        Incident(
+            stage=IncidentStage.ANALYSIS,
+            severity=IncidentSeverity.FATAL,
+            file="<plugin>",
+            reason=reason,
+            recovered=False,
+        )
     )
     return report
 
@@ -161,9 +178,14 @@ def _scan_one(payload: Tuple[str, str, Dict[str, str]]) -> _TaskResult:
     assert tool is not None, "worker used before initialization"
     cache = getattr(tool, "cache", None)
     stats_before = (
-        (cache.stats.hits, cache.stats.misses, cache.stats.disk_hits)
+        (
+            cache.stats.hits,
+            cache.stats.misses,
+            cache.stats.disk_hits,
+            cache.stats.corrupt,
+        )
         if cache is not None
-        else (0, 0, 0)
+        else (0, 0, 0, 0)
     )
     outcome = "ok"
     start = time.perf_counter()
@@ -191,7 +213,12 @@ def _scan_one(payload: Tuple[str, str, Dict[str, str]]) -> _TaskResult:
     # objects; don't ship it over the result pickle channel
     report.variables = {}
     stats_after = (
-        (cache.stats.hits, cache.stats.misses, cache.stats.disk_hits)
+        (
+            cache.stats.hits,
+            cache.stats.misses,
+            cache.stats.disk_hits,
+            cache.stats.corrupt,
+        )
         if cache is not None
         else stats_before
     )
@@ -250,9 +277,14 @@ class BatchScanner:
                     loc=report.loc_analyzed,
                     findings=len(report.findings),
                     failures=len(report.failures),
+                    incidents=len(report.incidents),
+                    recovered=report.recovered_count,
+                    files_skipped=report.files_skipped,
+                    loc_skipped=report.loc_skipped,
                     cache_hits=delta[0],
                     cache_misses=delta[1],
                     disk_hits=delta[2],
+                    cache_corrupt=delta[3],
                     outcome=outcome,
                 )
             )
@@ -338,7 +370,7 @@ class BatchScanner:
 
     def _crash_result(self, plugin: Plugin, reason: str) -> _TaskResult:
         report = _failure_report(self._tool_name(), plugin.slug, reason)
-        return report, 0.0, "crashed", (0, 0, 0)
+        return report, 0.0, "crashed", (0, 0, 0, 0)
 
 
 def scan_corpus(

@@ -4,8 +4,13 @@ Each batch run aggregates one :class:`PluginScanStats` per plugin
 (wall time, size, findings, cache counters, outcome) plus run-level
 incidents (worker restarts, deadline timeouts, crashes) into a
 :class:`ScanTelemetry` that serializes to a stable JSON schema
-(``schema`` key: ``repro.batch.telemetry/v1``) for CI dashboards and
+(``schema`` key: ``repro.batch.telemetry/v2``) for CI dashboards and
 the performance benchmarks.
+
+Schema history: v2 adds per-plugin typed-incident counts
+(``incidents``/``recovered``), skipped-coverage counters
+(``files_skipped``/``loc_skipped``), and the ``corrupt`` cache counter
+(quarantined disk-cache objects).
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-SCHEMA = "repro.batch.telemetry/v1"
+SCHEMA = "repro.batch.telemetry/v2"
 
 
 @dataclass
@@ -27,9 +32,18 @@ class PluginScanStats:
     loc: int = 0
     findings: int = 0
     failures: int = 0
+    #: typed robustness incidents recorded for this plugin, and the
+    #: subset the pipeline recovered from (Section V.E taxonomy)
+    incidents: int = 0
+    recovered: int = 0
+    #: files/LOC the tool could not analyze (coverage denominator)
+    files_skipped: int = 0
+    loc_skipped: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     disk_hits: int = 0
+    #: corrupt disk-cache objects quarantined while scanning this plugin
+    cache_corrupt: int = 0
     #: "ok" | "timeout" | "crashed" | "error"
     outcome: str = "ok"
 
@@ -45,11 +59,16 @@ class PluginScanStats:
             "loc": self.loc,
             "findings": self.findings,
             "failures": self.failures,
+            "incidents": self.incidents,
+            "recovered": self.recovered,
+            "files_skipped": self.files_skipped,
+            "loc_skipped": self.loc_skipped,
             "files_per_second": round(self.files_per_second, 3),
             "cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "disk_hits": self.disk_hits,
+                "corrupt": self.cache_corrupt,
             },
             "outcome": self.outcome,
         }
@@ -105,6 +124,22 @@ class ScanTelemetry:
         return sum(stats.disk_hits for stats in self.plugins)
 
     @property
+    def cache_corrupt(self) -> int:
+        return sum(stats.cache_corrupt for stats in self.plugins)
+
+    @property
+    def total_incidents(self) -> int:
+        return sum(stats.incidents for stats in self.plugins)
+
+    @property
+    def total_recovered(self) -> int:
+        return sum(stats.recovered for stats in self.plugins)
+
+    @property
+    def total_files_skipped(self) -> int:
+        return sum(stats.files_skipped for stats in self.plugins)
+
+    @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
@@ -121,16 +156,20 @@ class ScanTelemetry:
             "loc": self.total_loc,
             "findings": self.total_findings,
             "files_per_second": round(self.files_per_second, 3),
+            "files_skipped": self.total_files_skipped,
             "cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "disk_hits": self.disk_hits,
                 "hit_rate": round(self.cache_hit_rate, 4),
+                "corrupt": self.cache_corrupt,
             },
             "incidents": {
                 "worker_restarts": self.worker_restarts,
                 "timeouts": self.timeouts,
                 "crashes": self.crashes,
+                "total": self.total_incidents,
+                "recovered": self.total_recovered,
             },
             "plugins": [stats.to_dict() for stats in self.plugins],
         }

@@ -87,9 +87,13 @@ def _load_targets(path: str) -> list:
     return plugins or [Plugin.load_from(path)]
 
 
-def _make_tool(name: str, no_oop: bool = False, generic: bool = False):
+def _make_tool(
+    name: str, no_oop: bool = False, generic: bool = False, strict: bool = False
+):
     if name == "phpsafe":
-        options = PhpSafeOptions(oop=not no_oop, wordpress_config=not generic)
+        options = PhpSafeOptions(
+            oop=not no_oop, wordpress_config=not generic, recover=not strict
+        )
         return PhpSafe(options=options)
     if name == "rips":
         return RipsLike()
@@ -98,8 +102,15 @@ def _make_tool(name: str, no_oop: bool = False, generic: bool = False):
     raise SystemExit(f"unknown tool: {name}")
 
 
+def _print_incidents(report, indent: str = "  ") -> None:
+    for incident in report.incidents:
+        print(f"{indent}~ {incident.describe()}")
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
-    tool = _make_tool(args.tool, no_oop=args.no_oop, generic=args.generic)
+    tool = _make_tool(
+        args.tool, no_oop=args.no_oop, generic=args.generic, strict=args.strict
+    )
     targets = _load_targets(args.path)
     batch_requested = (
         args.jobs != 1 or args.cache_dir or args.timeout or args.telemetry
@@ -119,7 +130,19 @@ def cmd_scan(args: argparse.Namespace) -> int:
                 print(f"      {step}")
     for failure in report.failures:
         print(f"  ! {failure.file}: {failure.reason}")
-    print(f"{len(report.findings)} finding(s), {len(report.failed_files)} failed file(s)")
+    if args.show_incidents:
+        _print_incidents(report)
+    summary = (
+        f"{len(report.findings)} finding(s), {len(report.failed_files)} failed file(s)"
+    )
+    if report.incidents:
+        summary += (
+            f", {len(report.incidents)} incident(s)"
+            f" ({report.recovered_count} recovered)"
+        )
+    if report.files_skipped:
+        summary += f", {report.files_skipped} file(s) / {report.loc_skipped} LOC skipped"
+    print(summary)
     return 0 if not report.findings else 1
 
 
@@ -161,11 +184,15 @@ def _scan_batch(args: argparse.Namespace, tool, targets) -> int:
                     print(f"        {step}")
         for failure in report.failures:
             print(f"    ! {failure.file}: {failure.reason}")
+        if args.show_incidents:
+            _print_incidents(report, indent="    ")
         total_failed += len(report.failed_files)
     print(
         f"{telemetry.total_findings} finding(s), {total_failed} failed file(s), "
         f"cache hit rate {telemetry.cache_hit_rate:.0%}, "
-        f"incidents: {telemetry.timeouts} timeout(s) / {telemetry.crashes} crash(es)"
+        f"incidents: {telemetry.total_incidents} recorded"
+        f" ({telemetry.total_recovered} recovered) / {telemetry.timeouts} timeout(s)"
+        f" / {telemetry.crashes} crash(es)"
         f" / {telemetry.worker_restarts} restart(s)"
     )
     if args.telemetry:
@@ -339,6 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--generic", action="store_true", help="generic PHP profile (no WordPress)"
     )
     scan.add_argument("--trace", action="store_true", help="print flow traces")
+    scan.add_argument(
+        "--strict", action="store_true",
+        help="disable error recovery (a parse error skips the whole file)",
+    )
+    scan.add_argument(
+        "--show-incidents", action="store_true",
+        help="print the typed robustness incidents recorded per file",
+    )
     scan.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for batch scans (default: 1, serial)",

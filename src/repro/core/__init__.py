@@ -5,6 +5,7 @@ model construction (:mod:`.model`), analysis (:mod:`.engine`), results
 processing (:mod:`.results`).  :class:`PhpSafe` is the public facade.
 """
 
+from ..incidents import Incident, IncidentSeverity, IncidentStage
 from .autofix import FixProposal, apply_fixes, propose_fix, verify_fix
 from .cache import CacheStats, ModelCache
 from .engine import EngineOptions, TaintEngine
@@ -34,6 +35,9 @@ __all__ = [
     "FileModel",
     "Finding",
     "FunctionInfo",
+    "Incident",
+    "IncidentSeverity",
+    "IncidentStage",
     "ParamRef",
     "PhpSafe",
     "PhpSafeOptions",

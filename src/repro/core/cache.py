@@ -26,9 +26,17 @@ from typing import Dict, Optional, Tuple
 from ..php.errors import PhpSyntaxError
 
 
-def content_key(path: str, source: str) -> str:
-    """Cache key: path + content digest (path matters for includes)."""
+def content_key(path: str, source: str, variant: str = "") -> str:
+    """Cache key: path + content digest (path matters for includes).
+
+    ``variant`` distinguishes parse modes sharing one cache: a file
+    parsed with panic-mode recovery produces a different model (partial
+    AST + incidents) than a strict parse, so the two must not share a
+    slot.
+    """
     digest = hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+    if variant:
+        return f"{path}:{variant}:{digest}"
     return f"{path}:{digest}"
 
 
@@ -39,6 +47,8 @@ class CacheStats:
     #: subset of ``hits`` served from a persistent tier (disk cache)
     disk_hits: int = 0
     evictions: int = 0
+    #: corrupt persistent entries detected and quarantined (disk cache)
+    corrupt: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -63,20 +73,26 @@ class ModelCache:
     #: recency-ordered (dict insertion order): first key is the LRU victim
     _slots: Dict[str, _Slot] = field(default_factory=dict, repr=False)
 
-    def lookup(self, path: str, source: str) -> Tuple[object, Optional[PhpSyntaxError]]:
+    def lookup(
+        self, path: str, source: str, variant: str = ""
+    ) -> Tuple[object, Optional[PhpSyntaxError]]:
         """Return ``(file model or None, cached failure or None)``."""
-        slot = self._load(content_key(path, source))
+        slot = self._load(content_key(path, source, variant))
         if slot is None:
             self.stats.misses += 1
             return None, None
         self.stats.hits += 1
         return slot
 
-    def store(self, path: str, source: str, file_model: object) -> None:
-        self._insert(content_key(path, source), (file_model, None))
+    def store(
+        self, path: str, source: str, file_model: object, variant: str = ""
+    ) -> None:
+        self._insert(content_key(path, source, variant), (file_model, None))
 
-    def store_failure(self, path: str, source: str, error: PhpSyntaxError) -> None:
-        self._insert(content_key(path, source), (None, error))
+    def store_failure(
+        self, path: str, source: str, error: PhpSyntaxError, variant: str = ""
+    ) -> None:
+        self._insert(content_key(path, source, variant), (None, error))
 
     # -- storage hooks (extended by the persistent disk tier) ---------------
 

@@ -17,11 +17,13 @@ implementation accidents.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..config.profiles import AnalyzerProfile
 from ..config.vulnerability import ALL_KINDS, InputVector, VulnKind
+from ..incidents import Incident, IncidentSeverity, IncidentStage
 from ..php import ast_nodes as ast
 from ..php.htmlcontext import context_at_end
 from ..php.printer import print_expr
@@ -91,6 +93,23 @@ class EngineOptions:
     #: like ``echo esc_html($_GET[...])`` are still reported — the
     #: false-positive population Table I measures for RIPS).
     unknown_call_policy: str = "clean"
+    #: Per-unit fault isolation (paper Section V.E robustness): each
+    #: analysis unit — a function summary or a top-level file walk —
+    #: runs inside its own fault boundary, so one pathological unit
+    #: degrades to a recorded incident instead of aborting the plugin.
+    #: ``False`` reproduces the historical all-or-nothing behaviour.
+    recover: bool = False
+    #: Step-budget slice per analysis unit (None = only the plugin-wide
+    #: ``step_budget`` applies).  Only honoured with ``recover=True``.
+    unit_step_budget: Optional[int] = None
+    #: Wall-clock deadline per analysis unit, in seconds (None = no
+    #: deadline).  Gives the serial path the timeout the batch path gets
+    #: from SIGALRM.  Only honoured with ``recover=True``.
+    unit_deadline: Optional[float] = None
+    #: AST-evaluation depth cap under ``recover=True``: degenerate
+    #: nesting (one-line concat chains of thousands of terms) trips a
+    #: unit fault instead of a ``RecursionError`` deep in the stack.
+    max_eval_depth: int = 500
 
 
 @dataclass
@@ -203,6 +222,19 @@ class BudgetExceeded(Exception):
     """Internal signal: plugin-wide step budget exhausted."""
 
 
+class UnitFault(Exception):
+    """Internal signal: one analysis unit failed; the rest continue.
+
+    Raised inside a per-unit fault boundary when the unit's step-budget
+    slice, wall-clock deadline, or evaluation-depth cap trips.  Caught
+    at the unit boundary and converted into a recovered incident.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 class TaintEngine:
     """Whole-plugin taint analysis over a :class:`PluginModel`."""
 
@@ -229,7 +261,14 @@ class TaintEngine:
         self._current_file = "<unknown>"
         self._summary_stack: List[FunctionSummary] = []
         self._include_stack: List[str] = []
+        #: True only when the plugin-wide step budget is exhausted;
+        #: per-unit faults are recorded in :attr:`incidents` instead
         self.aborted = False
+        #: typed robustness incidents from per-unit fault boundaries
+        self.incidents: List[Incident] = []
+        self._unit_limit: Optional[int] = None
+        self._deadline_at: Optional[float] = None
+        self._depth = 0
 
     # ------------------------------------------------------------------
     # Top level
@@ -237,6 +276,12 @@ class TaintEngine:
 
     def run(self) -> List[Finding]:
         """Analyze the whole plugin and return deduplicated findings."""
+        if self.options.recover:
+            return self._run_isolated()
+        return self._run_strict()
+
+    def _run_strict(self) -> List[Finding]:
+        """Historical all-or-nothing analysis (``recover=False``)."""
         try:
             if self.options.analyze_uncalled:
                 self._summarize_all_functions()
@@ -249,6 +294,134 @@ class TaintEngine:
         except BudgetExceeded:
             self.aborted = True
         return self._finalize_findings()
+
+    def _run_isolated(self) -> List[Finding]:
+        """Fault-isolated analysis: every unit in its own boundary.
+
+        Analysis units — entry-point function summaries, top-level file
+        walks, and the late summaries of :meth:`_emit_uncalled_events` —
+        each run under :meth:`_run_unit`, so one pathological unit
+        degrades to an incident while the rest complete.  Only the
+        plugin-wide step budget (``BudgetExceeded``) still stops the
+        remaining units, mirroring the strict path.
+        """
+        standalone = self.options.oop or self.options.analyze_methods_standalone
+        if self.options.analyze_uncalled:
+            for info in self.model.uncalled_functions():
+                if self.aborted:
+                    break
+                if info.is_method and not standalone:
+                    continue
+                self._run_unit(
+                    f"function {info.key}",
+                    info.file,
+                    lambda info=info: self._summarize(info),
+                    summary_key=info.key,
+                )
+        for path, file_model in sorted(self.model.files.items()):
+            if self.aborted:
+                break
+
+            def run_file(path=path, file_model=file_model):
+                self._current_file = path
+                self._include_stack = [path]
+                self._exec_block(file_model.tree.statements, self.globals)
+
+            self._run_unit("<main>", path, run_file)
+        if self.options.analyze_uncalled:
+            for key, info in sorted(self.model.functions.items()):
+                if self.aborted:
+                    break
+                if key in self.summaries:
+                    continue
+                if info.is_method and not standalone:
+                    continue
+                self._run_unit(
+                    f"function {key}",
+                    info.file,
+                    lambda info=info: self._summarize(info),
+                    summary_key=key,
+                )
+            # even a degraded run reports what its summaries did find
+            self._collect_summary_events()
+        return self._finalize_findings()
+
+    def _run_unit(
+        self,
+        unit: str,
+        file: str,
+        body,
+        summary_key: Optional[str] = None,
+    ) -> bool:
+        """Run one analysis unit inside a fault boundary.
+
+        Returns True when the unit completed.  On failure the unit's
+        partial work is kept (taint joins are monotone), the fault is
+        recorded as an incident, and — for function units — an empty
+        summary is stored so call sites do not re-run the failing body.
+        """
+        if self.options.unit_step_budget is not None:
+            self._unit_limit = self._steps + self.options.unit_step_budget
+        if self.options.unit_deadline is not None:
+            self._deadline_at = time.monotonic() + self.options.unit_deadline
+        self._depth = 0
+        try:
+            body()
+            return True
+        except BudgetExceeded:
+            self.aborted = True
+            self.incidents.append(
+                Incident(
+                    stage=IncidentStage.ANALYSIS,
+                    severity=IncidentSeverity.FATAL,
+                    file=file,
+                    reason="analysis step budget exhausted",
+                    recovered=False,
+                    unit=unit,
+                )
+            )
+        except UnitFault as fault:
+            self.incidents.append(
+                Incident(
+                    stage=IncidentStage.ANALYSIS,
+                    severity=IncidentSeverity.ERROR,
+                    file=file,
+                    reason=fault.reason,
+                    recovered=True,
+                    unit=unit,
+                )
+            )
+        except RecursionError:
+            self.incidents.append(
+                Incident(
+                    stage=IncidentStage.ANALYSIS,
+                    severity=IncidentSeverity.ERROR,
+                    file=file,
+                    reason="recursion limit exceeded",
+                    recovered=True,
+                    unit=unit,
+                )
+            )
+        except Exception as error:
+            # catch-all fault boundary: an engine bug on one unit must
+            # not zero out the findings of every other unit
+            self.incidents.append(
+                Incident(
+                    stage=IncidentStage.ANALYSIS,
+                    severity=IncidentSeverity.ERROR,
+                    file=file,
+                    reason=f"internal analysis error: {error!r}",
+                    recovered=True,
+                    unit=unit,
+                )
+            )
+        finally:
+            self._unit_limit = None
+            self._deadline_at = None
+            self._depth = 0
+        if summary_key is not None and summary_key not in self.summaries:
+            self.summaries[summary_key] = FunctionSummary(key=summary_key)
+        return False
 
     def _summarize_all_functions(self) -> None:
         """Pre-analyze plugin entry points (paper: "phpSAFE starts by
@@ -280,6 +453,10 @@ class TaintEngine:
                 ):
                     continue
                 self._summarize(info)
+        self._collect_summary_events()
+
+    def _collect_summary_events(self) -> None:
+        """Promote summary-local sink events to plugin-level events."""
         for summary in list(self.summaries.values()):
             for event in summary.sink_events:
                 concrete = event.taint.substituted({})  # drop ParamRefs, keep PropRefs
@@ -344,6 +521,16 @@ class TaintEngine:
         self._steps += 1
         if self._steps > self.options.step_budget:
             raise BudgetExceeded()
+        if self._unit_limit is not None and self._steps > self._unit_limit:
+            raise UnitFault("unit step budget exhausted")
+        # the clock is read every 256 steps: cheap enough for the hot
+        # loop, granular enough for a seconds-scale deadline
+        if (
+            self._deadline_at is not None
+            and (self._steps & 0xFF) == 0
+            and time.monotonic() > self._deadline_at
+        ):
+            raise UnitFault("unit wall-clock deadline exceeded")
 
     def _emit(self, event: SinkEvent) -> None:
         if self._summary_stack:
@@ -443,7 +630,18 @@ class TaintEngine:
         for statement in statements:
             self._exec(statement, scope)
 
-    def _exec(self, node: ast.Statement, scope: Scope) -> None:  # noqa: C901
+    def _exec(self, node: ast.Statement, scope: Scope) -> None:
+        self._depth += 1
+        try:
+            if self.options.recover and self._depth > self.options.max_eval_depth:
+                raise UnitFault(
+                    f"evaluation depth limit ({self.options.max_eval_depth}) exceeded"
+                )
+            self._exec_dispatch(node, scope)
+        finally:
+            self._depth -= 1
+
+    def _exec_dispatch(self, node: ast.Statement, scope: Scope) -> None:  # noqa: C901
         self._tick()
         if isinstance(node, ast.ExpressionStatement):
             self._eval(node.expr, scope)
@@ -451,6 +649,9 @@ class TaintEngine:
             for expr in node.exprs:
                 self._check_xss_output(expr, scope, sink="echo")
         elif isinstance(node, ast.InlineHTML):
+            pass
+        elif isinstance(node, ast.ErrorStmt):
+            # a hole left by panic-mode parser recovery: nothing to do
             pass
         elif isinstance(node, ast.Block):
             self._exec_block(node.statements, scope)
@@ -625,7 +826,18 @@ class TaintEngine:
     # Expressions
     # ------------------------------------------------------------------
 
-    def _eval(self, node: Optional[ast.Expr], scope: Scope) -> Value:  # noqa: C901
+    def _eval(self, node: Optional[ast.Expr], scope: Scope) -> Value:
+        self._depth += 1
+        try:
+            if self.options.recover and self._depth > self.options.max_eval_depth:
+                raise UnitFault(
+                    f"evaluation depth limit ({self.options.max_eval_depth}) exceeded"
+                )
+            return self._eval_dispatch(node, scope)
+        finally:
+            self._depth -= 1
+
+    def _eval_dispatch(self, node: Optional[ast.Expr], scope: Scope) -> Value:  # noqa: C901
         self._tick()
         if node is None:
             return Value.clean()

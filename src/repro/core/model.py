@@ -18,11 +18,12 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..incidents import Incident, IncidentSeverity, IncidentStage
 from ..php import ast_nodes as ast
-from ..php.errors import AnalysisBudgetExceeded, PhpSyntaxError
-from ..php.lexer import count_loc, tokenize_significant
+from ..php.errors import AnalysisBudgetExceeded, PhpParseError, PhpSyntaxError
+from ..php.lexer import Lexer, count_loc
 from ..php.parser import Parser
-from ..php.tokens import Token
+from ..php.tokens import TRIVIA, Token
 from ..plugin import Plugin
 
 
@@ -70,6 +71,9 @@ class FileModel:
     tree: ast.PhpFile
     loc: int
     includes: List[str] = field(default_factory=list)
+    #: recovered lex/parse incidents from panic-mode recovery; kept on
+    #: the file model so cache hits replay them into the plugin model
+    incidents: List[Incident] = field(default_factory=list)
 
 
 class PluginModel:
@@ -79,6 +83,13 @@ class PluginModel:
         self.plugin = plugin
         self.files: Dict[str, FileModel] = {}
         self.parse_failures: Dict[str, PhpSyntaxError] = {}
+        #: files skipped because their include closure blew the budget —
+        #: a model-stage resource incident, distinct from syntax errors
+        self.budget_failures: Dict[str, AnalysisBudgetExceeded] = {}
+        #: LOC of every skipped file, for coverage accounting
+        self.skipped_loc: Dict[str, int] = {}
+        #: typed robustness incidents from every stage of model building
+        self.incidents: List[Incident] = []
         self.functions: Dict[str, FunctionInfo] = {}
         self.classes: Dict[str, ClassInfo] = {}
         self.called_names: Set[str] = set()
@@ -92,6 +103,7 @@ class PluginModel:
         plugin: Plugin,
         include_budget: int = 400_000,
         cache=None,
+        recover: bool = False,
     ) -> "PluginModel":
         """Parse every file and collect the model tables.
 
@@ -100,25 +112,47 @@ class PluginModel:
         file as an analysis failure (the phpSAFE memory-exhaustion
         behaviour of Section V.E).  ``cache`` is an optional
         :class:`~repro.core.cache.ModelCache` that skips re-parsing
-        unchanged files across runs.
+        unchanged files across runs.  ``recover=True`` enables
+        panic-mode lexer/parser recovery: a file with a localized syntax
+        error still yields a partial model, with each repair recorded in
+        :attr:`incidents`.
         """
         model = cls(plugin)
+        variant = "recover" if recover else ""
         for path, source in plugin.iter_files():
             if cache is not None:
-                cached, cached_error = cache.lookup(path, source)
+                cached, cached_error = cache.lookup(path, source, variant)
                 if cached_error is not None:
-                    model.parse_failures[path] = cached_error
+                    model._record_parse_failure(path, source, cached_error)
                     continue
                 if cached is not None:
                     model.files[path] = cached  # type: ignore[assignment]
+                    model.incidents.extend(getattr(cached, "incidents", []))
                     continue
             try:
-                tokens = tokenize_significant(source, path)
-                tree = Parser(tokens, path).parse_file()
+                lexer = Lexer(source, path, recover=recover)
+                tokens = [
+                    token for token in lexer.tokenize() if token.type not in TRIVIA
+                ]
+                parser = Parser(tokens, path, recover=recover)
+                tree = parser.parse_file()
+                file_incidents = lexer.incidents + parser.incidents
             except PhpSyntaxError as error:
-                model.parse_failures[path] = error
+                model._record_parse_failure(path, source, error)
                 if cache is not None:
-                    cache.store_failure(path, source, error)
+                    cache.store_failure(path, source, error, variant)
+                continue
+            except Exception as error:  # includes RecursionError
+                if not recover:
+                    raise
+                # fault boundary: an unexpected crash inside the PHP
+                # substrate degrades to a skipped file, not a dead run
+                wrapped = PhpParseError(
+                    f"internal parser error: {error!r}", path, 0
+                )
+                model._record_parse_failure(path, source, wrapped)
+                if cache is not None:
+                    cache.store_failure(path, source, wrapped, variant)
                 continue
             file_model = FileModel(
                 path=path,
@@ -127,14 +161,38 @@ class PluginModel:
                 tree=tree,
                 loc=count_loc(source),
                 includes=_collect_includes(tree, path),
+                incidents=file_incidents,
             )
             model.files[path] = file_model
+            model.incidents.extend(file_incidents)
             if cache is not None:
-                cache.store(path, source, file_model)
+                cache.store(path, source, file_model, variant)
         model._check_include_budgets(include_budget)
         model._collect_definitions()
         model._collect_calls()
         return model
+
+    def _record_parse_failure(
+        self, path: str, source: str, error: PhpSyntaxError
+    ) -> None:
+        """A file the substrate could not process at all: skip it."""
+        self.parse_failures[path] = error
+        self.skipped_loc[path] = count_loc(source)
+        stage = (
+            IncidentStage.LEX
+            if getattr(error, "stage", "parse") == "lex"
+            else IncidentStage.PARSE
+        )
+        self.incidents.append(
+            Incident(
+                stage=stage,
+                severity=IncidentSeverity.ERROR,
+                file=path,
+                reason=getattr(error, "message", str(error)),
+                recovered=False,
+                line=getattr(error, "line", 0),
+            )
+        )
 
     def _check_include_budgets(self, budget: int) -> None:
         """Fail files whose transitive include closure exceeds budget.
@@ -144,8 +202,17 @@ class PluginModel:
         sizes = {path: self._closure_size(path, set()) for path in self.files}
         for path, size in sizes.items():
             if size > budget:
-                self.parse_failures[path] = AnalysisBudgetExceeded(  # type: ignore[assignment]
-                    path, budget, size
+                error = AnalysisBudgetExceeded(path, budget, size)
+                self.budget_failures[path] = error
+                self.skipped_loc[path] = self.files[path].loc
+                self.incidents.append(
+                    Incident(
+                        stage=IncidentStage.MODEL,
+                        severity=IncidentSeverity.ERROR,
+                        file=path,
+                        reason=str(error),
+                        recovered=False,
+                    )
                 )
                 del self.files[path]
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..config.profiles import AnalyzerProfile, generic_php, wordpress
+from ..incidents import Incident, IncidentSeverity, IncidentStage
 from ..plugin import Plugin
 from .cache import ModelCache
 from .engine import EngineOptions, TaintEngine
@@ -40,6 +41,14 @@ class PhpSafeOptions:
     #: Cumulative include-closure budget per file, in source bytes;
     #: reproduces the paper's memory-exhaustion failures (Section V.E).
     include_budget: int = 120_000
+    #: Fault-tolerant pipeline (Section V.E): panic-mode lexer/parser
+    #: recovery plus per-unit engine isolation.  ``False`` (the CLI's
+    #: ``--strict``) reproduces the historical all-or-nothing behaviour.
+    recover: bool = True
+    #: Per-file wall-clock deadline, in seconds, for the serial path
+    #: (the batch path gets its timeout from SIGALRM).  Only honoured
+    #: with ``recover=True``; overrides ``engine.unit_deadline``.
+    file_deadline: Optional[float] = None
     engine: EngineOptions = field(default_factory=EngineOptions)
 
 
@@ -75,25 +84,58 @@ class PhpSafe(AnalyzerTool):
         """Run the four stages on every file of ``plugin``."""
         report = ToolReport(tool=self.name, plugin=plugin.slug)
         model = PluginModel.build(
-            plugin, include_budget=self.options.include_budget, cache=self.cache
+            plugin,
+            include_budget=self.options.include_budget,
+            cache=self.cache,
+            recover=self.options.recover,
         )
+        # unrecoverable skips keep their historical FileFailure shape so
+        # the Section V.E robustness tables are unchanged
         for path, error in sorted(model.parse_failures.items()):
             report.failures.append(
                 FileFailure(file=path, reason=str(error), is_error=False)
             )
+        for path, error in sorted(model.budget_failures.items()):
+            report.failures.append(
+                FileFailure(file=path, reason=str(error), is_error=False)
+            )
+        unit_deadline = self.options.engine.unit_deadline
+        if self.options.file_deadline is not None:
+            unit_deadline = self.options.file_deadline
         engine_options = EngineOptions(
             oop=self.options.oop,
             analyze_uncalled=self.options.analyze_uncalled,
             analyze_methods_standalone=True,
             use_summaries=self.options.use_summaries,
+            recover=self.options.recover,
+            unit_deadline=unit_deadline,
             **{
                 key: getattr(self.options.engine, key)
-                for key in ("step_budget", "max_include_depth", "max_trace")
+                for key in (
+                    "step_budget",
+                    "max_include_depth",
+                    "max_trace",
+                    "unit_step_budget",
+                    "max_eval_depth",
+                )
             },
         )
         engine = TaintEngine(model, self.profile, engine_options)
         for finding in engine.run():
             report.add_finding(finding)
+        report.incidents = list(model.incidents) + list(engine.incidents)
+        # recovered incidents map to "error message but analysis
+        # completed" failures (the Pixy column of the paper's table)
+        for incident in report.incidents:
+            if incident.recovered:
+                report.failures.append(
+                    FileFailure(
+                        file=incident.file,
+                        reason=incident.describe(),
+                        is_error=True,
+                        completed=True,
+                    )
+                )
         if engine.aborted:
             report.failures.append(
                 FileFailure(
@@ -102,8 +144,23 @@ class PhpSafe(AnalyzerTool):
                     is_error=True,
                 )
             )
+            if not any(
+                incident.severity is IncidentSeverity.FATAL
+                for incident in report.incidents
+            ):
+                report.incidents.append(
+                    Incident(
+                        stage=IncidentStage.ANALYSIS,
+                        severity=IncidentSeverity.FATAL,
+                        file="<plugin>",
+                        reason="analysis step budget exhausted",
+                        recovered=False,
+                    )
+                )
         report.files_analyzed = len(model.files)
         report.loc_analyzed = model.total_loc
+        report.files_skipped = len(model.parse_failures) + len(model.budget_failures)
+        report.loc_skipped = sum(model.skipped_loc.values())
         # reviewer resources (paper Section III.D): final variable dump
         report.variables = dict(engine.globals.records)
         return report

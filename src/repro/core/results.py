@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..config.vulnerability import InputVector, VulnKind
+from ..incidents import Incident
 from .taint import VariableRecord
 
 
@@ -90,8 +91,16 @@ class ToolReport:
     plugin: str
     findings: List[Finding] = field(default_factory=list)
     failures: List[FileFailure] = field(default_factory=list)
+    #: typed robustness incidents (Section V.E taxonomy); the
+    #: :attr:`failures` list is derived from these for backward
+    #: compatibility with the evaluation tables
+    incidents: List[Incident] = field(default_factory=list)
     files_analyzed: int = 0
     loc_analyzed: int = 0
+    #: coverage denominator: files/LOC the tool could *not* analyze, so
+    #: partial coverage is never silently presented as full coverage
+    files_skipped: int = 0
+    loc_skipped: int = 0
     seconds: float = 0.0
     #: phpSAFE's reviewer resources: the final parser_variables dump.
     variables: Dict[str, VariableRecord] = field(default_factory=dict)
@@ -125,6 +134,17 @@ class ToolReport:
     def error_count(self) -> int:
         return sum(1 for failure in self.failures if failure.is_error)
 
+    @property
+    def recovered_count(self) -> int:
+        """Incidents the pipeline recovered from (degraded, not lost)."""
+        return sum(1 for incident in self.incidents if incident.recovered)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of plugin LOC actually analyzed (1.0 = everything)."""
+        total = self.loc_analyzed + self.loc_skipped
+        return self.loc_analyzed / total if total else 1.0
+
     def merged(self, other: "ToolReport") -> "ToolReport":
         """Combine reports of two plugins (used for whole-corpus totals).
 
@@ -141,7 +161,10 @@ class ToolReport:
                     finding = replace(finding, plugin=report.plugin)
                 merged.add_finding(finding)
         merged.failures = self.failures + other.failures
+        merged.incidents = self.incidents + other.incidents
         merged.files_analyzed = self.files_analyzed + other.files_analyzed
         merged.loc_analyzed = self.loc_analyzed + other.loc_analyzed
+        merged.files_skipped = self.files_skipped + other.files_skipped
+        merged.loc_skipped = self.loc_skipped + other.loc_skipped
         merged.seconds = self.seconds + other.seconds
         return merged

@@ -101,6 +101,10 @@ def to_json(report: ToolReport, indent: Optional[int] = 1) -> str:
             }
             for failure in report.failures
         ],
+        "incidents": [incident.to_dict() for incident in report.incidents],
+        "files_skipped": report.files_skipped,
+        "loc_skipped": report.loc_skipped,
+        "coverage": round(report.coverage, 4),
     }
     return json.dumps(document, indent=indent)
 

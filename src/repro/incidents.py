@@ -1,0 +1,102 @@
+"""Structured robustness-incident taxonomy (paper Section V.E).
+
+The paper's robustness evaluation is a table of *incidents*: files RIPS
+skipped, files Pixy crashed on, plugins that exhausted memory.  Our
+pipeline originally folded all of those into ad-hoc
+:class:`~repro.core.results.FileFailure` strings; this module gives them
+a typed shape so a corpus run can report *how degraded* each result is.
+
+An :class:`Incident` records
+
+* which **stage** of the pipeline hit trouble (lexing, parsing, model
+  construction, or taint analysis),
+* how bad it was (:class:`IncidentSeverity`),
+* whether the pipeline **recovered** (kept analyzing with a partial
+  view) or had to skip the unit entirely,
+* the file, the analysis *unit* (a function key or ``<main>`` walk), and
+  the source-line span the incident covers.
+
+Incidents flow from the lexer/parser (``recover=True`` mode), the model
+builder, and the per-unit fault boundaries of the engine into
+:class:`~repro.core.results.ToolReport.incidents`, and from there into
+the batch telemetry JSON and the ``--show-incidents`` CLI surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict
+
+
+class IncidentStage(str, Enum):
+    """Pipeline stage where the incident occurred."""
+
+    LEX = "lex"
+    PARSE = "parse"
+    MODEL = "model"
+    ANALYSIS = "analysis"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class IncidentSeverity(str, Enum):
+    """How much of the result the incident degraded.
+
+    ``WARNING``: recovered locally, surrounding code fully analyzed.
+    ``ERROR``: a whole unit (file or function) was skipped.
+    ``FATAL``: plugin-wide degradation (global step budget exhausted).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+    FATAL = "fatal"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One typed robustness incident."""
+
+    stage: IncidentStage
+    severity: IncidentSeverity
+    file: str
+    reason: str
+    #: True when analysis continued with a partial view (panic-mode
+    #: parser resync, per-unit fault boundary); False when the unit was
+    #: skipped outright.
+    recovered: bool = False
+    #: analysis unit: a function key such as ``foo`` / ``Cls::bar``, or
+    #: ``<main>`` for a top-level file walk.  Empty for file-level
+    #: lex/parse/model incidents.
+    unit: str = ""
+    #: 1-based source line span the incident covers (0 = unknown).
+    line: int = 0
+    end_line: int = 0
+
+    def describe(self) -> str:
+        where = self.file
+        if self.unit:
+            where += f" [{self.unit}]"
+        if self.line:
+            where += f":{self.line}"
+            if self.end_line and self.end_line != self.line:
+                where += f"-{self.end_line}"
+        status = "recovered" if self.recovered else "skipped"
+        return f"{self.stage.value}/{self.severity.value} ({status}) {where}: {self.reason}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form for batch telemetry and review exports."""
+        return {
+            "stage": self.stage.value,
+            "severity": self.severity.value,
+            "file": self.file,
+            "reason": self.reason,
+            "recovered": self.recovered,
+            "unit": self.unit,
+            "line": self.line,
+            "end_line": self.end_line,
+        }

@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple, Union
 class Node:
     """Base class: every node knows its source line."""
 
-    line: int = field(default=0, kw_only=False)
+    line: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -320,6 +320,24 @@ class InstanceofExpr(Expr):
 @dataclass
 class Statement(Node):
     """Base class for statements."""
+
+
+@dataclass
+class ErrorStmt(Statement):
+    """A region the parser skipped during panic-mode recovery.
+
+    When parsing with ``recover=True``, an unparseable statement is
+    replaced by this node instead of aborting the file: the parser
+    resynchronizes at the next statement boundary and records the span
+    it had to skip.  The engine treats it as a no-op; the printer emits
+    a comment.  ``reason`` is the original :class:`PhpParseError`
+    message, ``line``/``end_line`` the skipped source span, and
+    ``tokens_skipped`` the number of tokens discarded.
+    """
+
+    reason: str = ""
+    end_line: int = 0
+    tokens_skipped: int = 0
 
 
 @dataclass

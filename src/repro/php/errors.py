@@ -13,6 +13,11 @@ from __future__ import annotations
 class PhpSyntaxError(Exception):
     """Base class for lexing/parsing failures in PHP source."""
 
+    #: pipeline stage for the incident taxonomy ("lex" or "parse");
+    #: lets the model builder classify failures without isinstance
+    #: ladders when mapping them to :class:`repro.incidents.Incident`.
+    stage = "parse"
+
     def __init__(self, message: str, filename: str = "<string>", line: int = 0) -> None:
         super().__init__(f"{filename}:{line}: {message}")
         self.message = message
@@ -28,6 +33,8 @@ class PhpSyntaxError(Exception):
 
 class PhpLexError(PhpSyntaxError):
     """The scanner could not tokenize the source."""
+
+    stage = "lex"
 
 
 class PhpParseError(PhpSyntaxError):

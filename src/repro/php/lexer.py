@@ -18,6 +18,7 @@ from __future__ import annotations
 import re
 from typing import Iterator, List, Optional
 
+from ..incidents import Incident, IncidentSeverity, IncidentStage
 from .errors import PhpLexError
 from .tokens import CASTS, KEYWORDS, OPERATORS, TRIVIA, Token, TokenType
 
@@ -40,12 +41,32 @@ class Lexer:
     string-interpolation sub-modes for double-quoted strings and heredocs.
     """
 
-    def __init__(self, source: str, filename: str = "<string>") -> None:
+    def __init__(
+        self, source: str, filename: str = "<string>", recover: bool = False
+    ) -> None:
         self.source = source
         self.filename = filename
         self.pos = 0
         self.line = 1
         self.tokens: List[Token] = []
+        #: with ``recover=True``, unterminated strings/heredocs are
+        #: closed at EOF instead of raising, and each repair is recorded
+        #: here as a recovered lex incident (paper Section V.E)
+        self.recover = recover
+        self.incidents: List[Incident] = []
+
+    def _record_recovery(self, reason: str, line: int) -> None:
+        self.incidents.append(
+            Incident(
+                stage=IncidentStage.LEX,
+                severity=IncidentSeverity.WARNING,
+                file=self.filename,
+                reason=reason,
+                recovered=True,
+                line=line,
+                end_line=self.line,
+            )
+        )
 
     # -- helpers ---------------------------------------------------------
 
@@ -236,18 +257,27 @@ class Lexer:
     def _lex_single_quoted(self) -> None:
         start_line = self.line
         index = self.pos + 1
+        terminated = False
         while index < len(self.source):
             char = self.source[index]
             if char == "\\":
                 index += 2
                 continue
             if char == "'":
+                terminated = True
                 break
             index += 1
-        else:
-            raise PhpLexError("unterminated single-quoted string", self.filename, start_line)
-        if index >= len(self.source):
-            raise PhpLexError("unterminated single-quoted string", self.filename, start_line)
+        if not terminated or index >= len(self.source):
+            if not self.recover:
+                raise PhpLexError(
+                    "unterminated single-quoted string", self.filename, start_line
+                )
+            # panic-mode repair: close the string at EOF and keep going
+            text = self._rest()
+            self._emit(TokenType.CONSTANT_ENCAPSED_STRING, text + "'", start_line)
+            self._advance(text)
+            self._record_recovery("unterminated single-quoted string", start_line)
+            return
         text = self.source[self.pos : index + 1]
         self._emit(TokenType.CONSTANT_ENCAPSED_STRING, text, start_line)
         self._advance(text)
@@ -269,8 +299,19 @@ class Lexer:
         followed by the encapsed parts.
         """
         start_line = self.line
-        body, has_interpolation = self._scan_dq_body(self.pos + 1)
+        body, has_interpolation, terminated = self._scan_dq_body(self.pos + 1)
+        if not terminated and not self.recover:
+            raise PhpLexError(
+                "unterminated double-quoted string", self.filename, start_line
+            )
         if not has_interpolation:
+            if not terminated:
+                # panic-mode repair: close the string at EOF
+                text = self._rest()
+                self._emit(TokenType.CONSTANT_ENCAPSED_STRING, text + '"', start_line)
+                self._advance(text)
+                self._record_recovery("unterminated double-quoted string", start_line)
+                return
             text = self.source[self.pos : self.pos + 1 + len(body) + 1]
             self._emit(TokenType.CONSTANT_ENCAPSED_STRING, text, start_line)
             self._advance(text)
@@ -279,14 +320,22 @@ class Lexer:
         self._advance('"')
         self._lex_interpolated_body(terminator='"')
         if self._peek() != '"':
-            raise PhpLexError("unterminated double-quoted string", self.filename, start_line)
+            if not self.recover:
+                raise PhpLexError(
+                    "unterminated double-quoted string", self.filename, start_line
+                )
+            # panic-mode repair: synthesize the closing quote at EOF
+            self._emit(TokenType.CHAR, '"')
+            self._record_recovery("unterminated double-quoted string", start_line)
+            return
         self._emit(TokenType.CHAR, '"')
         self._advance('"')
 
     def _scan_dq_body(self, start: int) -> tuple:
         """Scan ahead from ``start`` to the closing quote.
 
-        Returns ``(raw body, has_interpolation)``; raises when unterminated.
+        Returns ``(raw body, has_interpolation, terminated)``; an
+        unterminated string scans to EOF with ``terminated=False``.
         """
         index = start
         has_interpolation = False
@@ -296,7 +345,7 @@ class Lexer:
                 index += 2
                 continue
             if char == '"':
-                return self.source[start:index], has_interpolation
+                return self.source[start:index], has_interpolation, True
             if char == "$" and index + 1 < len(self.source):
                 nxt = self.source[index + 1]
                 if _IDENT_START.match(nxt) or nxt == "{":
@@ -304,7 +353,7 @@ class Lexer:
             if char == "{" and index + 1 < len(self.source) and self.source[index + 1] == "$":
                 has_interpolation = True
             index += 1
-        raise PhpLexError("unterminated double-quoted string", self.filename, self.line)
+        return self.source[start:], has_interpolation, False
 
     def _lex_interpolated_body(self, terminator: str, heredoc_label: str = "") -> None:
         """Scan the inside of an interpolated string.
@@ -483,20 +532,35 @@ class Lexer:
             self._lex_interpolated_body(terminator="", heredoc_label=label)
         end = re.match(rf"[ \t]*{re.escape(label)}", self._rest())
         if end is None:
-            raise PhpLexError(f"unterminated heredoc <<<{label}", self.filename, start_line)
+            if not self.recover:
+                raise PhpLexError(
+                    f"unterminated heredoc <<<{label}", self.filename, start_line
+                )
+            # panic-mode repair: close the heredoc at EOF
+            self._emit(TokenType.END_HEREDOC, "")
+            self._record_recovery(f"unterminated heredoc <<<{label}", start_line)
+            return True
         self._emit(TokenType.END_HEREDOC, end.group(0))
         self._advance(end.group(0))
         return True
 
 
-def tokenize(source: str, filename: str = "<string>") -> List[Token]:
+def tokenize(
+    source: str, filename: str = "<string>", recover: bool = False
+) -> List[Token]:
     """Tokenize PHP source, mirroring ``token_get_all`` output."""
-    return Lexer(source, filename).tokenize()
+    return Lexer(source, filename, recover=recover).tokenize()
 
 
-def tokenize_significant(source: str, filename: str = "<string>") -> List[Token]:
+def tokenize_significant(
+    source: str, filename: str = "<string>", recover: bool = False
+) -> List[Token]:
     """Tokenize and drop whitespace/comments (the paper's cleaning step)."""
-    return [token for token in tokenize(source, filename) if token.type not in TRIVIA]
+    return [
+        token
+        for token in tokenize(source, filename, recover=recover)
+        if token.type not in TRIVIA
+    ]
 
 
 def iter_lines_of_code(source: str) -> Iterator[str]:

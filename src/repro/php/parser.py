@@ -15,10 +15,41 @@ from __future__ import annotations
 
 from typing import List, Optional, Union
 
+from ..incidents import Incident, IncidentSeverity, IncidentStage
 from . import ast_nodes as ast
 from .errors import PhpParseError
 from .lexer import tokenize_significant
 from .tokens import Token, TokenType
+
+#: statement-starting keywords the panic-mode recovery resynchronizes on
+#: (in addition to ``;`` and ``}`` statement boundaries)
+_SYNC_TOKENS = frozenset(
+    {
+        TokenType.IF,
+        TokenType.WHILE,
+        TokenType.DO,
+        TokenType.FOR,
+        TokenType.FOREACH,
+        TokenType.SWITCH,
+        TokenType.RETURN,
+        TokenType.GLOBAL,
+        TokenType.ECHO,
+        TokenType.FUNCTION,
+        TokenType.CLASS,
+        TokenType.INTERFACE,
+        TokenType.TRAIT,
+        TokenType.TRY,
+        TokenType.THROW,
+        TokenType.NAMESPACE,
+        TokenType.UNSET,
+        TokenType.BREAK,
+        TokenType.CONTINUE,
+        TokenType.OPEN_TAG,
+        TokenType.OPEN_TAG_WITH_ECHO,
+        TokenType.CLOSE_TAG,
+        TokenType.INLINE_HTML,
+    }
+)
 
 # Binary operator precedence, PHP manual order (higher binds tighter).
 _BINARY_PRECEDENCE = {
@@ -152,10 +183,19 @@ def unescape_double_quoted(body: str) -> str:
 class Parser:
     """One-pass recursive-descent parser with precedence climbing."""
 
-    def __init__(self, tokens: List[Token], filename: str = "<string>") -> None:
+    def __init__(
+        self, tokens: List[Token], filename: str = "<string>", recover: bool = False
+    ) -> None:
         self.tokens = tokens
         self.filename = filename
         self.pos = 0
+        #: with ``recover=True``, a :class:`PhpParseError` inside a
+        #: statement triggers panic-mode resynchronization instead of
+        #: aborting the file: the parser skips to the next statement
+        #: boundary, emits an :class:`~repro.php.ast_nodes.ErrorStmt`,
+        #: and records the incident here
+        self.recover = recover
+        self.incidents: List[Incident] = []
 
     # -- token plumbing ----------------------------------------------------
 
@@ -216,10 +256,75 @@ class Parser:
     def parse_file(self) -> ast.PhpFile:
         statements: List[ast.Statement] = []
         while not self._at(TokenType.EOF):
-            statement = self._parse_statement()
+            statement = self._parse_statement_recovering()
             if statement is not None:
                 statements.append(statement)
         return ast.PhpFile(line=1, filename=self.filename, statements=statements)
+
+    def _parse_statement_recovering(self) -> Optional[ast.Statement]:
+        """Parse one statement; in recover mode, resync on parse errors."""
+        if not self.recover:
+            return self._parse_statement()
+        start = self.pos
+        try:
+            return self._parse_statement()
+        except PhpParseError as error:
+            return self._recover_statement(start, error)
+
+    def _recover_statement(self, start: int, error: PhpParseError) -> ast.ErrorStmt:
+        """Panic-mode recovery: skip to the next statement boundary.
+
+        Discards tokens from the failed statement until a ``;`` (consumed),
+        a ``}`` closing the enclosing block (left for the caller), or the
+        next statement-starting keyword, balancing any brackets opened
+        along the way.  Emits an :class:`~repro.php.ast_nodes.ErrorStmt`
+        covering the skipped span and records a recovered parse incident.
+        """
+        start_token = self.tokens[start] if start < len(self.tokens) else self._peek()
+        if self.pos <= start:
+            self.pos = start
+            self._next()  # guarantee forward progress on the very first token
+        depth = 0
+        while not self._at(TokenType.EOF):
+            token = self._peek()
+            if token.is_char("{") or token.is_char("(") or token.is_char("["):
+                depth += 1
+            elif token.is_char(")") or token.is_char("]"):
+                if depth > 0:
+                    depth -= 1
+            elif token.is_char("}"):
+                if depth == 0:
+                    break  # the enclosing block's closer: leave it
+                depth -= 1
+            elif depth == 0:
+                if token.is_char(";"):
+                    self._next()  # the boundary belongs to the bad statement
+                    break
+                if token.type in _SYNC_TOKENS:
+                    break
+            self._next()
+        end_line = (
+            self.tokens[self.pos - 1].line
+            if 0 < self.pos <= len(self.tokens)
+            else start_token.line
+        )
+        self.incidents.append(
+            Incident(
+                stage=IncidentStage.PARSE,
+                severity=IncidentSeverity.WARNING,
+                file=self.filename,
+                reason=error.message,
+                recovered=True,
+                line=start_token.line,
+                end_line=end_line,
+            )
+        )
+        return ast.ErrorStmt(
+            line=start_token.line,
+            reason=error.message,
+            end_line=end_line,
+            tokens_skipped=self.pos - start,
+        )
 
     # -- statements -------------------------------------------------------------
 
@@ -356,7 +461,7 @@ class Parser:
                 TokenType.ENDSWITCH,
             ):
                 break
-            statement = self._parse_statement()
+            statement = self._parse_statement_recovering()
             if statement is not None:
                 statements.append(statement)
         return statements
@@ -373,7 +478,7 @@ class Parser:
             body: List[ast.Statement] = []
             stop = set(end_keywords) | {TokenType.ELSE, TokenType.ELSEIF}
             while not self._at(TokenType.EOF) and self._peek().type not in stop:
-                statement = self._parse_statement()
+                statement = self._parse_statement_recovering()
                 if statement is not None:
                     body.append(statement)
             return body
@@ -1381,7 +1486,9 @@ class Parser:
         return parts
 
 
-def parse_source(source: str, filename: str = "<string>") -> ast.PhpFile:
+def parse_source(
+    source: str, filename: str = "<string>", recover: bool = False
+) -> ast.PhpFile:
     """Lex and parse PHP source into a :class:`PhpFile` AST."""
-    tokens = tokenize_significant(source, filename)
-    return Parser(tokens, filename).parse_file()
+    tokens = tokenize_significant(source, filename, recover=recover)
+    return Parser(tokens, filename, recover=recover).parse_file()

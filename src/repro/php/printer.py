@@ -169,6 +169,10 @@ class Printer:
             return [pad + f"goto {node.label};"]
         if isinstance(node, ast.LabelStatement):
             return [pad + f"{node.name}:"]
+        if isinstance(node, ast.ErrorStmt):
+            # panic-mode recovery placeholder: the skipped source is gone,
+            # so the best round-trip is a comment documenting the hole
+            return [pad + f"/* parse error (recovered): {node.reason} */"]
         raise TypeError(f"cannot print statement {type(node).__name__}")
 
     def _params(self, params: List[ast.Param]) -> str:

@@ -180,6 +180,23 @@ class TestRobustness:
         )
         report = PhpSafe().analyze(plugin)
         assert report.findings
+        # default mode recovers bad.php (recorded incident, no skip)
+        assert report.failed_files == []
+        assert any(
+            incident.file == "bad.php" and incident.recovered
+            for incident in report.incidents
+        )
+
+    def test_other_files_still_analyzed_after_failure_strict(self):
+        from repro.core import PhpSafe, PhpSafeOptions
+        from repro.plugin import Plugin
+
+        plugin = Plugin(
+            name="p",
+            files={"bad.php": "<?php $a = ;", "good.php": "<?php echo $_GET['x'];"},
+        )
+        report = PhpSafe(options=PhpSafeOptions(recover=False)).analyze(plugin)
+        assert report.findings
         assert report.failed_files == ["bad.php"]
 
     def test_include_budget_failure(self):

@@ -161,9 +161,16 @@ class TestBudget:
             },
             budget=5_000,
         )
-        assert "panel.php" in model.parse_failures
-        assert "lib.php" in model.parse_failures
+        # budget exhaustion is a model-stage incident, not a syntax error
+        assert "panel.php" in model.budget_failures
+        assert "lib.php" in model.budget_failures
+        assert not model.parse_failures
         assert "small.php" in model.files
+        assert model.skipped_loc["lib.php"] > 0
+        assert any(
+            incident.stage.value == "model" and incident.file == "panel.php"
+            for incident in model.incidents
+        )
 
     def test_budget_cycle_counts_once(self):
         files = {

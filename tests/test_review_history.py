@@ -161,8 +161,11 @@ class TestApproval:
         assert ApprovalPolicy(max_xss=5).evaluate(record).approved
 
     def test_failed_files_block_approval(self):
+        from repro.core import PhpSafeOptions
+
+        # strict mode skips the unparseable file instead of recovering
         plugin = Plugin(name="p", version="1", files={"bad.php": "<?php $a = ;"})
-        report = PhpSafe().analyze(plugin)
+        report = PhpSafe(options=PhpSafeOptions(recover=False)).analyze(plugin)
         record = ScanRecord.from_report(report, "1", "2014-01-01")
         decision = ApprovalPolicy().evaluate(record)
         assert not decision.approved
