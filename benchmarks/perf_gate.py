@@ -1,0 +1,241 @@
+"""Performance gate: records the repo's perf trajectory in BENCH_*.json.
+
+The paper reports analysis time as a first-class result (Table 5 /
+Table III); this harness gives every PR a number to beat.  It measures
+two layers through public APIs only (so the same script runs unchanged
+across refactors):
+
+- **substrate** (``BENCH_substrate.json``): lexer tokens/s, parser
+  statements/s and end-to-end analyzer wall time on a representative
+  ~900-line OOP plugin file (the same workload as
+  ``bench_substrate.py``).
+- **scan** (``BENCH_scan.json``): a two-version corpus scan through a
+  persistent cache directory — the paper's dominant workload (the 2014
+  version of a plugin re-scanned after the 2012 version, most files
+  unchanged) — cold and warm.
+
+Usage::
+
+    python benchmarks/perf_gate.py --record-baseline   # before a perf PR
+    python benchmarks/perf_gate.py                     # after: adds "current"
+    python benchmarks/perf_gate.py --quick             # CI smoke (trend only)
+
+Each JSON file keeps a ``baseline`` section (written once by
+``--record-baseline``, preserved afterwards) and a ``current`` section
+(rewritten on every run) plus the derived ``speedup`` ratios.  Numbers
+are machine-dependent; the ``calibration`` field (a fixed pure-Python
+workload's ops/s) lets different machines be compared approximately —
+see EXPERIMENTS.md, "Performance methodology".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import PhpSafe  # noqa: E402
+from repro.corpus import build_corpus  # noqa: E402
+from repro.php import parse_source, tokenize_significant  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# the bench_substrate workload: OOP + interpolation + control flow
+_UNIT = (
+    "class Gallery_N {{\n"
+    "    public $items = array();\n"
+    "    public function load($limit) {{\n"
+    "        global $wpdb;\n"
+    "        $rows = $wpdb->get_results(\"SELECT * FROM {{$wpdb->prefix}}gallery\");\n"
+    "        foreach ($rows as $row) {{\n"
+    "            $this->items[] = $row;\n"
+    "        }}\n"
+    "    }}\n"
+    "    public function render() {{\n"
+    "        foreach ($this->items as $item) {{\n"
+    "            echo '<li>' . esc_html($item->title) . '</li>';\n"
+    "        }}\n"
+    "    }}\n"
+    "}}\n"
+    "function gallery_shortcode_{index}($atts) {{\n"
+    "    $args = shortcode_atts(array('n' => 10), $atts);\n"
+    "    $g = new Gallery_{index}();\n"
+    "    $g->load(intval($args['n']));\n"
+    "    $g->render();\n"
+    "}}\n"
+)
+SAMPLE = "<?php\n" + "".join(
+    _UNIT.replace("Gallery_N", "Gallery_{index}").format(index=i) for i in range(40)
+)
+
+
+def _best_of(repetitions: int, fn) -> float:
+    """Best-of-N wall time (insulates against scheduler noise)."""
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _calibration() -> float:
+    """Ops/s of a fixed pure-Python workload, for machine normalization."""
+    n = 2_000_000
+    start = time.perf_counter()
+    total = 0
+    for i in range(n):
+        total += i * i
+    elapsed = time.perf_counter() - start
+    assert total  # keep the loop honest
+    return n / elapsed
+
+
+def bench_substrate(repetitions: int) -> dict:
+    tokens = tokenize_significant(SAMPLE)
+    tree = parse_source(SAMPLE)
+    lexer_s = _best_of(repetitions, lambda: tokenize_significant(SAMPLE))
+    parser_s = _best_of(repetitions, lambda: parse_source(SAMPLE))
+    analyzer_s = _best_of(
+        max(1, repetitions // 2), lambda: PhpSafe().analyze_source(SAMPLE)
+    )
+    return {
+        "sample_bytes": len(SAMPLE),
+        "sample_tokens": len(tokens),
+        "sample_statements": len(tree.statements),
+        "lexer_seconds": round(lexer_s, 6),
+        "parser_seconds": round(parser_s, 6),
+        "analyzer_seconds": round(analyzer_s, 6),
+        "tokens_per_second": round(len(tokens) / lexer_s, 1),
+        "statements_per_second": round(len(tree.statements) / parser_s, 1),
+    }
+
+
+def bench_scan(scale: float, repetitions: int) -> dict:
+    """Two-version corpus scan through a persistent cache directory.
+
+    ``cold`` parses everything; ``warm`` re-scans both versions with a
+    fresh tool over the same cache directory — the incremental-analysis
+    case the paper's corpus (35 plugins x 2 versions, most files shared)
+    is dominated by.
+    """
+    corpora = [build_corpus("2012", scale=scale), build_corpus("2014", scale=scale)]
+    total_loc = sum(corpus.total_loc for corpus in corpora)
+    total_files = sum(corpus.total_files for corpus in corpora)
+
+    def scan_all(cache_dir: str) -> tuple:
+        findings = []
+        start = time.perf_counter()
+        tool = PhpSafe(cache_dir=cache_dir)
+        for corpus in corpora:
+            for plugin in corpus.plugins:
+                report = tool.analyze(plugin)
+                findings.extend(
+                    (plugin.slug, f.kind.value, f.file, f.line) for f in report.findings
+                )
+        return time.perf_counter() - start, sorted(findings)
+
+    cold_s = warm_s = float("inf")
+    cold_findings = warm_findings = None
+    for _ in range(repetitions):
+        tmp = tempfile.mkdtemp(prefix="perf-gate-")
+        try:
+            seconds, found = scan_all(tmp)
+            if seconds < cold_s:
+                cold_s, cold_findings = seconds, found
+            seconds, found = scan_all(tmp)  # same dir: warm
+            if seconds < warm_s:
+                warm_s, warm_findings = seconds, found
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    assert cold_findings == warm_findings, "cache changed the findings"
+    return {
+        "scale": scale,
+        "corpus_files": total_files,
+        "corpus_loc": total_loc,
+        "findings": len(cold_findings or []),
+        "cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "cold_loc_per_second": round(total_loc / cold_s, 1),
+        "warm_loc_per_second": round(total_loc / warm_s, 1),
+    }
+
+
+def _merge(path: str, section: dict, record_baseline: bool, quick: bool) -> dict:
+    data: dict = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle) or {}
+            except ValueError:
+                data = {}
+    data.setdefault("schema", "repro.bench/v1")
+    data["quick"] = quick
+    section["calibration_ops_per_second"] = round(_CALIBRATION, 1)
+    if record_baseline or "baseline" not in data:
+        data["baseline"] = section
+    data["current"] = section
+    baseline, current = data["baseline"], data["current"]
+    speedup = {}
+    for key in current:
+        if key.endswith("_seconds") and baseline.get(key):
+            speedup[key[: -len("_seconds")]] = round(baseline[key] / current[key], 3)
+    data["speedup_vs_baseline"] = speedup
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=1)
+        handle.write("\n")
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: fewer repetitions, smaller corpus scale",
+    )
+    parser.add_argument(
+        "--record-baseline", action="store_true",
+        help="overwrite the baseline section with this run's numbers",
+    )
+    parser.add_argument(
+        "--out-dir", default=REPO_ROOT, help="directory for the BENCH_*.json files"
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="corpus scale override (default 0.25, quick 0.1)")
+    args = parser.parse_args(argv)
+
+    repetitions = 3 if args.quick else 7
+    scale = args.scale if args.scale is not None else (0.1 if args.quick else 0.25)
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    global _CALIBRATION
+    _CALIBRATION = _calibration()
+
+    substrate = bench_substrate(repetitions)
+    scan = bench_scan(scale, 1 if args.quick else 2)
+
+    substrate_data = _merge(
+        os.path.join(args.out_dir, "BENCH_substrate.json"),
+        substrate, args.record_baseline, args.quick,
+    )
+    scan_data = _merge(
+        os.path.join(args.out_dir, "BENCH_scan.json"),
+        scan, args.record_baseline, args.quick,
+    )
+    print("substrate:", json.dumps(substrate_data["current"], indent=1))
+    print("substrate speedup vs baseline:", substrate_data["speedup_vs_baseline"])
+    print("scan:", json.dumps(scan_data["current"], indent=1))
+    print("scan speedup vs baseline:", scan_data["speedup_vs_baseline"])
+    return 0
+
+
+_CALIBRATION = 0.0
+
+if __name__ == "__main__":
+    sys.exit(main())

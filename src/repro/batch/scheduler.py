@@ -148,9 +148,10 @@ def _init_worker(spec: ToolSpec, options: BatchOptions) -> None:
     signal.signal(signal.SIGALRM, _on_alarm)
 
 
-#: worker return value:
-#: (report, seconds, outcome, (hits, misses, disk_hits, corrupt))
-_TaskResult = Tuple[ToolReport, float, str, Tuple[int, int, int, int]]
+#: worker return value: (report, seconds, outcome, cache-stat delta of
+#: (hits, misses, disk_hits, corrupt, summary_hits, summary_misses,
+#: summary_stale))
+_TaskResult = Tuple[ToolReport, float, str, Tuple[int, ...]]
 
 
 def _failure_report(tool_name: str, plugin_slug: str, reason: str) -> ToolReport:
@@ -177,16 +178,7 @@ def _scan_one(payload: Tuple[str, str, Dict[str, str]]) -> _TaskResult:
     tool = _worker_tool
     assert tool is not None, "worker used before initialization"
     cache = getattr(tool, "cache", None)
-    stats_before = (
-        (
-            cache.stats.hits,
-            cache.stats.misses,
-            cache.stats.disk_hits,
-            cache.stats.corrupt,
-        )
-        if cache is not None
-        else (0, 0, 0, 0)
-    )
+    stats_before = _cache_stats(cache)
     outcome = "ok"
     start = time.perf_counter()
     if _worker_timeout:
@@ -212,18 +204,24 @@ def _scan_one(payload: Tuple[str, str, Dict[str, str]]) -> _TaskResult:
     # the reviewer variable dump is large and holds analysis-internal
     # objects; don't ship it over the result pickle channel
     report.variables = {}
-    stats_after = (
-        (
-            cache.stats.hits,
-            cache.stats.misses,
-            cache.stats.disk_hits,
-            cache.stats.corrupt,
-        )
-        if cache is not None
-        else stats_before
-    )
+    stats_after = _cache_stats(cache)
     delta = tuple(after - before for after, before in zip(stats_after, stats_before))
-    return report, report.seconds, outcome, delta  # type: ignore[return-value]
+    return report, report.seconds, outcome, delta
+
+
+def _cache_stats(cache: Optional[ModelCache]) -> Tuple[int, ...]:
+    """Current cache counters, parse tier then summary tier."""
+    if cache is None:
+        return (0,) * 7
+    return (
+        cache.stats.hits,
+        cache.stats.misses,
+        cache.stats.disk_hits,
+        cache.stats.corrupt,
+        cache.summary_stats.hits,
+        cache.summary_stats.misses,
+        cache.summary_stats.stale,
+    )
 
 
 # -- scheduler side ---------------------------------------------------------
@@ -285,6 +283,10 @@ class BatchScanner:
                     cache_misses=delta[1],
                     disk_hits=delta[2],
                     cache_corrupt=delta[3],
+                    summary_hits=delta[4] if len(delta) > 4 else 0,
+                    summary_misses=delta[5] if len(delta) > 5 else 0,
+                    summary_stale=delta[6] if len(delta) > 6 else 0,
+                    perf=dict(report.perf),
                     outcome=outcome,
                 )
             )
@@ -370,7 +372,7 @@ class BatchScanner:
 
     def _crash_result(self, plugin: Plugin, reason: str) -> _TaskResult:
         report = _failure_report(self._tool_name(), plugin.slug, reason)
-        return report, 0.0, "crashed", (0, 0, 0, 0)
+        return report, 0.0, "crashed", (0,) * 7
 
 
 def scan_corpus(

@@ -4,13 +4,16 @@ Each batch run aggregates one :class:`PluginScanStats` per plugin
 (wall time, size, findings, cache counters, outcome) plus run-level
 incidents (worker restarts, deadline timeouts, crashes) into a
 :class:`ScanTelemetry` that serializes to a stable JSON schema
-(``schema`` key: ``repro.batch.telemetry/v2``) for CI dashboards and
+(``schema`` key: ``repro.batch.telemetry/v3``) for CI dashboards and
 the performance benchmarks.
 
 Schema history: v2 adds per-plugin typed-incident counts
 (``incidents``/``recovered``), skipped-coverage counters
 (``files_skipped``/``loc_skipped``), and the ``corrupt`` cache counter
-(quarantined disk-cache objects).
+(quarantined disk-cache objects).  v3 adds the function-summary cache
+counters (``summary_hits``/``summary_misses``/``summary_stale``) and
+the per-plugin/aggregated ``perf`` counter deltas (tokens/s, engine
+steps, taint-interning rates) from :mod:`repro.perf`.
 """
 
 from __future__ import annotations
@@ -19,7 +22,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-SCHEMA = "repro.batch.telemetry/v2"
+from ..perf import merge as merge_perf
+
+SCHEMA = "repro.batch.telemetry/v3"
 
 
 @dataclass
@@ -44,6 +49,13 @@ class PluginScanStats:
     disk_hits: int = 0
     #: corrupt disk-cache objects quarantined while scanning this plugin
     cache_corrupt: int = 0
+    #: function-summary cache counters (separate tier from the parse
+    #: cache; see :class:`repro.core.cache.SummaryCacheStats`)
+    summary_hits: int = 0
+    summary_misses: int = 0
+    summary_stale: int = 0
+    #: per-run perf counter delta (:data:`repro.perf.counters`)
+    perf: Dict[str, float] = field(default_factory=dict)
     #: "ok" | "timeout" | "crashed" | "error"
     outcome: str = "ok"
 
@@ -69,7 +81,11 @@ class PluginScanStats:
                 "misses": self.cache_misses,
                 "disk_hits": self.disk_hits,
                 "corrupt": self.cache_corrupt,
+                "summary_hits": self.summary_hits,
+                "summary_misses": self.summary_misses,
+                "summary_stale": self.summary_stale,
             },
+            "perf": dict(self.perf),
             "outcome": self.outcome,
         }
 
@@ -128,6 +144,30 @@ class ScanTelemetry:
         return sum(stats.cache_corrupt for stats in self.plugins)
 
     @property
+    def summary_hits(self) -> int:
+        return sum(stats.summary_hits for stats in self.plugins)
+
+    @property
+    def summary_misses(self) -> int:
+        return sum(stats.summary_misses for stats in self.plugins)
+
+    @property
+    def summary_stale(self) -> int:
+        return sum(stats.summary_stale for stats in self.plugins)
+
+    @property
+    def summary_hit_rate(self) -> float:
+        total = self.summary_hits + self.summary_misses
+        return self.summary_hits / total if total else 0.0
+
+    def perf_totals(self) -> Dict[str, float]:
+        """Perf counter deltas summed over every plugin of the run."""
+        totals: Dict[str, float] = {}
+        for stats in self.plugins:
+            merge_perf(totals, stats.perf)
+        return totals
+
+    @property
     def total_incidents(self) -> int:
         return sum(stats.incidents for stats in self.plugins)
 
@@ -163,7 +203,12 @@ class ScanTelemetry:
                 "disk_hits": self.disk_hits,
                 "hit_rate": round(self.cache_hit_rate, 4),
                 "corrupt": self.cache_corrupt,
+                "summary_hits": self.summary_hits,
+                "summary_misses": self.summary_misses,
+                "summary_stale": self.summary_stale,
+                "summary_hit_rate": round(self.summary_hit_rate, 4),
             },
+            "perf": self.perf_totals(),
             "incidents": {
                 "worker_restarts": self.worker_restarts,
                 "timeouts": self.timeouts,

@@ -108,6 +108,26 @@ def _print_incidents(report, indent: str = "  ") -> None:
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            exit_code = _cmd_scan_impl(args)
+        finally:
+            profiler.disable()
+            stream = io.StringIO()
+            stats = pstats.Stats(profiler, stream=stream)
+            stats.sort_stats("cumulative").print_stats(args.profile)
+            print(stream.getvalue().rstrip())
+        return exit_code
+    return _cmd_scan_impl(args)
+
+
+def _cmd_scan_impl(args: argparse.Namespace) -> int:
     tool = _make_tool(
         args.tool, no_oop=args.no_oop, generic=args.generic, strict=args.strict
     )
@@ -143,6 +163,13 @@ def cmd_scan(args: argparse.Namespace) -> int:
     if report.files_skipped:
         summary += f", {report.files_skipped} file(s) / {report.loc_skipped} LOC skipped"
     print(summary)
+    perf = getattr(report, "perf", None)
+    if perf and perf.get("tokens_per_second"):
+        print(
+            f"perf: {perf.get('tokens_per_second', 0):,.0f} tokens/s,"
+            f" {perf.get('nodes_per_second', 0):,.0f} engine steps/s,"
+            f" taint intern hit rate {perf.get('taint_intern_hit_rate', 0):.0%}"
+        )
     return 0 if not report.findings else 1
 
 
@@ -190,6 +217,9 @@ def _scan_batch(args: argparse.Namespace, tool, targets) -> int:
     print(
         f"{telemetry.total_findings} finding(s), {total_failed} failed file(s), "
         f"cache hit rate {telemetry.cache_hit_rate:.0%}, "
+        f"summary cache {telemetry.summary_hits}/"
+        f"{telemetry.summary_hits + telemetry.summary_misses} hit(s)"
+        f" ({telemetry.summary_stale} stale), "
         f"incidents: {telemetry.total_incidents} recorded"
         f" ({telemetry.total_recovered} recovered) / {telemetry.timeouts} timeout(s)"
         f" / {telemetry.crashes} crash(es)"
@@ -387,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scan.add_argument(
         "--telemetry", help="write the batch telemetry JSON report here"
+    )
+    scan.add_argument(
+        "--profile", type=int, nargs="?", const=25, default=0, metavar="N",
+        help="profile the scan with cProfile and print the top N entries "
+             "by cumulative time (default N: 25)",
     )
     scan.set_defaults(func=cmd_scan)
 

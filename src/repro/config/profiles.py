@@ -13,6 +13,7 @@ work) are supported by building a profile with their API entries, see
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -112,6 +113,46 @@ class AnalyzerProfile:
 
     def known_instance(self, var_name: str) -> Optional[KnownInstance]:
         return self._instances.get(var_name)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the knowledge base's semantics.
+
+        Keys the persistent summary cache: two profiles that would drive
+        the engine identically share a fingerprint, and any KB edit —
+        adding a sink, changing a filter's kinds — produces a new one.
+        Frozensets are sorted before hashing so the digest is stable
+        across processes (``PYTHONHASHSEED``).
+        """
+        parts = [f"register_globals={int(self.register_globals)}"]
+        for spec in self.sources:
+            parts.append(
+                "src|%s|%s|%s|%d"
+                % (
+                    spec.qualified,
+                    spec.vector.value,
+                    ",".join(sorted(kind.value for kind in spec.kinds)),
+                    spec.is_superglobal,
+                )
+            )
+        for spec in self.filters:
+            parts.append(
+                "flt|%s|%s"
+                % (spec.qualified, ",".join(sorted(kind.value for kind in spec.kinds)))
+            )
+        for spec in self.reverts:
+            parts.append(
+                "rev|%s|%s"
+                % (spec.name, ",".join(sorted(kind.value for kind in spec.kinds)))
+            )
+        for spec in self.sinks:
+            args = "*" if spec.tainted_args is None else ",".join(
+                str(index) for index in spec.tainted_args
+            )
+            parts.append("snk|%s|%s|%s" % (spec.qualified, spec.kind.value, args))
+        for instance in self.instances:
+            parts.append("ins|%s|%s" % (instance.var_name, instance.class_name))
+        parts.sort()
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
 
     # -- composition ------------------------------------------------------------
 

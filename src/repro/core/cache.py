@@ -40,6 +40,15 @@ def content_key(path: str, source: str, variant: str = "") -> str:
     return f"{path}:{digest}"
 
 
+def summary_key(fingerprint: str, function_key: str, digest: str) -> str:
+    """Summary-cache key: analyzer configuration fingerprint (knowledge
+    base + engine options) + function key + defining-file content digest.
+    The ``summary!`` prefix keeps these slots disjoint from file models
+    (model keys start with a file path, which never contains ``!``
+    before a ``:``)."""
+    return f"summary!{fingerprint}!{function_key}!{digest}"
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
@@ -49,6 +58,25 @@ class CacheStats:
     evictions: int = 0
     #: corrupt persistent entries detected and quarantined (disk cache)
     corrupt: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class SummaryCacheStats:
+    """Counters of the function-summary tier, separate from the parse
+    tier so each cache's effectiveness is observable on its own."""
+
+    hits: int = 0
+    misses: int = 0
+    #: entries found but rejected by dependency validation
+    stale: int = 0
+    #: subset of ``hits`` served from the persistent tier
+    disk_hits: int = 0
+    stores: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -70,6 +98,7 @@ class ModelCache:
 
     max_entries: int = 4096
     stats: CacheStats = field(default_factory=CacheStats)
+    summary_stats: SummaryCacheStats = field(default_factory=SummaryCacheStats)
     #: recency-ordered (dict insertion order): first key is the LRU victim
     _slots: Dict[str, _Slot] = field(default_factory=dict, repr=False)
 
@@ -94,6 +123,30 @@ class ModelCache:
     ) -> None:
         self._insert(content_key(path, source, variant), (None, error))
 
+    # -- function-summary tier ---------------------------------------------
+    #
+    # Summaries live in the same recency queue and persistent object
+    # store as file models (the key namespaces are disjoint), but keep
+    # their own hit/miss counters: the parse tier's stats stay exact.
+
+    def lookup_summary(self, key: str) -> Optional[object]:
+        """Return the persisted :class:`FunctionSummary` under ``key``."""
+        disk_hits_before = self.stats.disk_hits
+        slot = self._load(key)
+        if self.stats.disk_hits != disk_hits_before:
+            # re-attribute the disk hit to the summary tier's counters
+            self.stats.disk_hits = disk_hits_before
+            self.summary_stats.disk_hits += 1
+        if slot is None:
+            self.summary_stats.misses += 1
+            return None
+        self.summary_stats.hits += 1
+        return slot[0]
+
+    def store_summary(self, key: str, summary: object) -> None:
+        self.summary_stats.stores += 1
+        self._insert(key, (summary, None))
+
     # -- storage hooks (extended by the persistent disk tier) ---------------
 
     def _load(self, key: str) -> Optional[_Slot]:
@@ -116,6 +169,7 @@ class ModelCache:
     def clear(self) -> None:
         self._slots.clear()
         self.stats = CacheStats()
+        self.summary_stats = SummaryCacheStats()
 
     def __len__(self) -> int:
         return len(self._slots)

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from ..config.profiles import AnalyzerProfile
 from ..config.vulnerability import ALL_KINDS, InputVector, VulnKind
 from ..incidents import Incident, IncidentSeverity, IncidentStage
+from ..perf import counters
 from ..php import ast_nodes as ast
 from ..php.htmlcontext import context_at_end
 from ..php.printer import print_expr
@@ -173,6 +174,37 @@ class FunctionSummary:
     #: (class lower, prop) -> taint written (may hold ParamRefs, which
     #: are substituted with the caller's arguments at each call site)
     prop_writes: Dict[Tuple[str, str], TaintState] = field(default_factory=dict)
+    #: files whose definitions this summary was computed from: the
+    #: defining file plus every file holding a callee body or a class
+    #: consulted during method/property resolution
+    dep_files: Set[str] = field(default_factory=set)
+    #: lookups that found nothing ("fn:name" / "class:name"); the
+    #: summary stays valid only while they keep finding nothing
+    dep_unresolved: Set[str] = field(default_factory=set)
+    #: ``dep_files`` pinned to content digests at persist time; the
+    #: cross-run cache revalidates these against the current model
+    dep_digests: Dict[str, str] = field(default_factory=dict)
+    #: the body read global state at summarize time — order-dependent,
+    #: so never persisted across runs
+    uses_globals: bool = False
+    #: placeholder written by a unit fault boundary — never persisted
+    faulted: bool = False
+
+
+def summary_is_valid(summary: FunctionSummary, model: PluginModel,
+                     digests: Dict[str, str]) -> bool:
+    """Can a persisted summary be reused against the current model?"""
+    for path, digest in summary.dep_digests.items():
+        if digests.get(path) != digest:
+            return False
+    for token in summary.dep_unresolved:
+        kind, _, name = token.partition(":")
+        if kind == "fn":
+            if model.lookup_function(name) is not None:
+                return False
+        elif model.lookup_class(name) is not None:
+            return False
+    return True
 
 
 class Scope:
@@ -181,6 +213,9 @@ class Scope:
     def __init__(self, name: str = "<main>") -> None:
         self.name = name
         self.records: Dict[str, VariableRecord] = {}
+        #: names bound to the global scope via ``global $x`` — writes to
+        #: these are mirrored into the engine's global scope
+        self.global_aliases: Set[str] = set()
 
     def get(self, name: str) -> Optional[VariableRecord]:
         return self.records.get(name)
@@ -189,11 +224,14 @@ class Scope:
         self.records[record.name] = record
 
     def copy(self) -> "Scope":
+        # records are immutable in practice (writes rebind via
+        # ``updated()``) and taint states are interned values, so a
+        # snapshot is a plain dict copy — no per-record cloning.  Global
+        # aliases are deliberately NOT inherited: a branch snapshot must
+        # not write through to the global scope for a path that may not
+        # be taken (a ``global`` statement inside the branch re-binds).
         clone = Scope(self.name)
-        clone.records = {
-            name: record.updated(taint=record.taint.copy())
-            for name, record in self.records.items()
-        }
+        clone.records = dict(self.records)
         return clone
 
     def join_from(self, *branches: "Scope") -> None:
@@ -276,9 +314,15 @@ class TaintEngine:
 
     def run(self) -> List[Finding]:
         """Analyze the whole plugin and return deduplicated findings."""
-        if self.options.recover:
-            return self._run_isolated()
-        return self._run_strict()
+        start = time.perf_counter()
+        steps_before = self._steps
+        try:
+            if self.options.recover:
+                return self._run_isolated()
+            return self._run_strict()
+        finally:
+            counters.analysis_seconds += time.perf_counter() - start
+            counters.engine_steps += self._steps - steps_before
 
     def _run_strict(self) -> List[Finding]:
         """Historical all-or-nothing analysis (``recover=False``)."""
@@ -420,7 +464,11 @@ class TaintEngine:
             self._deadline_at = None
             self._depth = 0
         if summary_key is not None and summary_key not in self.summaries:
-            self.summaries[summary_key] = FunctionSummary(key=summary_key)
+            # faulted placeholder: call sites stop re-running the failing
+            # body, but the empty summary must never be persisted
+            self.summaries[summary_key] = FunctionSummary(
+                key=summary_key, faulted=True
+            )
         return False
 
     def _summarize_all_functions(self) -> None:
@@ -542,9 +590,36 @@ class TaintEngine:
     # Function summaries
     # ------------------------------------------------------------------
 
+    def preload_summary(self, summary: FunctionSummary) -> None:
+        """Install a cache-served summary before the run starts.
+
+        Replays the summary's parameter-free property writes into the
+        class property store — the commit :meth:`_record_prop_write`
+        performs while a body is being summarized — so never-called
+        methods keep contributing property taint on cache hits.
+        """
+        self.summaries[summary.key] = summary
+        for (class_lower, prop), taint in summary.prop_writes.items():
+            self.class_props.write(class_lower, prop, taint.drop_param_refs())
+
+    def _merge_summary_deps(self, summary: FunctionSummary) -> None:
+        """A caller's summary inherits its callee's dependencies: the
+        callee's events are baked into the caller, so whatever
+        invalidates the callee invalidates the caller too."""
+        if not self._summary_stack:
+            return
+        frame = self._summary_stack[-1]
+        frame.dep_files.update(summary.dep_files)
+        frame.dep_unresolved.update(summary.dep_unresolved)
+        if summary.uses_globals or summary.faulted:
+            frame.uses_globals = frame.uses_globals or summary.uses_globals
+            frame.faulted = frame.faulted or summary.faulted
+
     def _summarize(self, info: FunctionInfo) -> FunctionSummary:
         cached = self.summaries.get(info.key)
         if cached is not None and self.options.use_summaries:
+            counters.summary_memo_hits += 1
+            self._merge_summary_deps(cached)
             return cached
         if info.key in self._in_progress:
             # recursion: "functions that are called recursively are
@@ -552,6 +627,7 @@ class TaintEngine:
             return FunctionSummary(key=info.key)
         self._in_progress.add(info.key)
         summary = FunctionSummary(key=info.key)
+        summary.dep_files.add(info.file)
         scope = Scope(info.key)
         for index, param in enumerate(info.params):
             taint = TaintState.from_label(ParamRef(info.key, index))
@@ -588,6 +664,8 @@ class TaintEngine:
                 if record is not None and record.taint.active:
                     summary.ref_param_writes[index] = record.taint
         self.summaries[info.key] = summary
+        counters.summaries_computed += 1
+        self._merge_summary_deps(summary)
         return summary
 
     def _apply_summary(
@@ -805,6 +883,10 @@ class TaintEngine:
     def _exec_global(self, node: ast.GlobalStatement, scope: Scope) -> None:
         """Bind names to the global scope; known CMS instances (e.g.
         ``global $wpdb``) get their class from the profile."""
+        if self._summary_stack:
+            # the summary observes run-order-dependent global state, so
+            # it cannot be reused across runs
+            self._summary_stack[-1].uses_globals = True
         for name in node.names:
             record = self.globals.get(name)
             if record is None:
@@ -821,6 +903,7 @@ class TaintEngine:
                 )
                 self.globals.set(record)
             scope.set(record)
+            scope.global_aliases.add(name)
 
     # ------------------------------------------------------------------
     # Expressions
@@ -1057,8 +1140,8 @@ class TaintEngine:
             )
             was_global_alias = (
                 scope is not self.globals
+                and target.name in scope.global_aliases
                 and scope.get(target.name) is not None
-                and scope.get(target.name) is self.globals.get(target.name)
             )
             scope.set(
                 VariableRecord(
@@ -1115,13 +1198,63 @@ class TaintEngine:
         seen: Set[str] = set()
         while current and current.lower() not in seen:
             seen.add(current.lower())
-            info = self.model.lookup_class(current)
+            info = self._lookup_class_dep(current)
             if info is None:
                 break
             if prop in info.property_names:
                 declaring = info.name
             current = info.parent
         return declaring
+
+    # -- model lookups with summary-dependency recording -------------------
+
+    def _lookup_function_dep(self, name: str):
+        info = self.model.lookup_function(name)
+        if self._summary_stack:
+            frame = self._summary_stack[-1]
+            if info is not None:
+                frame.dep_files.add(info.file)
+            else:
+                frame.dep_unresolved.add("fn:" + name.lower())
+        return info
+
+    def _lookup_class_dep(self, name: str):
+        info = self.model.lookup_class(name)
+        if self._summary_stack:
+            frame = self._summary_stack[-1]
+            if info is not None:
+                frame.dep_files.add(info.file)
+            else:
+                frame.dep_unresolved.add("class:" + name.lower())
+        return info
+
+    def _resolve_method_dep(self, class_name: str, method: str):
+        """Like :meth:`PluginModel.resolve_method`, recording every file
+        of the consulted inheritance chain as a summary dependency —
+        editing any class on the chain (adding an override, changing a
+        parent) must invalidate summaries that dispatched through it."""
+        info = self.model.resolve_method(class_name, method)
+        if self._summary_stack:
+            frame = self._summary_stack[-1]
+            seen: Set[str] = set()
+            current: Optional[str] = class_name
+            while current and current.lower() not in seen:
+                seen.add(current.lower())
+                class_info = self.model.lookup_class(current)
+                if class_info is None:
+                    frame.dep_unresolved.add("class:" + current.lower())
+                    break
+                frame.dep_files.add(class_info.file)
+                for trait in class_info.decl.uses:
+                    trait_info = self.model.lookup_class(trait)
+                    if trait_info is not None:
+                        frame.dep_files.add(trait_info.file)
+                    else:
+                        frame.dep_unresolved.add("class:" + trait.lower())
+                current = class_info.parent
+            if info is not None:
+                frame.dep_files.add(info.file)
+        return info
 
     def _record_prop_write(self, class_name: str, prop: str, taint: TaintState) -> None:
         """Commit a property write.
@@ -1208,7 +1341,7 @@ class TaintEngine:
                 trace=(f"{name}() read at {self._current_file}:{node.line}",),
             )
 
-        info = self.model.lookup_function(lowered)
+        info = self._lookup_function_dep(lowered)
         if info is not None and not info.is_method:
             summary = self._summarize(info)
             return self._apply_summary(summary, values, node.args, scope, node.line)
@@ -1256,7 +1389,7 @@ class TaintEngine:
             this = scope.get("this")
             current = this.class_name if this and this.class_name else ""
             if class_name.lower() == "parent" and current:
-                class_info = self.model.lookup_class(current)
+                class_info = self._lookup_class_dep(current)
                 class_name = (class_info.parent or "") if class_info else ""
             else:
                 class_name = current
@@ -1310,7 +1443,7 @@ class TaintEngine:
                 trace=(f"{qualified}() read at {self._current_file}:{node.line}",),
             )
 
-        info = self.model.resolve_method(class_name, method)
+        info = self._resolve_method_dep(class_name, method)
         if info is not None:
             summary = self._summarize(info)
             return self._apply_summary(summary, values, node.args, scope, node.line)
@@ -1322,10 +1455,10 @@ class TaintEngine:
             return Value.clean()
         class_name = node.class_name
         if self.options.oop:
-            constructor = self.model.resolve_method(class_name, "__construct")
+            constructor = self._resolve_method_dep(class_name, "__construct")
             if constructor is None:
                 # PHP4-style constructor: method named like the class
-                constructor = self.model.resolve_method(class_name, class_name)
+                constructor = self._resolve_method_dep(class_name, class_name)
             if constructor is not None:
                 summary = self._summarize(constructor)
                 self._apply_summary(summary, values, node.args, scope, node.line)

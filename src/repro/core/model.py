@@ -14,11 +14,14 @@ large make phpSAFE "unable to analyze" them (Section V.E).
 
 from __future__ import annotations
 
+import hashlib
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..incidents import Incident, IncidentSeverity, IncidentStage
+from ..perf import counters
 from ..php import ast_nodes as ast
 from ..php.errors import AnalysisBudgetExceeded, PhpParseError, PhpSyntaxError
 from ..php.lexer import Lexer, count_loc
@@ -74,6 +77,9 @@ class FileModel:
     #: recovered lex/parse incidents from panic-mode recovery; kept on
     #: the file model so cache hits replay them into the plugin model
     incidents: List[Incident] = field(default_factory=list)
+    #: sha256 of ``source`` — the identity the incremental summary cache
+    #: validates function-summary dependencies against
+    digest: str = ""
 
 
 class PluginModel:
@@ -120,12 +126,15 @@ class PluginModel:
         model = cls(plugin)
         variant = "recover" if recover else ""
         for path, source in plugin.iter_files():
+            digest = hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
             if cache is not None:
                 cached, cached_error = cache.lookup(path, source, variant)
                 if cached_error is not None:
                     model._record_parse_failure(path, source, cached_error)
                     continue
                 if cached is not None:
+                    if not getattr(cached, "digest", ""):
+                        cached.digest = digest  # entry from a pre-digest store
                     model.files[path] = cached  # type: ignore[assignment]
                     model.incidents.extend(getattr(cached, "incidents", []))
                     continue
@@ -134,8 +143,11 @@ class PluginModel:
                 tokens = [
                     token for token in lexer.tokenize() if token.type not in TRIVIA
                 ]
+                parse_start = time.perf_counter()
                 parser = Parser(tokens, path, recover=recover)
                 tree = parser.parse_file()
+                counters.parse_seconds += time.perf_counter() - parse_start
+                counters.files_parsed += 1
                 file_incidents = lexer.incidents + parser.incidents
             except PhpSyntaxError as error:
                 model._record_parse_failure(path, source, error)
@@ -162,6 +174,7 @@ class PluginModel:
                 loc=count_loc(source),
                 includes=_collect_includes(tree, path),
                 incidents=file_incidents,
+                digest=digest,
             )
             model.files[path] = file_model
             model.incidents.extend(file_incidents)
@@ -169,7 +182,6 @@ class PluginModel:
                 cache.store(path, source, file_model, variant)
         model._check_include_budgets(include_budget)
         model._collect_definitions()
-        model._collect_calls()
         return model
 
     def _record_parse_failure(
@@ -229,9 +241,25 @@ class PluginModel:
         return size
 
     def _collect_definitions(self) -> None:
+        """One traversal per file collects both definitions and call
+        sites (two separate walks doubled model-construction time)."""
         for path, file_model in self.files.items():
             for node in ast.walk(file_model.tree):
-                if isinstance(node, ast.FunctionDecl):
+                if isinstance(node, ast.FunctionCall):
+                    if isinstance(node.name, str):
+                        self.called_names.add(node.name.lower())
+                elif isinstance(node, ast.MethodCall):
+                    if isinstance(node.method, str):
+                        self.called_methods.add(node.method.lower())
+                elif isinstance(node, ast.StaticCall):
+                    if isinstance(node.method, str):
+                        self.called_methods.add(node.method.lower())
+                elif isinstance(node, ast.New):
+                    if isinstance(node.class_name, str):
+                        # constructors count as called methods
+                        self.called_methods.add("__construct")
+                        self.called_names.add(node.class_name.lower())
+                elif isinstance(node, ast.FunctionDecl):
                     info = FunctionInfo(
                         key=node.name.lower(),
                         name=node.name,
@@ -262,20 +290,6 @@ class PluginModel:
                         class_info.methods[method.name.lower()] = method_info
                         self.functions.setdefault(method_info.key, method_info)
                     self.classes.setdefault(node.name.lower(), class_info)
-
-    def _collect_calls(self) -> None:
-        for file_model in self.files.values():
-            for node in ast.walk(file_model.tree):
-                if isinstance(node, ast.FunctionCall) and isinstance(node.name, str):
-                    self.called_names.add(node.name.lower())
-                elif isinstance(node, ast.MethodCall) and isinstance(node.method, str):
-                    self.called_methods.add(node.method.lower())
-                elif isinstance(node, ast.StaticCall) and isinstance(node.method, str):
-                    self.called_methods.add(node.method.lower())
-                elif isinstance(node, ast.New) and isinstance(node.class_name, str):
-                    # constructors count as called methods
-                    self.called_methods.add("__construct")
-                    self.called_names.add(node.class_name.lower())
 
     # -- queries ---------------------------------------------------------------
 
@@ -339,6 +353,14 @@ class PluginModel:
         if len(matches) == 1:
             return matches[0]
         return None
+
+    def file_digests(self) -> Dict[str, str]:
+        """Content digest per analyzable file (summary-cache validation)."""
+        return {
+            path: file_model.digest
+            for path, file_model in self.files.items()
+            if file_model.digest
+        }
 
     @property
     def total_loc(self) -> int:

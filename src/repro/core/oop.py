@@ -62,7 +62,7 @@ class ClassPropertyStore:
             for ref in placeholders:
                 mapping[ref] = self._lookup_chain(ref.class_name, ref.prop)
             substituted = current.substituted(mapping)
-            if substituted.signature() == current.signature():
+            if substituted is current:  # interned: identity is equality
                 return substituted
             current = substituted
         # depth exhausted: drop unresolved placeholders

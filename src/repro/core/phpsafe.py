@@ -12,14 +12,16 @@ file, read the findings off the returned report.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Set
 
 from ..config.profiles import AnalyzerProfile, generic_php, wordpress
 from ..incidents import Incident, IncidentSeverity, IncidentStage
+from ..perf import counters, derive
 from ..plugin import Plugin
-from .cache import ModelCache
-from .engine import EngineOptions, TaintEngine
+from .cache import ModelCache, summary_key
+from .engine import EngineOptions, TaintEngine, summary_is_valid
 from .model import PluginModel
 from .results import FileFailure, ToolReport
 from .tool import AnalyzerTool
@@ -80,8 +82,90 @@ class PhpSafe(AnalyzerTool):
         else:
             self.profile = generic_php()
 
+    def _summary_fingerprint(self, engine_options: EngineOptions) -> str:
+        """Configuration identity of the persistent summary cache: the
+        knowledge base plus every engine option that changes what a
+        function summary contains.  Resource budgets are excluded — a
+        summary is the same analysis result regardless of how much
+        budget was left when it was computed (faulted placeholder
+        summaries are never persisted)."""
+        spec = (
+            self.profile.fingerprint(),
+            engine_options.oop,
+            engine_options.analyze_uncalled,
+            engine_options.analyze_methods_standalone,
+            engine_options.recover,
+            tuple(sorted(kind.value for kind in engine_options.construct_kinds)),
+            engine_options.unknown_call_policy,
+            engine_options.max_include_depth,
+            engine_options.max_trace,
+        )
+        return hashlib.sha256(repr(spec).encode("utf-8")).hexdigest()[:16]
+
+    def _preload_summaries(
+        self,
+        engine: TaintEngine,
+        model: PluginModel,
+        fingerprint: str,
+        digests: Dict[str, str],
+    ) -> Set[str]:
+        """Install valid cross-run summaries before the engine runs.
+
+        A hit must survive dependency validation: every file the summary
+        was computed from still has the same content, and every lookup
+        that found nothing still finds nothing."""
+        preloaded: Set[str] = set()
+        for key, info in model.functions.items():
+            digest = digests.get(info.file)
+            if not digest:
+                continue
+            cached = self.cache.lookup_summary(summary_key(fingerprint, key, digest))
+            if cached is None:
+                counters.summary_cache_misses += 1
+                continue
+            if not summary_is_valid(cached, model, digests):
+                self.cache.summary_stats.stale += 1
+                counters.summary_cache_stale += 1
+                continue
+            engine.preload_summary(cached)
+            preloaded.add(key)
+            counters.summary_cache_hits += 1
+        return preloaded
+
+    def _store_summaries(
+        self,
+        engine: TaintEngine,
+        model: PluginModel,
+        fingerprint: str,
+        digests: Dict[str, str],
+        preloaded: Set[str],
+    ) -> None:
+        """Persist the summaries this run computed, pinned to the
+        content digests of every file they depend on."""
+        for key, summary in engine.summaries.items():
+            if key in preloaded or summary.faulted or summary.uses_globals:
+                continue
+            info = model.functions.get(key)
+            if info is None:
+                continue
+            digest = digests.get(info.file)
+            if not digest:
+                continue
+            dep_digests: Dict[str, str] = {}
+            for path in summary.dep_files:
+                dep_digest = digests.get(path)
+                if not dep_digest:
+                    break
+                dep_digests[path] = dep_digest
+            else:
+                summary.dep_digests = dep_digests
+                self.cache.store_summary(
+                    summary_key(fingerprint, key, digest), summary
+                )
+
     def analyze(self, plugin: Plugin) -> ToolReport:
         """Run the four stages on every file of ``plugin``."""
+        perf_before = counters.snapshot()
         report = ToolReport(tool=self.name, plugin=plugin.slug)
         model = PluginModel.build(
             plugin,
@@ -121,8 +205,18 @@ class PhpSafe(AnalyzerTool):
             },
         )
         engine = TaintEngine(model, self.profile, engine_options)
+        use_summary_cache = self.cache is not None and engine_options.use_summaries
+        fingerprint = ""
+        digests: Dict[str, str] = {}
+        preloaded: Set[str] = set()
+        if use_summary_cache:
+            fingerprint = self._summary_fingerprint(engine_options)
+            digests = model.file_digests()
+            preloaded = self._preload_summaries(engine, model, fingerprint, digests)
         for finding in engine.run():
             report.add_finding(finding)
+        if use_summary_cache:
+            self._store_summaries(engine, model, fingerprint, digests, preloaded)
         report.incidents = list(model.incidents) + list(engine.incidents)
         # recovered incidents map to "error message but analysis
         # completed" failures (the Pixy column of the paper's table)
@@ -163,6 +257,9 @@ class PhpSafe(AnalyzerTool):
         report.loc_skipped = sum(model.skipped_loc.values())
         # reviewer resources (paper Section III.D): final variable dump
         report.variables = dict(engine.globals.records)
+        # per-run observability: counter deltas plus derived rates
+        report.perf = counters.since(perf_before)
+        report.perf.update(derive(report.perf))
         return report
 
     def analyze_source(self, source: str, filename: str = "input.php") -> ToolReport:

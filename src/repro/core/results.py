@@ -42,6 +42,45 @@ class Finding:
     #: it so findings from different plugins that share a file name
     #: (``index.php`` everywhere) stay distinct in corpus-wide totals.
     plugin: str = ""
+    #: eagerly computed hash — findings are hashed repeatedly during
+    #: matching/overlap set operations, and every field is immutable
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    self.kind,
+                    self.file,
+                    self.line,
+                    self.sink,
+                    self.variable,
+                    self.vectors,
+                    self.trace,
+                    self.via_oop,
+                    self.markup_context,
+                    self.plugin,
+                )
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # string hashes are salted per process (PYTHONHASHSEED), so the
+    # cached hash must be recomputed when a finding crosses a process
+    # boundary (batch workers ship findings back pickled)
+    def __getstate__(self):
+        return {
+            name: value for name, value in self.__dict__.items() if name != "_hash"
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()
 
     @property
     def key(self) -> Tuple[str, str, int]:
@@ -102,6 +141,9 @@ class ToolReport:
     files_skipped: int = 0
     loc_skipped: int = 0
     seconds: float = 0.0
+    #: per-run performance counters (tokens/s, summary-cache hits, ...)
+    #: — the delta of :data:`repro.perf.counters` over this analysis
+    perf: Dict[str, float] = field(default_factory=dict)
     #: phpSAFE's reviewer resources: the final parser_variables dump.
     variables: Dict[str, VariableRecord] = field(default_factory=dict)
     #: index of the dedup keys already in :attr:`findings`, so inserts

@@ -17,14 +17,26 @@ attacker-controlled data could have come from.  Labels are either
 Filtering (sanitization) moves labels from the *active* set to a
 *suppressed* set instead of deleting them, so revert functions
 (``stripslashes`` & co., paper Section III.A) can restore them.
+
+Taint states are **hash-consed immutable values**: construction
+normalizes the label sets to frozensets and interns the result in a
+weak pool, so equal states are the *same object*.  Propagation then
+never copies label sets — assignment shares the state, ``copy()``
+returns ``self``, joins short-circuit on identity, and the engine's
+fixed-point checks are pointer comparisons.  The per-kind mappings are
+exposed read-only (``MappingProxyType`` over frozensets), which keeps
+the historical ``state.active.get(kind)`` read API intact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
+from types import MappingProxyType
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple, Union
+from weakref import WeakValueDictionary
 
 from ..config.vulnerability import ALL_KINDS, InputVector, VulnKind
+from ..perf import counters
 
 
 @dataclass(frozen=True)
@@ -70,38 +82,81 @@ class PropRef:
 Label = Union[ConcreteSource, ParamRef, PropRef]
 
 
+def _freeze(mapping: Optional[Mapping[VulnKind, Iterable[Label]]]) -> Tuple:
+    """Canonical form of a per-kind label mapping: sorted, frozen, non-empty."""
+    if not mapping:
+        return ()
+    items = [
+        (kind, labels if type(labels) is frozenset else frozenset(labels))
+        for kind, labels in mapping.items()
+        if labels
+    ]
+    items.sort(key=_kind_value)
+    return tuple(items)
+
+
+def _kind_value(item: Tuple) -> str:
+    return item[0].value
+
+
+def _rebuild(active_items: Tuple, suppressed_items: Tuple) -> "TaintState":
+    """Unpickle hook: re-intern the state in this process's pool."""
+    return TaintState._intern(active_items, suppressed_items)
+
+
 class TaintState:
     """Per-kind active and suppressed label sets with join semantics."""
 
-    __slots__ = ("active", "suppressed")
+    __slots__ = ("active", "suppressed", "_key", "__weakref__")
 
-    def __init__(
-        self,
-        active: Optional[Dict[VulnKind, Set[Label]]] = None,
-        suppressed: Optional[Dict[VulnKind, Set[Label]]] = None,
-    ) -> None:
-        self.active: Dict[VulnKind, Set[Label]] = active or {}
-        self.suppressed: Dict[VulnKind, Set[Label]] = suppressed or {}
+    #: hash-cons pool; weak so dead states do not accumulate across files
+    _pool: "WeakValueDictionary[Tuple, TaintState]" = WeakValueDictionary()
+
+    def __new__(
+        cls,
+        active: Optional[Mapping[VulnKind, Iterable[Label]]] = None,
+        suppressed: Optional[Mapping[VulnKind, Iterable[Label]]] = None,
+    ) -> "TaintState":
+        return cls._intern(_freeze(active), _freeze(suppressed))
+
+    @classmethod
+    def _intern(cls, active_items: Tuple, suppressed_items: Tuple) -> "TaintState":
+        key = (active_items, suppressed_items)
+        state = cls._pool.get(key)
+        if state is not None:
+            counters.taint_intern_hits += 1
+            return state
+        state = object.__new__(cls)
+        state.active = MappingProxyType(dict(active_items))
+        state.suppressed = MappingProxyType(dict(suppressed_items))
+        state._key = key
+        cls._pool[key] = state
+        counters.taint_states_interned += 1
+        return state
+
+    def __reduce__(self) -> Tuple:
+        return (_rebuild, self._key)
+
+    # equality/hash are identity: the pool guarantees equal values are
+    # the same object, so the object defaults are both correct and O(1)
 
     # -- constructors -----------------------------------------------------
 
     @classmethod
     def clean(cls) -> "TaintState":
-        return cls()
+        return _CLEAN
 
     @classmethod
     def from_label(
         cls, label: Label, kinds: Iterable[VulnKind] = ALL_KINDS
     ) -> "TaintState":
-        return cls(active={kind: {label} for kind in kinds})
+        frozen = frozenset((label,))
+        return cls._intern(
+            tuple(sorted(((kind, frozen) for kind in kinds), key=_kind_value)), ()
+        )
 
     def copy(self) -> "TaintState":
-        return TaintState(
-            active={kind: set(labels) for kind, labels in self.active.items() if labels},
-            suppressed={
-                kind: set(labels) for kind, labels in self.suppressed.items() if labels
-            },
-        )
+        return self  # immutable: sharing is free
 
     # -- queries -------------------------------------------------------------
 
@@ -131,41 +186,55 @@ class TaintState:
 
     def signature(self) -> Tuple:
         """Hashable identity used to memoize summary substitutions."""
-        return (
-            tuple(
-                (kind.value, frozenset(labels))
-                for kind, labels in sorted(self.active.items(), key=lambda kv: kv[0].value)
-                if labels
-            ),
-        )
+        return (tuple((kind.value, labels) for kind, labels in self._key[0]),)
 
-    # -- mutations (all return new states; states are treated as values) ----
+    # -- lattice operations (all return interned states) --------------------
 
     def joined(self, other: "TaintState") -> "TaintState":
-        result = self.copy()
+        if other is self or other is _CLEAN:
+            return self
+        if self is _CLEAN:
+            return other
+        counters.taint_joins += 1
+        active: Dict[VulnKind, FrozenSet[Label]] = dict(self.active)
         for kind, labels in other.active.items():
-            result.active.setdefault(kind, set()).update(labels)
+            mine = active.get(kind)
+            active[kind] = labels if mine is None else mine | labels
+        suppressed: Dict[VulnKind, FrozenSet[Label]] = dict(self.suppressed)
         for kind, labels in other.suppressed.items():
-            result.suppressed.setdefault(kind, set()).update(labels)
-        return result
+            mine = suppressed.get(kind)
+            suppressed[kind] = labels if mine is None else mine | labels
+        return TaintState(active=active, suppressed=suppressed)
 
     def filtered(self, kinds: Iterable[VulnKind]) -> "TaintState":
         """Sanitize for ``kinds``: active labels become suppressed."""
-        result = self.copy()
+        active = dict(self.active)
+        suppressed = dict(self.suppressed)
+        changed = False
         for kind in kinds:
-            moved = result.active.pop(kind, set())
+            moved = active.pop(kind, None)
             if moved:
-                result.suppressed.setdefault(kind, set()).update(moved)
-        return result
+                changed = True
+                mine = suppressed.get(kind)
+                suppressed[kind] = moved if mine is None else mine | moved
+        if not changed:
+            return self
+        return TaintState(active=active, suppressed=suppressed)
 
     def reverted(self, kinds: Iterable[VulnKind]) -> "TaintState":
         """Undo sanitization for ``kinds``: suppressed labels reactivate."""
-        result = self.copy()
+        active = dict(self.active)
+        suppressed = dict(self.suppressed)
+        changed = False
         for kind in kinds:
-            restored = result.suppressed.pop(kind, set())
+            restored = suppressed.pop(kind, None)
             if restored:
-                result.active.setdefault(kind, set()).update(restored)
-        return result
+                changed = True
+                mine = active.get(kind)
+                active[kind] = restored if mine is None else mine | restored
+        if not changed:
+            return self
+        return TaintState(active=active, suppressed=suppressed)
 
     def substituted(self, mapping: Dict[Label, "TaintState"]) -> "TaintState":
         """Replace placeholder labels using ``mapping``.
@@ -173,39 +242,50 @@ class TaintState:
         Placeholders absent from the mapping are dropped (an unresolved
         parameter contributes no taint); concrete labels pass through.
         """
-        result = TaintState()
+        active: Dict[VulnKind, Set[Label]] = {}
         for kind, labels in self.active.items():
             for label in labels:
                 if isinstance(label, ConcreteSource):
-                    result.active.setdefault(kind, set()).add(label)
+                    active.setdefault(kind, set()).add(label)
                 elif label in mapping:
-                    replacement = mapping[label].active.get(kind, set())
+                    replacement = mapping[label].active.get(kind)
                     if replacement:
-                        result.active.setdefault(kind, set()).update(replacement)
+                        active.setdefault(kind, set()).update(replacement)
+        suppressed: Dict[VulnKind, Set[Label]] = {}
         for kind, labels in self.suppressed.items():
             for label in labels:
                 if isinstance(label, ConcreteSource):
-                    result.suppressed.setdefault(kind, set()).add(label)
+                    suppressed.setdefault(kind, set()).add(label)
                 elif label in mapping:
-                    replacement = mapping[label].active.get(kind, set())
+                    replacement = mapping[label].active.get(kind)
                     if replacement:
-                        result.suppressed.setdefault(kind, set()).update(replacement)
-        return result
+                        suppressed.setdefault(kind, set()).update(replacement)
+        return TaintState(active=active, suppressed=suppressed)
 
     def drop_param_refs(self) -> "TaintState":
         """Remove :class:`ParamRef` labels, keeping concrete sources and
         property placeholders (used when an uncalled method's property
         writes are committed without a caller to bind its parameters)."""
-        result = TaintState()
+        if not self.has_param_refs():
+            return self
+        active: Dict[VulnKind, Set[Label]] = {}
         for kind, labels in self.active.items():
             kept = {label for label in labels if not isinstance(label, ParamRef)}
             if kept:
-                result.active[kind] = kept
+                active[kind] = kept
+        suppressed: Dict[VulnKind, Set[Label]] = {}
         for kind, labels in self.suppressed.items():
             kept = {label for label in labels if not isinstance(label, ParamRef)}
             if kept:
-                result.suppressed[kind] = kept
-        return result
+                suppressed[kind] = kept
+        return TaintState(active=active, suppressed=suppressed)
+
+    def has_param_refs(self) -> bool:
+        return any(
+            isinstance(label, ParamRef)
+            for labels in (*self.active.values(), *self.suppressed.values())
+            for label in labels
+        )
 
     def has_placeholders(self) -> bool:
         return any(
@@ -221,6 +301,10 @@ class TaintState:
                 names = ", ".join(sorted(label.describe() for label in labels))
                 parts.append(f"{kind}: {names}")
         return "TaintState(" + ("; ".join(parts) or "clean") + ")"
+
+
+#: the interned all-clean state; held strongly so the pool never drops it
+_CLEAN = TaintState()
 
 
 @dataclass

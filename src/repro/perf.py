@@ -1,0 +1,95 @@
+"""Lightweight performance counters for the analysis hot paths.
+
+The paper treats analysis time as a first-class result (Table 5); this
+module gives the reproduction the observability to track it.  A single
+process-wide :data:`counters` object is incremented from the lexer,
+parser, taint engine and summary cache — always on, integer adds only,
+aggregated per call site (never per token) so the instrumentation cost
+is unmeasurable.
+
+Callers that want a per-run view (``PhpSafe.analyze``, batch workers)
+take a :meth:`PerfCounters.snapshot` before the work and
+:meth:`PerfCounters.since` after; the delta dict is what lands in
+``ToolReport.perf`` and the batch telemetry (schema v3).  Derived rates
+(tokens/s, nodes/s) are computed by :func:`derive` at reporting time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: counter fields, in reporting order; ``*_seconds`` fields are floats
+FIELDS = (
+    # substrate
+    "tokens_lexed",
+    "lex_seconds",
+    "files_parsed",
+    "parse_seconds",
+    # engine
+    "engine_steps",
+    "analysis_seconds",
+    "taint_joins",
+    "taint_states_interned",
+    "taint_intern_hits",
+    # summaries (in-memory memo + persistent cache)
+    "summaries_computed",
+    "summary_memo_hits",
+    "summary_cache_hits",
+    "summary_cache_misses",
+    "summary_cache_stale",
+)
+
+
+class PerfCounters:
+    """Monotonic process-wide counters (see module docstring)."""
+
+    __slots__ = FIELDS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in FIELDS:
+            setattr(self, name, 0.0 if name.endswith("_seconds") else 0)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in FIELDS}
+
+    def since(self, snapshot: Dict[str, float]) -> Dict[str, float]:
+        """Delta of every counter relative to ``snapshot``."""
+        delta: Dict[str, float] = {}
+        for name in FIELDS:
+            value = getattr(self, name) - snapshot.get(name, 0)
+            delta[name] = round(value, 6) if isinstance(value, float) else value
+        return delta
+
+
+#: the process-wide instance every hot path increments
+counters = PerfCounters()
+
+
+def derive(delta: Dict[str, float]) -> Dict[str, float]:
+    """Compute the human-facing rates from a counter delta."""
+    rates: Dict[str, float] = {}
+    if delta.get("lex_seconds"):
+        rates["tokens_per_second"] = round(
+            delta.get("tokens_lexed", 0) / delta["lex_seconds"], 1
+        )
+    if delta.get("analysis_seconds"):
+        rates["nodes_per_second"] = round(
+            delta.get("engine_steps", 0) / delta["analysis_seconds"], 1
+        )
+    interned = delta.get("taint_states_interned", 0)
+    hits = delta.get("taint_intern_hits", 0)
+    if interned or hits:
+        rates["taint_intern_hit_rate"] = round(hits / (interned + hits), 4)
+    return rates
+
+
+def merge(into: Optional[Dict[str, float]], delta: Dict[str, float]) -> Dict[str, float]:
+    """Accumulate one counter delta into another (for batch aggregation)."""
+    if into is None:
+        into = {}
+    for name, value in delta.items():
+        into[name] = round(into.get(name, 0) + value, 6)
+    return into

@@ -10,15 +10,63 @@ a distinct node type here.
 Nodes are plain mutable dataclasses with a ``line`` attribute (PHP token
 line numbers flow through the parser into findings, which is how the
 tool reports "the entry point of the vulnerability in the source code").
+Every node class is slotted (ASTs are the analyzer's second-highest
+allocation volume after tokens), so traversal helpers enumerate fields
+via the per-class ``__node_fields__`` tuple instead of ``vars()``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
 
-@dataclass
+def _add_slots(cls):
+    """Rebuild a dataclass with ``__slots__`` (``slots=True`` needs 3.10).
+
+    Mirrors CPython's own ``dataclasses._add_slots``: copy the class
+    namespace, declare the class's *own* fields as slots, drop the field
+    defaults (they live in ``__init__`` closures) plus ``__dict__`` /
+    ``__weakref__`` descriptors, and re-create the type.
+    """
+    field_names = tuple(f.name for f in dataclasses.fields(cls))
+    inherited = set()
+    for base in cls.__mro__[1:]:
+        inherited.update(getattr(base, "__slots__", ()))
+    namespace = dict(cls.__dict__)
+    namespace["__slots__"] = tuple(n for n in field_names if n not in inherited)
+    for name in field_names:
+        namespace.pop(name, None)
+    namespace.pop("__dict__", None)
+    namespace.pop("__weakref__", None)
+    qualname = getattr(cls, "__qualname__", None)
+    rebuilt = type(cls)(cls.__name__, cls.__bases__, namespace)
+    if qualname is not None:
+        rebuilt.__qualname__ = qualname
+    return rebuilt
+
+
+#: annotations that can never hold (or contain) an AST node; fields so
+#: typed are skipped by :func:`walk` and the visitor framework
+_SCALAR_ANNOTATIONS = {
+    "int", "str", "bool", "float", "object",
+    "Optional[str]", "Optional[int]", "List[str]",
+}
+
+
+def node(cls):
+    """Class decorator for AST nodes: slotted dataclass + field tables."""
+    cls = _add_slots(dataclass(cls))
+    all_fields = dataclasses.fields(cls)
+    cls.__node_fields__ = tuple(f.name for f in all_fields)
+    cls.__walk_fields__ = tuple(
+        f.name for f in all_fields if str(f.type) not in _SCALAR_ANNOTATIONS
+    )
+    return cls
+
+
+@node
 class Node:
     """Base class: every node knows its source line."""
 
@@ -30,26 +78,26 @@ class Node:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@node
 class Expr(Node):
     """Base class for expressions."""
 
 
-@dataclass
+@node
 class Variable(Expr):
     """``$name`` — name stored without the ``$``."""
 
     name: str = ""
 
 
-@dataclass
+@node
 class VariableVariable(Expr):
     """``$$expr`` — variable-variable indirection."""
 
     expr: Optional[Expr] = None
 
 
-@dataclass
+@node
 class Literal(Expr):
     """Scalar literal; ``value`` is the decoded Python value."""
 
@@ -57,7 +105,7 @@ class Literal(Expr):
     raw: str = ""
 
 
-@dataclass
+@node
 class InterpolatedString(Expr):
     """Double-quoted/heredoc string with embedded expressions.
 
@@ -70,14 +118,14 @@ class InterpolatedString(Expr):
     parts: List[Expr] = field(default_factory=list)
 
 
-@dataclass
+@node
 class ShellExec(Expr):
     """Backtick operator — ``` `cmd $arg` ```."""
 
     parts: List[Expr] = field(default_factory=list)
 
 
-@dataclass
+@node
 class ArrayItem(Node):
     """One ``key => value`` element of an array literal."""
 
@@ -86,14 +134,14 @@ class ArrayItem(Node):
     by_ref: bool = False
 
 
-@dataclass
+@node
 class ArrayLiteral(Expr):
     """``array(...)`` or ``[...]``."""
 
     items: List[ArrayItem] = field(default_factory=list)
 
 
-@dataclass
+@node
 class ArrayAccess(Expr):
     """``$arr[$index]`` (index may be ``None`` for ``$arr[] = ...``)."""
 
@@ -101,7 +149,7 @@ class ArrayAccess(Expr):
     index: Optional[Expr] = None
 
 
-@dataclass
+@node
 class PropertyAccess(Expr):
     """``$obj->prop`` — the T_OBJECT_OPERATOR path of Section III.E."""
 
@@ -109,7 +157,7 @@ class PropertyAccess(Expr):
     name: Union[str, Expr, None] = None
 
 
-@dataclass
+@node
 class StaticPropertyAccess(Expr):
     """``ClassName::$prop`` — the T_DOUBLE_COLON path."""
 
@@ -117,7 +165,7 @@ class StaticPropertyAccess(Expr):
     name: str = ""
 
 
-@dataclass
+@node
 class ClassConstAccess(Expr):
     """``ClassName::CONST``."""
 
@@ -125,14 +173,14 @@ class ClassConstAccess(Expr):
     name: str = ""
 
 
-@dataclass
+@node
 class ConstFetch(Expr):
     """Bare identifier used as a constant (``true``, ``PHP_EOL``, ...)."""
 
     name: str = ""
 
 
-@dataclass
+@node
 class FunctionCall(Expr):
     """``name(args...)``; ``name`` is a string or an expression for
     dynamic calls (``$fn(...)``)."""
@@ -141,7 +189,7 @@ class FunctionCall(Expr):
     args: List[Expr] = field(default_factory=list)
 
 
-@dataclass
+@node
 class MethodCall(Expr):
     """``$obj->method(args...)``."""
 
@@ -150,7 +198,7 @@ class MethodCall(Expr):
     args: List[Expr] = field(default_factory=list)
 
 
-@dataclass
+@node
 class StaticCall(Expr):
     """``ClassName::method(args...)`` (also ``parent::``/``self::``)."""
 
@@ -159,7 +207,7 @@ class StaticCall(Expr):
     args: List[Expr] = field(default_factory=list)
 
 
-@dataclass
+@node
 class New(Expr):
     """``new ClassName(args...)`` — parsed as a constructor call."""
 
@@ -167,14 +215,14 @@ class New(Expr):
     args: List[Expr] = field(default_factory=list)
 
 
-@dataclass
+@node
 class Clone(Expr):
     """``clone $obj``."""
 
     expr: Optional[Expr] = None
 
 
-@dataclass
+@node
 class Assignment(Expr):
     """``target op value`` where op is ``=``, ``.=``, ``+=`` ... or ``=&``.
 
@@ -189,7 +237,7 @@ class Assignment(Expr):
     by_ref: bool = False
 
 
-@dataclass
+@node
 class Binary(Expr):
     """Binary operation, including ``.`` concatenation."""
 
@@ -198,7 +246,7 @@ class Binary(Expr):
     right: Optional[Expr] = None
 
 
-@dataclass
+@node
 class Unary(Expr):
     """Prefix unary operation (``!``, ``-``, ``+``, ``~``, ``@``)."""
 
@@ -206,7 +254,7 @@ class Unary(Expr):
     operand: Optional[Expr] = None
 
 
-@dataclass
+@node
 class Ternary(Expr):
     """``cond ? a : b`` (``a`` may be None for the short form ``?:``)."""
 
@@ -215,7 +263,7 @@ class Ternary(Expr):
     if_false: Optional[Expr] = None
 
 
-@dataclass
+@node
 class Cast(Expr):
     """``(int)$x`` etc.; ``to`` is the lower-cased target type name."""
 
@@ -223,7 +271,7 @@ class Cast(Expr):
     operand: Optional[Expr] = None
 
 
-@dataclass
+@node
 class IncDec(Expr):
     """``++$x``, ``$x--`` ..."""
 
@@ -232,28 +280,28 @@ class IncDec(Expr):
     prefix: bool = True
 
 
-@dataclass
+@node
 class IssetExpr(Expr):
     """``isset($a, $b)``."""
 
     vars: List[Expr] = field(default_factory=list)
 
 
-@dataclass
+@node
 class EmptyExpr(Expr):
     """``empty($x)``."""
 
     expr: Optional[Expr] = None
 
 
-@dataclass
+@node
 class ListExpr(Expr):
     """``list($a, , $b)`` assignment target."""
 
     targets: List[Optional[Expr]] = field(default_factory=list)
 
 
-@dataclass
+@node
 class Param(Node):
     """A function/method parameter."""
 
@@ -263,7 +311,7 @@ class Param(Node):
     type_hint: Optional[str] = None
 
 
-@dataclass
+@node
 class ClosureUse(Node):
     """One entry of a closure ``use (...)`` clause."""
 
@@ -271,7 +319,7 @@ class ClosureUse(Node):
     by_ref: bool = False
 
 
-@dataclass
+@node
 class Closure(Expr):
     """Anonymous function."""
 
@@ -282,7 +330,7 @@ class Closure(Expr):
     by_ref: bool = False
 
 
-@dataclass
+@node
 class IncludeExpr(Expr):
     """``include/include_once/require/require_once path-expr``."""
 
@@ -290,21 +338,21 @@ class IncludeExpr(Expr):
     path: Optional[Expr] = None
 
 
-@dataclass
+@node
 class ExitExpr(Expr):
     """``exit``/``die`` with optional status expression."""
 
     expr: Optional[Expr] = None
 
 
-@dataclass
+@node
 class PrintExpr(Expr):
     """``print expr`` — an expression in PHP, an XSS sink for us."""
 
     expr: Optional[Expr] = None
 
 
-@dataclass
+@node
 class InstanceofExpr(Expr):
     """``$x instanceof ClassName``."""
 
@@ -317,12 +365,12 @@ class InstanceofExpr(Expr):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@node
 class Statement(Node):
     """Base class for statements."""
 
 
-@dataclass
+@node
 class ErrorStmt(Statement):
     """A region the parser skipped during panic-mode recovery.
 
@@ -340,41 +388,41 @@ class ErrorStmt(Statement):
     tokens_skipped: int = 0
 
 
-@dataclass
+@node
 class ExpressionStatement(Statement):
     """An expression evaluated for its side effects."""
 
     expr: Optional[Expr] = None
 
 
-@dataclass
+@node
 class EchoStatement(Statement):
     """``echo expr, expr;`` and ``<?= expr ?>`` — the canonical XSS sink."""
 
     exprs: List[Expr] = field(default_factory=list)
 
 
-@dataclass
+@node
 class InlineHTML(Statement):
     """Literal HTML outside ``<?php ?>``."""
 
     text: str = ""
 
 
-@dataclass
+@node
 class Block(Statement):
     """``{ ... }``."""
 
     statements: List[Statement] = field(default_factory=list)
 
 
-@dataclass
+@node
 class ElseIfClause(Node):
     cond: Optional[Expr] = None
     body: List[Statement] = field(default_factory=list)
 
 
-@dataclass
+@node
 class IfStatement(Statement):
     """``if/elseif/else`` — branches are *joined*, not chosen (the paper's
     context-sensitive analysis considers all conditional paths)."""
@@ -385,19 +433,19 @@ class IfStatement(Statement):
     otherwise: Optional[List[Statement]] = None
 
 
-@dataclass
+@node
 class WhileStatement(Statement):
     cond: Optional[Expr] = None
     body: List[Statement] = field(default_factory=list)
 
 
-@dataclass
+@node
 class DoWhileStatement(Statement):
     body: List[Statement] = field(default_factory=list)
     cond: Optional[Expr] = None
 
 
-@dataclass
+@node
 class ForStatement(Statement):
     init: List[Expr] = field(default_factory=list)
     cond: List[Expr] = field(default_factory=list)
@@ -405,7 +453,7 @@ class ForStatement(Statement):
     body: List[Statement] = field(default_factory=list)
 
 
-@dataclass
+@node
 class ForeachStatement(Statement):
     """``foreach ($arr as $k => $v)``: $k/$v inherit $arr's taint."""
 
@@ -416,7 +464,7 @@ class ForeachStatement(Statement):
     body: List[Statement] = field(default_factory=list)
 
 
-@dataclass
+@node
 class SwitchCase(Node):
     """One ``case expr:`` (``test is None`` for ``default:``)."""
 
@@ -424,23 +472,23 @@ class SwitchCase(Node):
     body: List[Statement] = field(default_factory=list)
 
 
-@dataclass
+@node
 class SwitchStatement(Statement):
     subject: Optional[Expr] = None
     cases: List[SwitchCase] = field(default_factory=list)
 
 
-@dataclass
+@node
 class BreakStatement(Statement):
     level: int = 1
 
 
-@dataclass
+@node
 class ContinueStatement(Statement):
     level: int = 1
 
 
-@dataclass
+@node
 class ReturnStatement(Statement):
     """``return expr`` — the engine binds a function-named pseudo-variable
     to the returned expression (the paper's T_RETURN handling)."""
@@ -448,47 +496,47 @@ class ReturnStatement(Statement):
     expr: Optional[Expr] = None
 
 
-@dataclass
+@node
 class GlobalStatement(Statement):
     """``global $a, $b`` — links locals to the global scope."""
 
     names: List[str] = field(default_factory=list)
 
 
-@dataclass
+@node
 class StaticVarStatement(Statement):
     """``static $x = 0;`` inside a function."""
 
     vars: List[Tuple[str, Optional[Expr]]] = field(default_factory=list)
 
 
-@dataclass
+@node
 class UnsetStatement(Statement):
     """``unset($x)`` — T_UNSET: the variable becomes untainted."""
 
     vars: List[Expr] = field(default_factory=list)
 
 
-@dataclass
+@node
 class ThrowStatement(Statement):
     expr: Optional[Expr] = None
 
 
-@dataclass
+@node
 class CatchClause(Node):
     class_name: str = ""
     var_name: str = ""
     body: List[Statement] = field(default_factory=list)
 
 
-@dataclass
+@node
 class TryStatement(Statement):
     body: List[Statement] = field(default_factory=list)
     catches: List[CatchClause] = field(default_factory=list)
     finally_body: Optional[List[Statement]] = None
 
 
-@dataclass
+@node
 class FunctionDecl(Statement):
     """A user-defined function (paper: parsed once, summarized)."""
 
@@ -499,7 +547,7 @@ class FunctionDecl(Statement):
     doc_comment: Optional[str] = None
 
 
-@dataclass
+@node
 class PropertyDecl(Node):
     """One declared property of a class."""
 
@@ -509,13 +557,13 @@ class PropertyDecl(Node):
     static: bool = False
 
 
-@dataclass
+@node
 class ClassConstDecl(Node):
     name: str = ""
     value: Optional[Expr] = None
 
 
-@dataclass
+@node
 class MethodDecl(Node):
     """A class method: a function plus OOP modifiers."""
 
@@ -529,7 +577,7 @@ class MethodDecl(Node):
     by_ref: bool = False
 
 
-@dataclass
+@node
 class ClassDecl(Statement):
     """``class``, ``interface`` or ``trait`` declaration."""
 
@@ -545,13 +593,13 @@ class ClassDecl(Statement):
     uses: List[str] = field(default_factory=list)  # trait use
 
 
-@dataclass
+@node
 class NamespaceStatement(Statement):
     name: str = ""
     body: Optional[List[Statement]] = None
 
 
-@dataclass
+@node
 class UseStatement(Statement):
     """Top-level ``use Foo\\Bar as Baz;`` import."""
 
@@ -559,30 +607,30 @@ class UseStatement(Statement):
     alias: Optional[str] = None
 
 
-@dataclass
+@node
 class DeclareStatement(Statement):
     directives: List[Tuple[str, Expr]] = field(default_factory=list)
     body: Optional[List[Statement]] = None
 
 
-@dataclass
+@node
 class GotoStatement(Statement):
     label: str = ""
 
 
-@dataclass
+@node
 class LabelStatement(Statement):
     name: str = ""
 
 
-@dataclass
+@node
 class ConstStatement(Statement):
     """Top-level ``const NAME = value;``."""
 
     consts: List[Tuple[str, Expr]] = field(default_factory=list)
 
 
-@dataclass
+@node
 class PhpFile(Node):
     """A parsed PHP file: the root of the AST."""
 
@@ -591,24 +639,33 @@ class PhpFile(Node):
 
 
 def walk(node: object):
-    """Yield ``node`` and every AST node reachable from it, depth-first.
+    """Yield ``node`` and every AST node reachable from it, depth-first
+    preorder (document order — consumers use first-definition-wins).
 
     Generic traversal used by the model-construction stage to collect
     user-defined functions, called functions and includes without each
-    consumer writing its own recursion.
+    consumer writing its own recursion.  Children are enumerated through
+    the per-class ``__walk_fields__`` table (nodes are slotted, so there
+    is no ``vars()``), which also skips statically scalar fields.  The
+    traversal is an explicit stack, not recursive generators: ``yield
+    from`` chains cost one frame resume per ancestor per node, which
+    dominated model construction on large files.
     """
-    if isinstance(node, Node):
-        yield node
-        for value in vars(node).values():
-            yield from _walk_value(value)
-    elif isinstance(node, (list, tuple)):
-        for item in node:
-            yield from _walk_value(item)
-
-
-def _walk_value(value: object):
-    if isinstance(value, Node):
-        yield from walk(value)
-    elif isinstance(value, (list, tuple)):
-        for item in value:
-            yield from _walk_value(item)
+    stack = [node]
+    pop = stack.pop
+    while stack:
+        current = pop()
+        if isinstance(current, Node):
+            yield current
+            children = None
+            for name in current.__walk_fields__:
+                value = getattr(current, name)
+                if isinstance(value, Node) or value.__class__ in (list, tuple):
+                    if children is None:
+                        children = [value]
+                    else:
+                        children.append(value)
+            if children:
+                stack.extend(reversed(children))
+        elif isinstance(current, (list, tuple)):
+            stack.extend(reversed(current))

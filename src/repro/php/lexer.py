@@ -7,6 +7,15 @@ single- and double-quoted strings with ``$var`` / ``{$expr}``
 interpolation, heredoc/nowdoc, line and block comments, casts, and the
 full PHP 5 operator set.
 
+The scanner is single-pass over the source string: every match is
+anchored at ``self.pos`` (``pattern.match(source, pos)`` /
+``source.startswith(lit, pos)``) so no intermediate slices are built,
+and PHP-mode scanning dispatches through a table keyed on the current
+character instead of a conditional ladder.  Identifier and variable
+spellings are interned — plugin code repeats the same names thousands
+of times, and interning makes the later ``==`` checks in the parser
+and engine pointer comparisons.
+
 The public entry points are :func:`tokenize` (returns every token,
 including whitespace and comments — mirroring ``token_get_all``) and
 :func:`tokenize_significant` (comments and whitespace stripped, which is
@@ -16,14 +25,20 @@ what the analyzer consumes after the paper's "clean the AST" step).
 from __future__ import annotations
 
 import re
+import time
+from sys import intern
 from typing import Iterator, List, Optional
 
 from ..incidents import Incident, IncidentSeverity, IncidentStage
+from ..perf import counters
 from .errors import PhpLexError
 from .tokens import CASTS, KEYWORDS, OPERATORS, TRIVIA, Token, TokenType
 
 _IDENT_START = re.compile(r"[A-Za-z_\x80-\xff]")
-_IDENT = re.compile(r"[A-Za-z0-9_\x80-\xff]*")
+_IDENT_FULL = re.compile(r"[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*")
+_VARIABLE = re.compile(r"\$[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*")
+_WHITESPACE = re.compile(r"[ \t\r\n]+")
+_LINE_COMMENT = re.compile(r"(?:#|//).*?(?=\?>|\n|$)", re.DOTALL)
 _HEX = re.compile(r"0[xX][0-9a-fA-F]+")
 _BIN = re.compile(r"0[bB][01]+")
 _FLOAT = re.compile(r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+")
@@ -31,6 +46,21 @@ _INT = re.compile(r"\d+")
 _CAST = re.compile(r"\(\s*([A-Za-z]+)\s*\)")
 _OPEN_TAG = re.compile(r"<\?(php\b|=)?", re.IGNORECASE)
 _HEREDOC_START = re.compile(r"<<<[ \t]*(['\"]?)([A-Za-z_][A-Za-z0-9_]*)\1\r?\n")
+_INTERP_INDEX = re.compile(r"\$[A-Za-z_][A-Za-z0-9_]*|\d+|[A-Za-z_][A-Za-z0-9_]*")
+_INTERP_PROP = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: identifier characters, used to build the dispatch table below
+_IDENT_CHARS = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+    + "".join(chr(c) for c in range(0x80, 0x100))
+)
+
+#: multi-character operators grouped by first character, longest first
+#: (inherits the ordering of :data:`OPERATORS`)
+_OPERATORS_BY_FIRST = {}
+for _spelling, _type in OPERATORS:
+    _OPERATORS_BY_FIRST.setdefault(_spelling[0], []).append((_spelling, _type))
+del _spelling, _type
 
 
 class Lexer:
@@ -78,9 +108,6 @@ class Lexer:
         self.pos += len(text)
         self.line += text.count("\n")
 
-    def _rest(self) -> str:
-        return self.source[self.pos :]
-
     def _peek(self, offset: int = 0) -> str:
         index = self.pos + offset
         return self.source[index] if index < len(self.source) else ""
@@ -89,14 +116,17 @@ class Lexer:
 
     def tokenize(self) -> List[Token]:
         """Scan the whole source and return the token list."""
-        while self.pos < len(self.source):
-            match = _OPEN_TAG.search(self.source, self.pos)
+        start = time.perf_counter()
+        source = self.source
+        while self.pos < len(source):
+            match = _OPEN_TAG.search(source, self.pos)
             if match is None:
-                self._emit(TokenType.INLINE_HTML, self._rest())
-                self._advance(self._rest())
+                html = source[self.pos :]
+                self._emit(TokenType.INLINE_HTML, html)
+                self._advance(html)
                 break
             if match.start() > self.pos:
-                html = self.source[self.pos : match.start()]
+                html = source[self.pos : match.start()]
                 self._emit(TokenType.INLINE_HTML, html)
                 self._advance(html)
             tag = match.group(0)
@@ -106,99 +136,113 @@ class Lexer:
                 self._emit(TokenType.OPEN_TAG, tag)
             self._advance(tag)
             self._lex_php()
+        counters.lex_seconds += time.perf_counter() - start
+        counters.tokens_lexed += len(self.tokens)
         return self.tokens
 
     # -- PHP mode ----------------------------------------------------------
 
     def _lex_php(self) -> None:
-        """Scan PHP code until ``?>`` or end of input."""
-        while self.pos < len(self.source):
-            char = self._peek()
+        """Scan PHP code until ``?>`` or end of input.
 
-            if self._rest().startswith("?>"):
-                end = "?>\n" if self._peek(2) == "\n" else "?>"
+        The loop is a single dict dispatch on the current character;
+        every handler consumes at least one character.
+        """
+        source = self.source
+        size = len(source)
+        dispatch = _DISPATCH
+        while self.pos < size:
+            char = source[self.pos]
+            if char == "?" and source.startswith("?>", self.pos):
+                pos = self.pos
+                end = "?>\n" if pos + 2 < size and source[pos + 2] == "\n" else "?>"
                 self._emit(TokenType.CLOSE_TAG, end)
                 self._advance(end)
                 return
+            handler = dispatch.get(char)
+            if handler is not None:
+                handler(self)
+            else:
+                self._lex_operator_or_char(char)
 
-            if char in " \t\r\n":
-                match = re.match(r"[ \t\r\n]+", self._rest())
-                assert match is not None
-                self._emit(TokenType.WHITESPACE, match.group(0))
-                self._advance(match.group(0))
-                continue
-
-            if self._rest().startswith("/*"):
-                self._lex_block_comment()
-                continue
-
-            if self._rest().startswith("//") or char == "#":
-                self._lex_line_comment()
-                continue
-
-            if char == "$" and _IDENT_START.match(self._peek(1) or ""):
-                self._lex_variable()
-                continue
-
-            if char == "'":
-                self._lex_single_quoted()
-                continue
-
-            if char == '"':
-                self._lex_double_quoted()
-                continue
-
-            if char == "`":
-                self._lex_backtick()
-                continue
-
-            if self._rest().startswith("<<<"):
-                if self._lex_heredoc():
-                    continue
-
-            if char.isdigit() or (char == "." and self._peek(1).isdigit()):
-                self._lex_number()
-                continue
-
-            if _IDENT_START.match(char):
-                self._lex_identifier()
-                continue
-
-            if char == "(":
-                cast = _CAST.match(self._rest())
-                if cast is not None and cast.group(1).lower() in CASTS:
-                    self._emit(CASTS[cast.group(1).lower()], cast.group(0))
-                    self._advance(cast.group(0))
-                    continue
-
-            if char == "\\":
-                self._emit(TokenType.NS_SEPARATOR, char)
-                self._advance(char)
-                continue
-
-            operator = self._match_operator()
-            if operator is not None:
-                continue
-
-            # bare one-character token ("code semantics" per the paper)
-            self._emit(TokenType.CHAR, char)
-            self._advance(char)
+    def _lex_operator_or_char(self, char: str) -> None:
+        """Multi-character operator at ``pos``, else a bare CHAR token."""
+        group = _OPERATORS_BY_FIRST.get(char)
+        if group is not None:
+            source, pos = self.source, self.pos
+            for spelling, type_ in group:
+                if source.startswith(spelling, pos):
+                    self._emit(type_, spelling)
+                    self.pos = pos + len(spelling)
+                    return
+        # bare one-character token ("code semantics" per the paper)
+        self._emit(TokenType.CHAR, char)
+        self.pos += 1
 
     def _match_operator(self) -> Optional[Token]:
-        rest = self._rest()
-        for spelling, type_ in OPERATORS:
-            if rest.startswith(spelling):
-                self._emit(type_, spelling)
-                self._advance(spelling)
-                return self.tokens[-1]
+        group = _OPERATORS_BY_FIRST.get(self.source[self.pos])
+        if group is not None:
+            for spelling, type_ in group:
+                if self.source.startswith(spelling, self.pos):
+                    self._emit(type_, spelling)
+                    self.pos += len(spelling)
+                    return self.tokens[-1]
         return None
+
+    # -- dispatch handlers --------------------------------------------------
+
+    def _lex_whitespace(self) -> None:
+        match = _WHITESPACE.match(self.source, self.pos)
+        assert match is not None
+        self._emit(TokenType.WHITESPACE, match.group(0))
+        self._advance(match.group(0))
+
+    def _lex_slash(self) -> None:
+        source, pos = self.source, self.pos
+        if source.startswith("/*", pos):
+            self._lex_block_comment()
+        elif source.startswith("//", pos):
+            self._lex_line_comment()
+        else:
+            self._lex_operator_or_char("/")
+
+    def _lex_dollar(self) -> None:
+        nxt = self._peek(1)
+        if nxt and _IDENT_START.match(nxt):
+            self._lex_variable()
+        else:
+            self._lex_operator_or_char("$")
+
+    def _lex_lt(self) -> None:
+        if self.source.startswith("<<<", self.pos) and self._lex_heredoc():
+            return
+        self._lex_operator_or_char("<")
+
+    def _lex_dot(self) -> None:
+        if self._peek(1).isdigit():
+            self._lex_number()
+        else:
+            self._lex_operator_or_char(".")
+
+    def _lex_open_paren(self) -> None:
+        cast = _CAST.match(self.source, self.pos)
+        if cast is not None and cast.group(1).lower() in CASTS:
+            self._emit(CASTS[cast.group(1).lower()], cast.group(0))
+            self._advance(cast.group(0))
+        else:
+            self._emit(TokenType.CHAR, "(")
+            self.pos += 1
+
+    def _lex_backslash(self) -> None:
+        self._emit(TokenType.NS_SEPARATOR, "\\")
+        self.pos += 1
 
     # -- comments -----------------------------------------------------------
 
     def _lex_block_comment(self) -> None:
         end = self.source.find("*/", self.pos + 2)
         if end == -1:
-            text = self._rest()
+            text = self.source[self.pos :]
         else:
             text = self.source[self.pos : end + 2]
         type_ = (
@@ -209,7 +253,7 @@ class Lexer:
 
     def _lex_line_comment(self) -> None:
         # a line comment ends at newline or at ?> (which stays in the stream)
-        match = re.match(r"(?:#|//).*?(?=\?>|\n|$)", self._rest(), re.DOTALL)
+        match = _LINE_COMMENT.match(self.source, self.pos)
         assert match is not None
         text = match.group(0)
         # note: ".*?" is greedy-enough here because comments cannot span lines
@@ -222,44 +266,50 @@ class Lexer:
     # -- simple tokens ------------------------------------------------------
 
     def _lex_variable(self) -> None:
-        match = re.match(r"\$[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*", self._rest())
+        match = _VARIABLE.match(self.source, self.pos)
         assert match is not None
-        self._emit(TokenType.VARIABLE, match.group(0))
-        self._advance(match.group(0))
+        text = intern(match.group(0))
+        self.tokens.append(Token(TokenType.VARIABLE, text, self.line))
+        self.pos = match.end()
 
     def _lex_number(self) -> None:
-        rest = self._rest()
+        source, pos = self.source, self.pos
         for pattern, type_ in (
             (_HEX, TokenType.LNUMBER),
             (_BIN, TokenType.LNUMBER),
             (_FLOAT, TokenType.DNUMBER),
             (_INT, TokenType.LNUMBER),
         ):
-            match = pattern.match(rest)
+            match = pattern.match(source, pos)
             if match is not None:
                 self._emit(type_, match.group(0))
-                self._advance(match.group(0))
+                self.pos = match.end()
                 return
         raise PhpLexError(f"cannot scan number at line {self.line}", self.filename, self.line)
 
     def _lex_identifier(self) -> None:
-        start = _IDENT_START.match(self._peek())
-        assert start is not None
-        match = re.match(r"[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*", self._rest())
+        match = _IDENT_FULL.match(self.source, self.pos)
         assert match is not None
         word = match.group(0)
-        type_ = KEYWORDS.get(word.lower(), TokenType.STRING)
-        self._emit(type_, word)
-        self._advance(word)
+        type_ = KEYWORDS.get(word)
+        if type_ is None:
+            if not word.islower():
+                type_ = KEYWORDS.get(word.lower())
+            if type_ is None:
+                type_ = TokenType.STRING
+        self.tokens.append(Token(type_, intern(word), self.line))
+        self.pos = match.end()
 
     # -- strings --------------------------------------------------------------
 
     def _lex_single_quoted(self) -> None:
         start_line = self.line
+        source = self.source
+        size = len(source)
         index = self.pos + 1
         terminated = False
-        while index < len(self.source):
-            char = self.source[index]
+        while index < size:
+            char = source[index]
             if char == "\\":
                 index += 2
                 continue
@@ -267,18 +317,18 @@ class Lexer:
                 terminated = True
                 break
             index += 1
-        if not terminated or index >= len(self.source):
+        if not terminated or index >= size:
             if not self.recover:
                 raise PhpLexError(
                     "unterminated single-quoted string", self.filename, start_line
                 )
             # panic-mode repair: close the string at EOF and keep going
-            text = self._rest()
+            text = source[self.pos :]
             self._emit(TokenType.CONSTANT_ENCAPSED_STRING, text + "'", start_line)
             self._advance(text)
             self._record_recovery("unterminated single-quoted string", start_line)
             return
-        text = self.source[self.pos : index + 1]
+        text = source[self.pos : index + 1]
         self._emit(TokenType.CONSTANT_ENCAPSED_STRING, text, start_line)
         self._advance(text)
 
@@ -307,7 +357,7 @@ class Lexer:
         if not has_interpolation:
             if not terminated:
                 # panic-mode repair: close the string at EOF
-                text = self._rest()
+                text = self.source[self.pos :]
                 self._emit(TokenType.CONSTANT_ENCAPSED_STRING, text + '"', start_line)
                 self._advance(text)
                 self._record_recovery("unterminated double-quoted string", start_line)
@@ -337,23 +387,25 @@ class Lexer:
         Returns ``(raw body, has_interpolation, terminated)``; an
         unterminated string scans to EOF with ``terminated=False``.
         """
+        source = self.source
+        size = len(source)
         index = start
         has_interpolation = False
-        while index < len(self.source):
-            char = self.source[index]
+        while index < size:
+            char = source[index]
             if char == "\\":
                 index += 2
                 continue
             if char == '"':
-                return self.source[start:index], has_interpolation, True
-            if char == "$" and index + 1 < len(self.source):
-                nxt = self.source[index + 1]
-                if _IDENT_START.match(nxt) or nxt == "{":
+                return source[start:index], has_interpolation, True
+            if char == "$" and index + 1 < size:
+                nxt = source[index + 1]
+                if nxt == "{" or _IDENT_START.match(nxt):
                     has_interpolation = True
-            if char == "{" and index + 1 < len(self.source) and self.source[index + 1] == "$":
+            if char == "{" and index + 1 < size and source[index + 1] == "$":
                 has_interpolation = True
             index += 1
-        return self.source[start:], has_interpolation, False
+        return source[start:], has_interpolation, False
 
     def _lex_interpolated_body(self, terminator: str, heredoc_label: str = "") -> None:
         """Scan the inside of an interpolated string.
@@ -363,55 +415,60 @@ class Lexer:
         ``$var->prop`` (simple syntax) and ``{$expr}`` / ``${name}``
         (complex syntax).  Stops *before* the terminator.
         """
+        source = self.source
+        size = len(source)
         literal_start = self.pos
         literal_line = self.line
+        end_pattern = _heredoc_end_pattern(heredoc_label) if heredoc_label else None
 
         def flush() -> None:
             nonlocal literal_start, literal_line
             if self.pos > literal_start:
-                text = self.source[literal_start:self.pos]
+                text = source[literal_start:self.pos]
                 self.tokens.append(
                     Token(TokenType.ENCAPSED_AND_WHITESPACE, text, literal_line)
                 )
             literal_start = self.pos
             literal_line = self.line
 
-        while self.pos < len(self.source):
-            if heredoc_label:
-                if self._at_heredoc_end(heredoc_label):
+        while self.pos < size:
+            char = source[self.pos]
+            if end_pattern is not None:
+                if self._at_heredoc_end(end_pattern):
                     flush()
                     return
-            elif self._peek() == terminator:
+            elif char == terminator:
                 flush()
                 return
 
-            char = self._peek()
-            if char == "\\" and not heredoc_label:
+            if char == "\\" and end_pattern is None:
                 self.pos += 2
                 continue
             if char == "\n":
                 self.pos += 1
                 self.line += 1
                 continue
-            if char == "$" and _IDENT_START.match(self._peek(1) or ""):
-                flush()
-                self._lex_variable()
-                self._lex_simple_interp_suffix()
-                literal_start = self.pos
-                literal_line = self.line
-                continue
+            if char == "$":
+                nxt = self._peek(1)
+                if nxt and _IDENT_START.match(nxt):
+                    flush()
+                    self._lex_variable()
+                    self._lex_simple_interp_suffix()
+                    literal_start = self.pos
+                    literal_line = self.line
+                    continue
+                if nxt == "{":
+                    flush()
+                    self._emit(TokenType.DOLLAR_OPEN_CURLY_BRACES, "${")
+                    self._advance("${")
+                    self._lex_complex_interp()
+                    literal_start = self.pos
+                    literal_line = self.line
+                    continue
             if char == "{" and self._peek(1) == "$":
                 flush()
                 self._emit(TokenType.CURLY_OPEN, "{")
                 self._advance("{")
-                self._lex_complex_interp()
-                literal_start = self.pos
-                literal_line = self.line
-                continue
-            if char == "$" and self._peek(1) == "{":
-                flush()
-                self._emit(TokenType.DOLLAR_OPEN_CURLY_BRACES, "${")
-                self._advance("${")
                 self._lex_complex_interp()
                 literal_start = self.pos
                 literal_line = self.line
@@ -424,34 +481,34 @@ class Lexer:
         if self._peek() == "[":
             self._emit(TokenType.CHAR, "[")
             self._advance("[")
-            match = re.match(
-                r"\$[A-Za-z_][A-Za-z0-9_]*|\d+|[A-Za-z_][A-Za-z0-9_]*", self._rest()
-            )
+            match = _INTERP_INDEX.match(self.source, self.pos)
             if match is not None:
                 text = match.group(0)
                 if text.startswith("$"):
-                    self._emit(TokenType.VARIABLE, text)
+                    self._emit(TokenType.VARIABLE, intern(text))
                 elif text.isdigit():
                     self._emit(TokenType.NUM_STRING, text)
                 else:
-                    self._emit(TokenType.STRING, text)
+                    self._emit(TokenType.STRING, intern(text))
                 self._advance(text)
             if self._peek() == "]":
                 self._emit(TokenType.CHAR, "]")
                 self._advance("]")
-        elif self._rest().startswith("->") and _IDENT_START.match(self._peek(2) or ""):
+        elif self.source.startswith("->", self.pos) and _IDENT_START.match(
+            self._peek(2) or ""
+        ):
             self._emit(TokenType.OBJECT_OPERATOR, "->")
             self._advance("->")
-            match = re.match(r"[A-Za-z_][A-Za-z0-9_]*", self._rest())
+            match = _INTERP_PROP.match(self.source, self.pos)
             assert match is not None
-            self._emit(TokenType.STRING, match.group(0))
+            self._emit(TokenType.STRING, intern(match.group(0)))
             self._advance(match.group(0))
 
     def _lex_complex_interp(self) -> None:
         """Lex regular PHP tokens until the matching ``}``."""
         depth = 1
         while self.pos < len(self.source) and depth > 0:
-            char = self._peek()
+            char = self.source[self.pos]
             if char == "{":
                 depth += 1
                 self._emit(TokenType.CHAR, "{")
@@ -473,10 +530,7 @@ class Lexer:
         """Lex exactly one PHP-mode token (used inside ``{$...}``)."""
         char = self._peek()
         if char in " \t\r\n":
-            match = re.match(r"[ \t\r\n]+", self._rest())
-            assert match is not None
-            self._emit(TokenType.WHITESPACE, match.group(0))
-            self._advance(match.group(0))
+            self._lex_whitespace()
         elif char == "$" and _IDENT_START.match(self._peek(1) or ""):
             self._lex_variable()
         elif char == "'":
@@ -495,15 +549,14 @@ class Lexer:
 
     # -- heredoc ---------------------------------------------------------------
 
-    def _at_heredoc_end(self, label: str) -> bool:
+    def _at_heredoc_end(self, pattern: "re.Pattern") -> bool:
         """True when the current line starts the heredoc terminator."""
         if self.pos != 0 and self.source[self.pos - 1] != "\n":
             return False
-        match = re.match(rf"[ \t]*{re.escape(label)}(?![A-Za-z0-9_])", self._rest())
-        return match is not None
+        return pattern.match(self.source, self.pos) is not None
 
     def _lex_heredoc(self) -> bool:
-        match = _HEREDOC_START.match(self._rest())
+        match = _HEREDOC_START.match(self.source, self.pos)
         if match is None:
             return False
         opener = match.group(0)
@@ -514,23 +567,26 @@ class Lexer:
         self._advance(opener)
         if quote == "'":
             # nowdoc: no interpolation, scan straight to the terminator
+            end_pattern = _heredoc_end_pattern(label)
+            source = self.source
+            size = len(source)
             literal_start = self.pos
             literal_line = self.line
-            while self.pos < len(self.source) and not self._at_heredoc_end(label):
-                if self._peek() == "\n":
+            while self.pos < size and not self._at_heredoc_end(end_pattern):
+                if source[self.pos] == "\n":
                     self.line += 1
                 self.pos += 1
             if self.pos > literal_start:
                 self.tokens.append(
                     Token(
                         TokenType.ENCAPSED_AND_WHITESPACE,
-                        self.source[literal_start:self.pos],
+                        source[literal_start:self.pos],
                         literal_line,
                     )
                 )
         else:
             self._lex_interpolated_body(terminator="", heredoc_label=label)
-        end = re.match(rf"[ \t]*{re.escape(label)}", self._rest())
+        end = re.match(rf"[ \t]*{re.escape(label)}", self.source[self.pos :])
         if end is None:
             if not self.recover:
                 raise PhpLexError(
@@ -543,6 +599,41 @@ class Lexer:
         self._emit(TokenType.END_HEREDOC, end.group(0))
         self._advance(end.group(0))
         return True
+
+
+#: per-label cache of compiled heredoc-terminator patterns
+_HEREDOC_END_CACHE = {}
+
+
+def _heredoc_end_pattern(label: str) -> "re.Pattern":
+    pattern = _HEREDOC_END_CACHE.get(label)
+    if pattern is None:
+        pattern = re.compile(rf"[ \t]*{re.escape(label)}(?![A-Za-z0-9_])")
+        if len(_HEREDOC_END_CACHE) < 256:  # bound pathological label churn
+            _HEREDOC_END_CACHE[label] = pattern
+    return pattern
+
+
+#: PHP-mode dispatch table: first character -> handler.  Characters not
+#: present fall through to operator-or-CHAR handling.
+_DISPATCH = {}
+for _char in " \t\r\n":
+    _DISPATCH[_char] = Lexer._lex_whitespace
+for _char in "0123456789":
+    _DISPATCH[_char] = Lexer._lex_number
+for _char in _IDENT_CHARS:
+    _DISPATCH[_char] = Lexer._lex_identifier
+_DISPATCH["/"] = Lexer._lex_slash
+_DISPATCH["#"] = Lexer._lex_line_comment
+_DISPATCH["$"] = Lexer._lex_dollar
+_DISPATCH["'"] = Lexer._lex_single_quoted
+_DISPATCH['"'] = Lexer._lex_double_quoted
+_DISPATCH["`"] = Lexer._lex_backtick
+_DISPATCH["<"] = Lexer._lex_lt
+_DISPATCH["."] = Lexer._lex_dot
+_DISPATCH["("] = Lexer._lex_open_paren
+_DISPATCH["\\"] = Lexer._lex_backslash
+del _char
 
 
 def tokenize(
@@ -587,7 +678,6 @@ def iter_lines_of_code(source: str) -> Iterator[str]:
         if line.startswith("//") or line.startswith("#") or line.startswith("*"):
             continue
         yield raw_line
-
 
 def count_loc(source: str) -> int:
     """Count effective lines of code in ``source``."""

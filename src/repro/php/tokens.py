@@ -17,7 +17,6 @@ keeps the stream homogeneous while preserving PHP's "bare string" tokens.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 
 class TokenType(enum.Enum):
@@ -26,7 +25,13 @@ class TokenType(enum.Enum):
     The subset implemented covers every construct the phpSAFE analysis
     stage dispatches on (paper Section III.C) plus the rest of the PHP 5
     language surface needed to lex real plugin code.
+
+    Members are singletons, so identity hashing is correct — and it
+    runs in the C slot instead of ``Enum.__hash__``, which matters for
+    the token-type dispatch dicts on the lexer/parser hot path.
     """
+
+    __hash__ = object.__hash__
 
     # ---- structure ----------------------------------------------------
     INLINE_HTML = "T_INLINE_HTML"
@@ -289,13 +294,44 @@ CASTS = {
 }
 
 
-@dataclass(frozen=True)
 class Token:
-    """One lexical token: the paper's ``[id, value, line]`` triple."""
+    """One lexical token: the paper's ``[id, value, line]`` triple.
 
-    type: TokenType
-    value: str
-    line: int
+    A hand-rolled immutable class rather than a frozen dataclass: token
+    streams are the analyzer's highest-volume allocation, so instances
+    are slotted, and the hash (tokens key hot dedup/memo dicts) is
+    computed once and cached instead of re-deriving a tuple per lookup.
+    """
+
+    __slots__ = ("type", "value", "line", "_hash")
+
+    def __init__(self, type: TokenType, value: str, line: int) -> None:
+        object.__setattr__(self, "type", type)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "line", line)
+        object.__setattr__(self, "_hash", hash((type, value, line)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"Token is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Token is immutable; cannot delete {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Token:
+            return NotImplemented
+        return (
+            self._hash == other._hash  # cheap reject before 3 comparisons
+            and self.type is other.type
+            and self.value == other.value
+            and self.line == other.line
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):  # __setattr__ blocks default slot unpickling
+        return (Token, (self.type, self.value, self.line))
 
     def is_char(self, char: str) -> bool:
         """True when this is the bare one-character token ``char``."""

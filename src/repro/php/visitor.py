@@ -17,7 +17,8 @@ from . import ast_nodes as ast
 
 def iter_child_nodes(node: ast.Node):
     """Yield the direct AST-node children of ``node``."""
-    for value in vars(node).values():
+    for name in node.__walk_fields__:
+        value = getattr(node, name)
         if isinstance(value, ast.Node):
             yield value
         elif isinstance(value, (list, tuple)):
@@ -62,7 +63,8 @@ class NodeTransformer(NodeVisitor):
     """
 
     def generic_visit(self, node: ast.Node) -> ast.Node:  # type: ignore[override]
-        for name, value in vars(node).items():
+        for name in node.__node_fields__:
+            value = getattr(node, name)
             if isinstance(value, ast.Node):
                 setattr(node, name, self.visit(value))
             elif isinstance(value, list):

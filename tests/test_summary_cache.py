@@ -1,0 +1,155 @@
+"""Tests for the persistent function-summary cache.
+
+The summary tier stores per-function analysis results keyed by the
+knowledge-base/options fingerprint, the function key, and the content
+digest of the defining file, with dependency validation against every
+file the summary was computed from.  These tests pin down the
+invalidation contract: reuse only when it cannot change the findings.
+"""
+
+from repro.core import ModelCache, PhpSafe
+from repro.core.phpsafe import PhpSafeOptions
+from repro.plugin import Plugin
+
+MAIN = "<?php include 'lib.php'; page($_GET['q']);"
+LIB = "<?php function page($m) { echo '<b>' . $m . '</b>'; }"
+
+
+def keys(report):
+    return sorted(finding.key for finding in report.findings)
+
+
+def scan(files, cache=None, options=None, profile=None):
+    tool = PhpSafe(profile=profile, options=options, cache=cache)
+    return tool.analyze(Plugin(name="p", files=dict(files)))
+
+
+class TestSummaryRoundTrip:
+    def test_second_run_reuses_summaries(self):
+        cache = ModelCache()
+        files = {"main.php": MAIN, "lib.php": LIB}
+        first = scan(files, cache=cache)
+        assert cache.summary_stats.stores >= 1
+        second = scan(files, cache=cache)
+        assert cache.summary_stats.hits >= 1
+        assert keys(first) == keys(second)
+
+    def test_findings_identical_with_and_without_cache(self):
+        files = {"main.php": MAIN, "lib.php": LIB}
+        uncached = scan(files)
+        cache = ModelCache()
+        scan(files, cache=cache)  # populate
+        warm = scan(files, cache=cache)
+        assert keys(warm) == keys(uncached)
+
+    def test_disk_cache_survives_tool_instances(self, tmp_path):
+        files = {"main.php": MAIN, "lib.php": LIB}
+        first_tool = PhpSafe(cache_dir=str(tmp_path))
+        first = first_tool.analyze(Plugin(name="p", files=dict(files)))
+        # a fresh tool + fresh memory cache over the same directory:
+        # summaries must come back from the disk tier
+        second_tool = PhpSafe(cache_dir=str(tmp_path))
+        second = second_tool.analyze(Plugin(name="p", files=dict(files)))
+        assert second_tool.cache.summary_stats.hits >= 1
+        assert second_tool.cache.summary_stats.disk_hits >= 1
+        assert keys(first) == keys(second)
+
+
+class TestSummaryInvalidation:
+    def test_defining_file_change_invalidates(self):
+        cache = ModelCache()
+        scan({"main.php": MAIN, "lib.php": LIB}, cache=cache)
+        # page() now sanitizes: the stale summary must not resurrect
+        # the XSS finding
+        safe_lib = "<?php function page($m) { echo htmlentities($m); }"
+        warm = scan({"main.php": MAIN, "lib.php": safe_lib}, cache=cache)
+        uncached = scan({"main.php": MAIN, "lib.php": safe_lib})
+        assert keys(warm) == keys(uncached)
+
+    def test_callee_file_change_invalidates_caller_summary(self):
+        cache = ModelCache()
+        main = "<?php include 'a.php'; include 'b.php'; outer($_GET['q']);"
+        outer = "<?php function outer($m) { inner($m); }"
+        inner_safe = "<?php function inner($m) { echo htmlentities($m); }"
+        baseline = scan(
+            {"main.php": main, "a.php": outer, "b.php": inner_safe}, cache=cache
+        )
+        assert keys(baseline) == []
+        # outer()'s own file is unchanged, but its callee now echoes
+        # unsanitized — the dependency digest must catch it
+        inner_bad = "<?php function inner($m) { echo $m; }"
+        warm = scan(
+            {"main.php": main, "a.php": outer, "b.php": inner_bad}, cache=cache
+        )
+        uncached = scan({"main.php": main, "a.php": outer, "b.php": inner_bad})
+        assert cache.summary_stats.stale >= 1
+        assert keys(warm) == keys(uncached) != []
+
+    def test_newly_defined_function_invalidates(self):
+        cache = ModelCache()
+        main = "<?php include 'go.php'; go($_GET['q']);"
+        go = "<?php function go($m) { mystery($m); }"
+        scan({"main.php": main, "go.php": go}, cache=cache)
+        # mystery() springs into existence in a *new* file: go.php's
+        # digest is unchanged, so only the unresolved-lookup record can
+        # invalidate the summary
+        mystery = "<?php function mystery($m) { echo $m; }"
+        warm = scan(
+            {"main.php": main, "go.php": go, "m.php": mystery}, cache=cache
+        )
+        uncached = scan({"main.php": main, "go.php": go, "m.php": mystery})
+        assert keys(warm) == keys(uncached) != []
+
+
+class TestFingerprintSeparation:
+    def test_profile_change_misses(self):
+        cache = ModelCache()
+        files = {"main.php": MAIN, "lib.php": LIB}
+        scan(files, cache=cache, options=PhpSafeOptions(wordpress_config=True))
+        hits_before = cache.summary_stats.hits
+        scan(files, cache=cache, options=PhpSafeOptions(wordpress_config=False))
+        assert cache.summary_stats.hits == hits_before
+
+    def test_oop_option_change_misses(self):
+        cache = ModelCache()
+        files = {"main.php": MAIN, "lib.php": LIB}
+        scan(files, cache=cache, options=PhpSafeOptions(oop=True))
+        hits_before = cache.summary_stats.hits
+        scan(files, cache=cache, options=PhpSafeOptions(oop=False))
+        assert cache.summary_stats.hits == hits_before
+
+    def test_recover_mode_change_misses(self):
+        cache = ModelCache()
+        files = {"main.php": MAIN, "lib.php": LIB}
+        scan(files, cache=cache, options=PhpSafeOptions(recover=True))
+        hits_before = cache.summary_stats.hits
+        scan(files, cache=cache, options=PhpSafeOptions(recover=False))
+        assert cache.summary_stats.hits == hits_before
+
+    def test_same_options_fresh_tool_hits(self):
+        cache = ModelCache()
+        files = {"main.php": MAIN, "lib.php": LIB}
+        scan(files, cache=cache, options=PhpSafeOptions())
+        scan(files, cache=cache, options=PhpSafeOptions())
+        assert cache.summary_stats.hits >= 1
+
+
+class TestPersistenceExclusions:
+    def test_globals_reading_summary_not_persisted(self):
+        cache = ModelCache()
+        files = {
+            "main.php": (
+                "<?php include 'lib.php'; $cfg = $_GET['c'];"
+                " render(); echo 'done';"
+            ),
+            "lib.php": (
+                "<?php function render() { global $cfg; echo $cfg; }"
+            ),
+        }
+        first = scan(files, cache=cache)
+        # render()'s result depends on global state at call time, which
+        # the cache key cannot capture — it must never be persisted
+        summary_keys = [key for key in cache._slots if key.startswith("summary!")]
+        assert all("render" not in key for key in summary_keys)
+        second = scan(files, cache=cache)
+        assert keys(first) == keys(second)

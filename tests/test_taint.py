@@ -1,5 +1,6 @@
 """Unit and property tests for the taint lattice."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -27,11 +28,22 @@ class TestConstruction:
         assert state.is_tainted(VulnKind.XSS)
         assert not state.is_tainted(VulnKind.SQLI)
 
-    def test_copy_is_independent(self):
+    def test_states_are_immutable_values(self):
+        # hash-consed representation: label sets are frozen, so a state
+        # can be shared freely (copy() is the identity)
         state = TaintState.from_label(source())
-        clone = state.copy()
-        clone.active[VulnKind.XSS].clear()
+        assert state.copy() is state
+        with pytest.raises(AttributeError):
+            state.active[VulnKind.XSS].clear()
+        with pytest.raises(TypeError):
+            state.active[VulnKind.XSS] = frozenset()
         assert state.is_tainted(VulnKind.XSS)
+
+    def test_equal_states_are_interned_to_one_object(self):
+        one = TaintState.from_label(source())
+        two = TaintState(active={kind: {source()} for kind in VulnKind})
+        assert one is two
+        assert TaintState.clean() is TaintState()
 
 
 class TestJoin:
@@ -43,9 +55,11 @@ class TestJoin:
 
     def test_join_preserves_operands(self):
         get = TaintState.from_label(source())
-        joined = get.joined(TaintState.clean())
-        joined.active[VulnKind.XSS].add(ParamRef("f", 0))
+        post = TaintState.from_label(source("$_POST", InputVector.POST))
+        joined = get.joined(post)
+        assert joined is not get and joined is not post
         assert len(get.labels(VulnKind.XSS)) == 1
+        assert len(post.labels(VulnKind.XSS)) == 1
 
     def test_vectors_sorted_and_deduped(self):
         state = TaintState.from_label(source(line=1)).joined(
