@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cache import ModelCache
 from ..core.phpsafe import PhpSafe, PhpSafeOptions
-from ..core.results import FileFailure, ToolReport
+from ..core.results import FileFailure, ToolReport, finding_signatures
 from ..incidents import Incident, IncidentSeverity, IncidentStage
 from ..core.tool import AnalyzerTool
 from ..plugin import Plugin
@@ -239,6 +239,12 @@ class BatchResult:
         if not self.reports:
             return None
         return functools.reduce(ToolReport.merged, self.reports)
+
+    def finding_signatures(self):
+        """Canonical finding-signature set of the whole batch — the
+        value the differential harness compares across configurations
+        (see :func:`repro.core.results.finding_signatures`)."""
+        return finding_signatures(self.reports)
 
 
 class BatchScanner:

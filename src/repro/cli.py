@@ -308,6 +308,32 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_difftest(args: argparse.Namespace) -> int:
+    from .difftest import (
+        ConfigMatrixOracle,
+        OracleOptions,
+        render_oracle_reports,
+        render_slice_table,
+        run_slices,
+    )
+
+    failed = False
+    if not args.skip_slices:
+        results = run_slices()
+        print(render_slice_table(results))
+        print()
+        failed = any(not result.ok for result in results)
+    oracle = ConfigMatrixOracle(
+        OracleOptions(
+            versions=tuple(args.versions), scale=args.scale, jobs=args.jobs
+        )
+    )
+    reports = oracle.run()
+    print(render_oracle_reports(reports, verbose=args.verbose))
+    failed = failed or any(not report.ok for report in reports)
+    return 1 if failed else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .core.review import to_html, to_json, to_text
 
@@ -450,6 +476,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", help="persistent parse-cache directory"
     )
     evaluate.set_defaults(func=cmd_evaluate)
+
+    difftest = sub.add_parser(
+        "difftest",
+        help="differential correctness harness: config-matrix oracle + slice catalog",
+    )
+    difftest.add_argument("--scale", type=float, default=0.1)
+    difftest.add_argument(
+        "--versions", nargs="+", choices=("2012", "2014"), default=["2012", "2014"]
+    )
+    difftest.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker count of the parallel side of the jobs axis",
+    )
+    difftest.add_argument(
+        "--skip-slices", action="store_true",
+        help="run only the config-matrix oracle, not the slice catalog",
+    )
+    difftest.add_argument(
+        "--verbose", action="store_true",
+        help="list every divergence even when an axis summary suffices",
+    )
+    difftest.set_defaults(func=cmd_difftest)
 
     report = sub.add_parser("report", help="export a review report")
     report.add_argument("path")

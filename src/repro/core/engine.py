@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from ..config.profiles import AnalyzerProfile
 from ..config.vulnerability import ALL_KINDS, InputVector, VulnKind
@@ -187,6 +187,9 @@ class FunctionSummary:
     #: the body read global state at summarize time — order-dependent,
     #: so never persisted across runs
     uses_globals: bool = False
+    #: the body declares ``static`` locals — their cross-call slots live
+    #: in the engine, so the summary is never persisted across runs
+    uses_statics: bool = False
     #: placeholder written by a unit fault boundary — never persisted
     faulted: bool = False
 
@@ -214,8 +217,19 @@ class Scope:
         self.name = name
         self.records: Dict[str, VariableRecord] = {}
         #: names bound to the global scope via ``global $x`` — writes to
-        #: these are mirrored into the engine's global scope
+        #: these are mirrored into the global scope
         self.global_aliases: Set[str] = set()
+        #: reference-alias groups from ``$b =& $a``: every member maps to
+        #: one shared frozenset of the names denoting the same storage
+        #: slot.  Groups are immutable — a new union rebuilds the set —
+        #: so branch snapshots can share the mapping by shallow copy.
+        self.ref_groups: Dict[str, FrozenSet[str]] = {}
+        #: names declared ``static`` in this scope; writes to them are
+        #: mirrored into the engine's per-function static slots
+        self.static_names: Set[str] = set()
+        #: the engine's slot dict for this scope's function (shared, so
+        #: branch snapshots write through — statics only ever join)
+        self.static_slots: Optional[Dict[str, TaintState]] = None
 
     def get(self, name: str) -> Optional[VariableRecord]:
         return self.records.get(name)
@@ -232,6 +246,12 @@ class Scope:
         # be taken (a ``global`` statement inside the branch re-binds).
         clone = Scope(self.name)
         clone.records = dict(self.records)
+        # reference aliases and statics ARE inherited: they only affect
+        # records inside the snapshot itself (joined back afterwards) or
+        # monotone static slots, never an untaken path's global binding.
+        clone.ref_groups = dict(self.ref_groups)
+        clone.static_names = set(self.static_names)
+        clone.static_slots = self.static_slots
         return clone
 
     def join_from(self, *branches: "Scope") -> None:
@@ -294,6 +314,9 @@ class TaintEngine:
                 )
         self.summaries: Dict[str, FunctionSummary] = {}
         self._in_progress: Set[str] = set()
+        #: cross-call taint of ``static`` locals, keyed by owning
+        #: function key then variable name; joins only, never resets
+        self._static_store: Dict[str, Dict[str, TaintState]] = {}
         self.events: List[SinkEvent] = []
         self._steps = 0
         self._current_file = "<unknown>"
@@ -611,8 +634,9 @@ class TaintEngine:
         frame = self._summary_stack[-1]
         frame.dep_files.update(summary.dep_files)
         frame.dep_unresolved.update(summary.dep_unresolved)
-        if summary.uses_globals or summary.faulted:
+        if summary.uses_globals or summary.faulted or summary.uses_statics:
             frame.uses_globals = frame.uses_globals or summary.uses_globals
+            frame.uses_statics = frame.uses_statics or summary.uses_statics
             frame.faulted = frame.faulted or summary.faulted
 
     def _summarize(self, info: FunctionInfo) -> FunctionSummary:
@@ -628,32 +652,49 @@ class TaintEngine:
         self._in_progress.add(info.key)
         summary = FunctionSummary(key=info.key)
         summary.dep_files.add(info.file)
-        scope = Scope(info.key)
-        for index, param in enumerate(info.params):
-            taint = TaintState.from_label(ParamRef(info.key, index))
-            scope.set(
-                VariableRecord(
-                    name=param.name,
-                    file=info.file,
-                    line=info.line,
-                    taint=taint,
-                    is_input=True,
+
+        def build_scope() -> Scope:
+            activation = Scope(info.key)
+            for index, param in enumerate(info.params):
+                taint = TaintState.from_label(ParamRef(info.key, index))
+                activation.set(
+                    VariableRecord(
+                        name=param.name,
+                        file=info.file,
+                        line=info.line,
+                        taint=taint,
+                        is_input=True,
+                    )
                 )
-            )
-        if info.class_name and self.options.oop:
-            scope.set(
-                VariableRecord(
-                    name="this",
-                    file=info.file,
-                    line=info.line,
-                    class_name=info.class_name,
+            if info.class_name and self.options.oop:
+                activation.set(
+                    VariableRecord(
+                        name="this",
+                        file=info.file,
+                        line=info.line,
+                        class_name=info.class_name,
+                    )
                 )
-            )
+            return activation
+
+        scope = build_scope()
         previous_file = self._current_file
         self._current_file = info.file
         self._summary_stack.append(summary)
         try:
             self._exec_block(info.body, scope)
+            if summary.uses_statics:
+                # Statics stored by one activation are observed by the
+                # next; a second pass against the joined slots reaches
+                # the cross-call fixed point (same two-pass scheme as
+                # :meth:`_exec_loop`).  Pass 1's effects are discarded —
+                # pass 2 re-derives them with at-least-as-tainted state.
+                summary.sink_events = []
+                summary.return_taint = TaintState.clean()
+                summary.return_class = ""
+                summary.prop_writes = {}
+                scope = build_scope()
+                self._exec_block(info.body, scope)
         finally:
             self._summary_stack.pop()
             self._current_file = previous_file
@@ -760,21 +801,22 @@ class TaintEngine:
         elif isinstance(node, ast.SwitchStatement):
             self._eval(node.subject, scope)
             has_default = any(case.test is None for case in node.cases)
-            self._exec_branches(
-                [case.body for case in node.cases], scope, exhaustive=has_default
-            )
+            # fallthrough: entering at case i runs every later case body
+            # too unless a ``break`` intervenes; ``break`` is not
+            # tracked, so each branch is the suffix starting at its case
+            # (an over-approximation the outcome join keeps sound)
+            bodies = [case.body for case in node.cases]
+            suffixes = [
+                [stmt for body in bodies[i:] for stmt in body]
+                for i in range(len(bodies))
+            ]
+            self._exec_branches(suffixes, scope, exhaustive=has_default)
         elif isinstance(node, ast.ReturnStatement):
             self._exec_return(node, scope)
         elif isinstance(node, ast.GlobalStatement):
             self._exec_global(node, scope)
         elif isinstance(node, ast.StaticVarStatement):
-            for name, default in node.vars:
-                value = self._eval(default, scope) if default is not None else Value.clean()
-                scope.set(
-                    VariableRecord(
-                        name=name, file=self._current_file, line=node.line, taint=value.taint
-                    )
-                )
+            self._exec_static_vars(node, scope)
         elif isinstance(node, ast.UnsetStatement):
             # T_UNSET: "the properties of the variable are updated as
             # untainted and marked as non-vulnerable"
@@ -879,6 +921,34 @@ class TaintEngine:
         value = self._eval(node.expr, scope)
         summary.return_taint = summary.return_taint.joined(value.taint)
         summary.return_class = summary.return_class or value.class_name
+
+    def _exec_static_vars(self, node: ast.StaticVarStatement, scope: Scope) -> None:
+        """``static $s`` keeps its value across calls: one taint slot per
+        (function, variable) lives in the engine, every activation joins
+        the stored taint into its binding, and writes join back through
+        :meth:`_assign_to` — so taint stored by one call is observed by
+        the next (reached via the two-pass scheme in :meth:`_summarize`)."""
+        if self._summary_stack:
+            frame = self._summary_stack[-1]
+            frame.uses_statics = True
+            owner = frame.key
+        else:
+            owner = f"<main>:{self._current_file}"
+        slots = self._static_store.setdefault(owner, {})
+        for name, default in node.vars:
+            value = self._eval(default, scope) if default is not None else Value.clean()
+            taint = value.taint
+            prior = slots.get(name)
+            if prior is not None:
+                taint = taint.joined(prior)
+            slots[name] = taint
+            scope.set(
+                VariableRecord(
+                    name=name, file=self._current_file, line=node.line, taint=taint
+                )
+            )
+            scope.static_names.add(name)
+            scope.static_slots = slots
 
     def _exec_global(self, node: ast.GlobalStatement, scope: Scope) -> None:
         """Bind names to the global scope; known CMS instances (e.g.
@@ -1121,8 +1191,19 @@ class TaintEngine:
     def _eval_assignment(self, node: ast.Assignment, scope: Scope) -> Value:
         value = self._eval(node.value, scope)
         if node.op == "=":
+            if (
+                node.by_ref
+                and isinstance(node.target, ast.Variable)
+                and isinstance(node.value, ast.Variable)
+            ):
+                self._link_reference(node.target.name, node.value.name, scope)
             result = value
         elif node.op == ".=":
+            current = self._eval(node.target, scope)
+            result = current.joined(value)
+        elif node.op == "??=":
+            # assigns only when the target is null, so afterwards the
+            # value may come from either side: join them
             current = self._eval(node.target, scope)
             result = current.joined(value)
         else:  # arithmetic/bitwise compound: numeric result
@@ -1130,6 +1211,19 @@ class TaintEngine:
             result = Value.clean()
         self._assign_to(node.target, result, scope, node.line)
         return result
+
+    def _link_reference(self, target: str, source: str, scope: Scope) -> None:
+        """``$b =& $a``: both names denote one storage slot from now on.
+
+        The union of the two names' existing groups becomes a fresh
+        frozenset shared by every member, and :meth:`_assign_to` mirrors
+        each write across the group.  (By-ref *parameters* are handled
+        separately through ``ref_param_writes``.)"""
+        group = set(scope.ref_groups.get(target, (target,)))
+        group.update(scope.ref_groups.get(source, (source,)))
+        shared = frozenset(group)
+        for name in shared:
+            scope.ref_groups[name] = shared
 
     def _assign_to(
         self, target: Optional[ast.Expr], value: Value, scope: Scope, line: int
@@ -1156,6 +1250,19 @@ class TaintEngine:
             if was_global_alias:
                 # `global $x` alias: write through to the global scope
                 self.globals.set(scope.records[target.name])
+            if target.name in scope.static_names and scope.static_slots is not None:
+                # `static $x`: join the write into the cross-call slot
+                prior = scope.static_slots.get(target.name)
+                scope.static_slots[target.name] = (
+                    value.taint.copy() if prior is None else prior.joined(value.taint)
+                )
+            group = scope.ref_groups.get(target.name)
+            if group is not None:
+                # `$b =& $a` aliases: mirror the write to every member
+                written = scope.records[target.name]
+                for alias in group:
+                    if alias != target.name:
+                        scope.set(written.updated(name=alias))
         elif isinstance(target, ast.ArrayAccess):
             base = target.array
             while isinstance(base, ast.ArrayAccess):
@@ -1285,6 +1392,10 @@ class TaintEngine:
             joined = left.joined(right)
             joined.class_name = ""
             return joined
+        if node.op == "??":
+            # either operand may be the result, so the value carries the
+            # union of both operands' taint
+            return left.joined(right)
         if node.op in ("&&", "||", "and", "or", "xor"):
             return Value.clean()
         # arithmetic/comparison produce numeric/boolean values

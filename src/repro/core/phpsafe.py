@@ -143,7 +143,12 @@ class PhpSafe(AnalyzerTool):
         """Persist the summaries this run computed, pinned to the
         content digests of every file they depend on."""
         for key, summary in engine.summaries.items():
-            if key in preloaded or summary.faulted or summary.uses_globals:
+            if (
+                key in preloaded
+                or summary.faulted
+                or summary.uses_globals
+                or summary.uses_statics
+            ):
                 continue
             info = model.functions.get(key)
             if info is None:

@@ -10,7 +10,7 @@ variable dump phpSAFE exposes for manual review (Section III.D).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..config.vulnerability import InputVector, VulnKind
 from ..incidents import Incident
@@ -105,6 +105,34 @@ class Finding:
             f"{self.kind} at {self.file}:{self.line} via {self.sink}"
             f" (input: {vectors}, variable: {self.variable or '?'})"
         )
+
+
+#: canonical cross-configuration finding identity used by the
+#: differential harness: plugin provenance + kind + sink location + sink
+FindingSignature = Tuple[str, str, str, int, str]
+
+
+def finding_signatures(reports: Iterable["ToolReport"]) -> Set[FindingSignature]:
+    """Signature set of every finding in ``reports``.
+
+    Findings in a single-plugin report carry an empty ``plugin`` field
+    (it is stamped only by :meth:`ToolReport.merged`), so the owning
+    report's plugin fills the gap — two configurations of the same scan
+    must produce identical signature sets.
+    """
+    signatures: Set[FindingSignature] = set()
+    for report in reports:
+        for finding in report.findings:
+            signatures.add(
+                (
+                    finding.plugin or report.plugin,
+                    finding.kind.value,
+                    finding.file,
+                    finding.line,
+                    finding.sink,
+                )
+            )
+    return signatures
 
 
 @dataclass(frozen=True)

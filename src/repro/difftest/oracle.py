@@ -1,0 +1,138 @@
+"""Config-matrix oracle: same corpus, every execution path, one answer.
+
+Runs one corpus through a baseline configuration (recover, serial,
+summaries on, no persistent cache) and through the variant on the far
+side of each axis, then diffs the finding-signature sets pairwise.  The
+scan paths are the real ones — :func:`repro.evaluation.runner.run_tool`
+routes ``jobs > 1`` / ``cache_dir`` runs through the batch scheduler
+exactly the way the evaluation harness does — so a divergence here is a
+divergence users can hit.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core.phpsafe import PhpSafe, PhpSafeOptions
+from ..core.results import FindingSignature, finding_signatures
+from ..corpus.generator import build_corpus
+from ..evaluation.runner import run_tool
+from ..plugin import Plugin
+from .divergence import AxisOutcome, DifftestReport, diff_signatures
+
+
+@dataclass
+class OracleOptions:
+    """Shape of one oracle run."""
+
+    #: corpus versions to exercise (the paper's 2012 and 2014 snapshots)
+    versions: Tuple[str, ...] = ("2012", "2014")
+    #: corpus scale passed to the generator
+    scale: float = 0.1
+    #: worker count of the parallel side of the ``jobs`` axis
+    jobs: int = 2
+    #: analyzer options of the baseline configuration; every variant is
+    #: derived from this by flipping exactly one axis
+    base: PhpSafeOptions = field(default_factory=PhpSafeOptions)
+
+
+class ConfigMatrixOracle:
+    """Drives the four axis comparisons over generated corpora."""
+
+    def __init__(self, options: Optional[OracleOptions] = None) -> None:
+        self.options = options or OracleOptions()
+
+    # -- one configuration ------------------------------------------------
+
+    def _scan(
+        self,
+        plugins: Sequence[Plugin],
+        tool_options: PhpSafeOptions,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+    ) -> Set[FindingSignature]:
+        reports, _ = run_tool(
+            PhpSafe(options=tool_options), plugins, jobs=jobs, cache_dir=cache_dir
+        )
+        return finding_signatures(reports)
+
+    # -- the four axes -----------------------------------------------------
+
+    def run_version(self, version: str) -> DifftestReport:
+        corpus = build_corpus(version, scale=self.options.scale)
+        plugins = corpus.plugins
+        base_options = self.options.base
+        report = DifftestReport(version=version, plugins=len(plugins))
+
+        baseline = self._scan(plugins, base_options)
+
+        # recover: the fault-tolerant pipeline must be a pure superset
+        # mechanism — on input it can parse strictly, identical findings
+        strict = self._scan(plugins, replace(base_options, recover=False))
+        report.axes.append(
+            AxisOutcome(
+                axis="recover",
+                left="strict",
+                right="recover",
+                left_count=len(strict),
+                right_count=len(baseline),
+                divergences=diff_signatures(
+                    "recover", "strict", "recover", strict, baseline
+                ),
+            )
+        )
+
+        # summaries: memoized function summaries vs re-analysis per call
+        no_summaries = self._scan(
+            plugins, replace(base_options, use_summaries=False)
+        )
+        report.axes.append(
+            AxisOutcome(
+                axis="summaries",
+                left="summaries-off",
+                right="summaries-on",
+                left_count=len(no_summaries),
+                right_count=len(baseline),
+                divergences=diff_signatures(
+                    "summaries", "summaries-off", "summaries-on", no_summaries, baseline
+                ),
+            )
+        )
+
+        # jobs: serial in-process vs parallel worker processes
+        parallel = self._scan(plugins, base_options, jobs=self.options.jobs)
+        report.axes.append(
+            AxisOutcome(
+                axis="jobs",
+                left="jobs=1",
+                right=f"jobs={self.options.jobs}",
+                left_count=len(baseline),
+                right_count=len(parallel),
+                divergences=diff_signatures(
+                    "jobs", "jobs=1", f"jobs={self.options.jobs}", baseline, parallel
+                ),
+            )
+        )
+
+        # cache: cold persistent cache vs a fully-warm second run
+        with tempfile.TemporaryDirectory(prefix="repro-difftest-") as cache_dir:
+            cold = self._scan(plugins, base_options, cache_dir=cache_dir)
+            warm = self._scan(plugins, base_options, cache_dir=cache_dir)
+        report.axes.append(
+            AxisOutcome(
+                axis="cache",
+                left="cache-cold",
+                right="cache-warm",
+                left_count=len(cold),
+                right_count=len(warm),
+                divergences=diff_signatures(
+                    "cache", "cache-cold", "cache-warm", cold, warm
+                ),
+            )
+        )
+        return report
+
+    def run(self) -> List[DifftestReport]:
+        return [self.run_version(version) for version in self.options.versions]

@@ -1,0 +1,92 @@
+"""Text rendering of differential-harness results.
+
+Follows the look of the evaluation tables: fixed-width columns, one
+block per corpus version for the config-matrix oracle, and a
+tool-by-construct capability table for the slice catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .divergence import DifftestReport
+from .slices import SliceResult
+
+
+def render_oracle_report(report: DifftestReport, verbose: bool = False) -> str:
+    lines = [
+        f"Config-matrix oracle — corpus {report.version}"
+        f" ({report.plugins} plugins)",
+        f"  {'axis':<10} {'left':<14} {'right':<14}"
+        f" {'findings':>9} {'diverge':>8}",
+    ]
+    for outcome in report.axes:
+        counts = (
+            f"{outcome.left_count}"
+            if outcome.left_count == outcome.right_count
+            else f"{outcome.left_count}/{outcome.right_count}"
+        )
+        verdict = "OK" if outcome.ok else str(len(outcome.divergences))
+        lines.append(
+            f"  {outcome.axis:<10} {outcome.left:<14} {outcome.right:<14}"
+            f" {counts:>9} {verdict:>8}"
+        )
+    if verbose or not report.ok:
+        for divergence in report.divergences:
+            lines.append("  ! " + divergence.describe())
+    return "\n".join(lines)
+
+
+def render_oracle_reports(
+    reports: Sequence[DifftestReport], verbose: bool = False
+) -> str:
+    blocks = [render_oracle_report(report, verbose=verbose) for report in reports]
+    total = sum(len(report.divergences) for report in reports)
+    blocks.append(
+        "No divergences across any axis."
+        if total == 0
+        else f"{total} divergence(s) found — the marked configurations disagree."
+    )
+    return "\n\n".join(blocks)
+
+
+def _mark(kinds: frozenset, expected: frozenset) -> str:
+    if not kinds:
+        return "-" if not expected else "MISS"
+    return ",".join(sorted(kinds))
+
+
+def render_slice_table(results: Sequence[SliceResult]) -> str:
+    """Capability-envelope table: construct × tool.
+
+    The reference (phpSAFE) column is asserted against each slice's
+    expected set; the baseline columns document the envelope."""
+    tools: List[str] = []
+    for result in results:
+        for name in result.detected:
+            if name not in tools:
+                tools.append(name)
+    header = f"  {'slice':<26} {'category':<12} {'expected':<10}"
+    for name in tools:
+        header += f" {name:<10}"
+    lines = [f"Feature matrix — {len(results)} slices", header]
+    failures = 0
+    by_category: Dict[str, List[SliceResult]] = {}
+    for result in results:
+        by_category.setdefault(result.slice.category, []).append(result)
+    for category in by_category:
+        for result in by_category[category]:
+            expected = ",".join(sorted(result.slice.expected)) or "-"
+            row = f"  {result.slice.name:<26} {category:<12} {expected:<10}"
+            for name in tools:
+                row += f" {_mark(result.detected.get(name, frozenset()), result.slice.expected):<10}"
+            if not result.ok:
+                failures += 1
+                row += "  <-- envelope mismatch"
+            lines.append(row)
+    lines.append(
+        "All slices match the reference envelope."
+        if failures == 0
+        else f"{failures} slice(s) diverge from the reference envelope."
+    )
+    return "\n".join(lines)

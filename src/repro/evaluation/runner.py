@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..batch import BatchOptions, BatchScanner, ToolSpec
 from ..config.vulnerability import VulnKind
@@ -110,14 +110,19 @@ class VersionEvaluation:
         return Confusion(tp=tp, fp=fp, fn=fn)
 
 
-def _run_tool(
+def run_tool(
     tool: AnalyzerTool,
     plugins: Sequence[Plugin],
-    jobs: int,
-    cache_dir: Optional[str],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Tuple[List[ToolReport], float]:
     """Analyze every plugin, returning per-plugin reports and the
-    wall-clock time of the analysis alone (no classification)."""
+    wall-clock time of the analysis alone (no classification).
+
+    Public so the differential harness (:mod:`repro.difftest`) drives
+    the exact execution paths the evaluation uses: ``jobs > 1`` or a
+    ``cache_dir`` routes through the batch scheduler, otherwise the
+    plugins are analyzed serially in-process."""
     if jobs > 1 or cache_dir:
         spec = ToolSpec.from_tool(tool)
         if spec is not None:
@@ -138,6 +143,7 @@ def evaluate_version(
     timing_repetitions: int = 1,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    report_hook: Optional[Callable[[str, List[ToolReport]], None]] = None,
 ) -> VersionEvaluation:
     """Run ``tools`` over every plugin of ``corpus``.
 
@@ -156,7 +162,11 @@ def evaluate_version(
         tool_eval = ToolEvaluation(
             tool=tool.name, version=corpus.version, match=match
         )
-        reports, seconds = _run_tool(tool, corpus.plugins, jobs, cache_dir)
+        reports, seconds = run_tool(tool, corpus.plugins, jobs, cache_dir)
+        if report_hook is not None:
+            # differential harness hook: hand out the per-plugin reports
+            # of this configuration before they are folded into metrics
+            report_hook(tool.name, reports)
         tool_eval.seconds = seconds
         tool_eval.timing_runs.append(seconds)
         for plugin, report in zip(corpus.plugins, reports):
@@ -165,7 +175,7 @@ def evaluate_version(
             tool_eval.files_analyzed += report.files_analyzed
             tool_eval.loc_analyzed += report.loc_analyzed
         for _ in range(timing_repetitions - 1):
-            _, seconds = _run_tool(tool, corpus.plugins, jobs, cache_dir)
+            _, seconds = run_tool(tool, corpus.plugins, jobs, cache_dir)
             tool_eval.timing_runs.append(seconds)
         evaluation.tools[tool.name] = tool_eval
     return evaluation

@@ -36,6 +36,9 @@ class IncidentStage(str, Enum):
     PARSE = "parse"
     MODEL = "model"
     ANALYSIS = "analysis"
+    #: differential-testing oracle: two configurations that must agree
+    #: produced different finding sets (see :mod:`repro.difftest`)
+    DIFF = "diff"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -45,7 +48,9 @@ class IncidentSeverity(str, Enum):
     """How much of the result the incident degraded.
 
     ``WARNING``: recovered locally, surrounding code fully analyzed.
-    ``ERROR``: a whole unit (file or function) was skipped.
+    ``ERROR``: a whole unit (file or function) was skipped — also the
+    severity of a difftest divergence, where one configuration's result
+    is wrong but both runs completed.
     ``FATAL``: plugin-wide degradation (global step budget exhausted).
     """
 

@@ -749,7 +749,9 @@ class Interpreter:
         if node.op != "=":
             current = self._eval(node.target, scope)
             operator = node.op[:-1]
-            if operator == ".":
+            if operator == "??":
+                value = current if current is not None else value
+            elif operator == ".":
                 value = to_php_string(current) + to_php_string(value)
             else:
                 value = self._arith(operator, current, value)
@@ -835,6 +837,9 @@ class Interpreter:
             return truthy(self._eval(node.left, scope)) != truthy(
                 self._eval(node.right, scope)
             )
+        if operator == "??":
+            left = self._eval(node.left, scope)
+            return left if left is not None else self._eval(node.right, scope)
         left = self._eval(node.left, scope)
         right = self._eval(node.right, scope)
         if operator == ".":

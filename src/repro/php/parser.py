@@ -96,6 +96,7 @@ _COMPOUND_ASSIGN = {
     TokenType.XOR_EQUAL: "^",
     TokenType.SL_EQUAL: "<<",
     TokenType.SR_EQUAL: ">>",
+    TokenType.COALESCE_EQUAL: "??",
 }
 
 _BINARY_TOKEN_SPELLING = {
@@ -1031,7 +1032,7 @@ class Parser:
         return left
 
     def _parse_ternary(self) -> ast.Expr:
-        cond = self._parse_binary(5)
+        cond = self._parse_coalesce()
         if self._at_char("?"):
             line = self._next().line
             if self._accept_char(":"):
@@ -1042,6 +1043,16 @@ class Parser:
             if_false = self._parse_assignment()
             return ast.Ternary(line=line, cond=cond, if_true=if_true, if_false=if_false)
         return cond
+
+    def _parse_coalesce(self) -> ast.Expr:
+        # `??` sits between `||` and the ternary and is right-associative:
+        # `$a ?? $b ?? $c` is `$a ?? ($b ?? $c)`.
+        left = self._parse_binary(5)
+        if self._at(TokenType.COALESCE):
+            token = self._next()
+            right = self._parse_coalesce()
+            return ast.Binary(line=token.line, op="??", left=left, right=right)
+        return left
 
     def _binary_op_at(self) -> Optional[str]:
         token = self._peek()

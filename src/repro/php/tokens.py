@@ -121,6 +121,8 @@ class TokenType(enum.Enum):
     AND_EQUAL = "T_AND_EQUAL"  # &=
     BOOLEAN_AND = "T_BOOLEAN_AND"  # &&
     BOOLEAN_OR = "T_BOOLEAN_OR"  # ||
+    COALESCE = "T_COALESCE"  # ??
+    COALESCE_EQUAL = "T_COALESCE_EQUAL"  # ??=
     CONCAT_EQUAL = "T_CONCAT_EQUAL"  # .=
     DEC = "T_DEC"  # --
     DIV_EQUAL = "T_DIV_EQUAL"  # /=
@@ -252,7 +254,9 @@ OPERATORS = [
     ("===", TokenType.IS_IDENTICAL),
     ("!==", TokenType.IS_NOT_IDENTICAL),
     ("...", TokenType.ELLIPSIS),
+    ("??=", TokenType.COALESCE_EQUAL),
     ("**", TokenType.POW),
+    ("??", TokenType.COALESCE),
     ("==", TokenType.IS_EQUAL),
     ("!=", TokenType.IS_NOT_EQUAL),
     ("<>", TokenType.IS_NOT_EQUAL),
