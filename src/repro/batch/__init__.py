@@ -14,7 +14,7 @@ from .scheduler import (
     ToolSpec,
     scan_corpus,
 )
-from .telemetry import SCHEMA, PluginScanStats, ScanTelemetry
+from .telemetry import SCHEMA, PluginScanStats, ScanTelemetry, ServiceStats
 
 __all__ = [
     "BatchOptions",
@@ -24,6 +24,7 @@ __all__ = [
     "PluginScanStats",
     "SCHEMA",
     "ScanTelemetry",
+    "ServiceStats",
     "ToolSpec",
     "scan_corpus",
 ]

@@ -4,7 +4,7 @@ Each batch run aggregates one :class:`PluginScanStats` per plugin
 (wall time, size, findings, cache counters, outcome) plus run-level
 incidents (worker restarts, deadline timeouts, crashes) into a
 :class:`ScanTelemetry` that serializes to a stable JSON schema
-(``schema`` key: ``repro.batch.telemetry/v3``) for CI dashboards and
+(``schema`` key: ``repro.batch.telemetry/v4``) for CI dashboards and
 the performance benchmarks.
 
 Schema history: v2 adds per-plugin typed-incident counts
@@ -13,18 +13,86 @@ Schema history: v2 adds per-plugin typed-incident counts
 (quarantined disk-cache objects).  v3 adds the function-summary cache
 counters (``summary_hits``/``summary_misses``/``summary_stale``) and
 the per-plugin/aggregated ``perf`` counter deltas (tokens/s, engine
-steps, taint-interning rates) from :mod:`repro.perf`.
+steps, taint-interning rates) from :mod:`repro.perf`.  v4 adds the
+analysis-service fields: a run-level ``service`` section
+(:class:`ServiceStats`: queue depth/peak, accepted/rejected/deduped
+jobs, queue-wait latency and throughput) and the per-plugin
+``queued_seconds`` latency (time a submission waited before a worker
+picked it up; always 0 outside the daemon).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..perf import merge as merge_perf
 
-SCHEMA = "repro.batch.telemetry/v3"
+SCHEMA = "repro.batch.telemetry/v4"
+
+
+@dataclass
+class ServiceStats:
+    """Run-level metrics of the ``phpsafe serve`` daemon (schema v4).
+
+    One instance is shared by the HTTP front end (which counts
+    submissions and rejections) and the worker pool (which counts
+    completions and queue-wait latency); ``GET /metrics`` serializes it
+    inside the live :class:`ScanTelemetry`.
+    """
+
+    #: jobs currently waiting in the queue (sampled at serialization)
+    queue_depth: int = 0
+    #: deepest the queue ever got during this daemon's lifetime
+    queue_depth_peak: int = 0
+    #: submissions admitted to the queue (excludes cached/rejected)
+    accepted: int = 0
+    #: submissions bounced with HTTP 429 because the queue was full
+    rejected: int = 0
+    #: submissions answered instantly from the content-addressed
+    #: result store (identical plugin digest already analyzed)
+    deduped: int = 0
+    #: accepted jobs a worker finished successfully
+    completed: int = 0
+    #: accepted jobs that ended in the ``failed`` state
+    failed: int = 0
+    #: summed queued→running wait over all started jobs (latency)
+    queue_wait_seconds: float = 0.0
+    #: jobs the wait sum covers (denominator of the mean)
+    waits_recorded: int = 0
+    #: seconds since the daemon started serving
+    uptime_seconds: float = 0.0
+
+    @property
+    def mean_queue_wait(self) -> float:
+        return (
+            self.queue_wait_seconds / self.waits_recorded
+            if self.waits_recorded
+            else 0.0
+        )
+
+    @property
+    def jobs_per_minute(self) -> float:
+        """Sustained throughput: completed jobs per minute of uptime."""
+        if not self.uptime_seconds:
+            return 0.0
+        return self.completed / (self.uptime_seconds / 60.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "queue_depth": self.queue_depth,
+            "queue_depth_peak": self.queue_depth_peak,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "deduped": self.deduped,
+            "completed": self.completed,
+            "failed": self.failed,
+            "queue_wait_seconds": round(self.queue_wait_seconds, 6),
+            "mean_queue_wait": round(self.mean_queue_wait, 6),
+            "uptime_seconds": round(self.uptime_seconds, 6),
+            "jobs_per_minute": round(self.jobs_per_minute, 3),
+        }
 
 
 @dataclass
@@ -56,6 +124,9 @@ class PluginScanStats:
     summary_stale: int = 0
     #: per-run perf counter delta (:data:`repro.perf.counters`)
     perf: Dict[str, float] = field(default_factory=dict)
+    #: time the job waited queued before a worker claimed it (service
+    #: submissions only; 0 for batch scans, which have no queue)
+    queued_seconds: float = 0.0
     #: "ok" | "timeout" | "crashed" | "error"
     outcome: str = "ok"
 
@@ -86,6 +157,7 @@ class PluginScanStats:
                 "summary_stale": self.summary_stale,
             },
             "perf": dict(self.perf),
+            "queued_seconds": round(self.queued_seconds, 6),
             "outcome": self.outcome,
         }
 
@@ -100,6 +172,8 @@ class ScanTelemetry:
     timeouts: int = 0
     crashes: int = 0
     plugins: List[PluginScanStats] = field(default_factory=list)
+    #: daemon metrics; ``None`` for plain batch scans (schema v4)
+    service: Optional[ServiceStats] = None
 
     def record(self, stats: PluginScanStats) -> None:
         self.plugins.append(stats)
@@ -187,7 +261,7 @@ class ScanTelemetry:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "schema": SCHEMA,
             "jobs": self.jobs,
             "wall_seconds": round(self.wall_seconds, 6),
@@ -218,6 +292,9 @@ class ScanTelemetry:
             },
             "plugins": [stats.to_dict() for stats in self.plugins],
         }
+        if self.service is not None:
+            document["service"] = self.service.to_dict()
+        return document
 
     def to_json(self, indent: int = 1) -> str:
         return json.dumps(self.to_dict(), indent=indent)

@@ -11,7 +11,12 @@ Subcommands:
     bounds each plugin, and ``--telemetry`` writes the JSON scan report.
 ``compare PATH``
     Run phpSAFE, RIPS-like and Pixy-like on the same target and print a
-    side-by-side summary.
+    side-by-side summary; ``--jobs``/``--cache-dir`` reuse the batch
+    machinery and ``--json`` emits machine-readable per-tool results.
+``serve``
+    Run the analysis-as-a-service daemon: an HTTP front end over a
+    durable job queue and worker pool, with SARIF export and live
+    metrics (see :mod:`repro.service`).
 ``corpus OUTDIR``
     Generate the synthetic 2012/2014 plugin corpora to disk, with the
     ground-truth manifest as JSON.
@@ -19,7 +24,7 @@ Subcommands:
     Run the full paper evaluation (Tables I–III, Fig. 2, Sections
     V.B–V.E) and print every table, paper-vs-measured.
 ``report PATH``
-    Analyze and export a review report (HTML, JSON or text).
+    Analyze and export a review report (HTML, JSON, SARIF or text).
 ``confirm PATH``
     Analyze, then dynamically confirm each finding in the simulated
     attack runtime (the paper's manual exploitation, automated).
@@ -232,18 +237,69 @@ def _scan_batch(args: argparse.Namespace, tool, targets) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    plugin = _load_target(args.path)
+    from .batch import BatchOptions, BatchScanner, ToolSpec
+
+    targets = _load_targets(args.path)
+    if args.cache_dir:
+        try:
+            os.makedirs(args.cache_dir, exist_ok=True)
+        except OSError as exc:
+            raise SystemExit(f"--cache-dir {args.cache_dir}: {exc}")
+    documents = []
     for tool in (PhpSafe(), RipsLike(), PixyLike()):
-        report = tool.analyze_timed(plugin)
-        xss = len([f for f in report.findings if f.kind.value == "xss"])
-        sqli = len(report.findings) - xss
+        spec = ToolSpec.from_tool(tool)
+        scanner = BatchScanner(
+            spec,
+            BatchOptions(jobs=args.jobs, cache_dir=args.cache_dir),
+        )
+        result = scanner.scan(targets)
+        merged = result.merged_report()
+        findings = merged.findings if merged else []
+        failed = merged.failed_files if merged else []
+        xss = len([f for f in findings if f.kind.value == "xss"])
+        sqli = len(findings) - xss
+        seconds = result.telemetry.wall_seconds
+        if args.json:
+            documents.append(
+                {
+                    "tool": tool.name,
+                    "xss": xss,
+                    "sqli": sqli,
+                    "failed_files": len(failed),
+                    "seconds": round(seconds, 4),
+                    "findings": [
+                        {
+                            "kind": finding.kind.value,
+                            "plugin": finding.plugin,
+                            "file": finding.file,
+                            "line": finding.line,
+                            "sink": finding.sink,
+                            "variable": finding.variable,
+                        }
+                        for finding in findings
+                    ],
+                }
+            )
+            continue
         print(
             f"{tool.name:8s} XSS={xss:4d} SQLi={sqli:3d} "
-            f"failed_files={len(report.failed_files):3d} time={report.seconds:.2f}s"
+            f"failed_files={len(failed):3d} time={seconds:.2f}s"
         )
         if args.verbose:
-            for finding in report.findings:
+            for finding in findings:
                 print(f"    {finding.describe()}")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "target": args.path,
+                    "plugins": len(targets),
+                    "jobs": args.jobs,
+                    "tools": documents,
+                },
+                indent=1,
+            )
+        )
     return 0
 
 
@@ -343,6 +399,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         rendered = to_html(report, plugin)
     elif args.format == "json":
         rendered = to_json(report)
+    elif args.format == "sarif":
+        from .service.sarif import to_sarif_json
+
+        rendered = to_sarif_json(report)
     else:
         rendered = to_text(report)
     if args.out:
@@ -388,6 +448,44 @@ def cmd_fix(args: argparse.Namespace) -> int:
     if args.out:
         patched.write_to(args.out)
         print(f"patched plugin written under {args.out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .batch import ToolSpec
+    from .service import AnalysisService, run_service
+
+    tool = _make_tool(
+        args.tool, no_oop=args.no_oop, generic=args.generic, strict=args.strict
+    )
+    spec = ToolSpec.from_tool(tool)
+    if spec is None:
+        raise SystemExit(f"tool {tool.name} cannot run as a service")
+    service = AnalysisService(
+        data_dir=args.data_dir,
+        spec=spec,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache_dir=args.cache_dir,
+        max_queue_depth=args.max_queue_depth,
+        isolation=args.isolation,
+    )
+    if service.requeued:
+        print(
+            f"recovered {service.requeued} interrupted job(s) from the spool",
+            flush=True,
+        )
+
+    def announce(host: str, port: int) -> None:
+        print(
+            f"{tool.name} service listening on http://{host}:{port}"
+            f" — workers={args.jobs}, queue depth {args.max_queue_depth},"
+            f" data dir {args.data_dir}",
+            flush=True,
+        )
+
+    run_service(service, args.host, args.port, on_ready=announce)
+    print("service stopped: queue drained and persisted", flush=True)
     return 0
 
 
@@ -454,6 +552,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="run all three tools on a target")
     compare.add_argument("path")
     compare.add_argument("-v", "--verbose", action="store_true")
+    compare.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per tool (default: 1, serial)",
+    )
+    compare.add_argument(
+        "--cache-dir", help="persistent parse-cache directory shared by the runs"
+    )
+    compare.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable per-tool results instead of the table",
+    )
     compare.set_defaults(func=cmd_compare)
 
     corpus = sub.add_parser("corpus", help="generate the synthetic corpora to disk")
@@ -501,9 +610,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="export a review report")
     report.add_argument("path")
-    report.add_argument("--format", choices=("html", "json", "text"), default="text")
+    report.add_argument(
+        "--format", choices=("html", "json", "text", "sarif"), default="text",
+        help="output format; 'sarif' emits a SARIF 2.1.0 interchange document",
+    )
     report.add_argument("--out", help="write to a file instead of stdout")
     report.set_defaults(func=cmd_report)
+
+    serve = sub.add_parser(
+        "serve", help="run the analysis-as-a-service HTTP daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument(
+        "--data-dir", default="phpsafe-service",
+        help="daemon state directory: job spool, result store, parse cache",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2, help="concurrent analysis workers"
+    )
+    serve.add_argument(
+        "--timeout", type=float, help="per-job deadline in seconds"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="parse/summary cache directory (default: DATA_DIR/cache)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=64,
+        help="queued-job bound; submissions beyond it get HTTP 429",
+    )
+    serve.add_argument(
+        "--isolation", choices=("process", "thread"), default="process",
+        help="worker isolation: 'process' survives crashing jobs (default)",
+    )
+    serve.add_argument("--tool", choices=("phpsafe", "rips", "pixy"),
+                       default="phpsafe")
+    serve.add_argument("--no-oop", action="store_true",
+                       help="disable OOP resolution")
+    serve.add_argument("--generic", action="store_true",
+                       help="generic PHP profile (no WordPress)")
+    serve.add_argument("--strict", action="store_true",
+                       help="disable error recovery")
+    serve.set_defaults(func=cmd_serve)
 
     confirm = sub.add_parser("confirm", help="dynamically confirm findings")
     confirm.add_argument("path")

@@ -9,13 +9,22 @@ is unmeasurable.
 
 Callers that want a per-run view (``PhpSafe.analyze``, batch workers)
 take a :meth:`PerfCounters.snapshot` before the work and
-:meth:`PerfCounters.since` after; the delta dict is what lands in
-``ToolReport.perf`` and the batch telemetry (schema v3).  Derived rates
-(tokens/s, nodes/s) are computed by :func:`derive` at reporting time.
+:meth:`PerfCounters.since` after — or wrap the work in :func:`scoped`,
+which does both; the delta dict is what lands in ``ToolReport.perf``
+and the batch telemetry (schema v4).  Derived rates (tokens/s, nodes/s)
+are computed by :func:`derive` at reporting time.
+
+Counter storage is **thread-local**: the analysis service runs several
+jobs concurrently in one process, and a per-job delta taken against a
+truly process-global counter would silently include every other job's
+work.  Each thread therefore increments (and snapshots) its own counter
+struct; single-threaded callers see no behaviour change, and the batch
+worker processes are single-threaded by construction.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 #: counter fields, in reporting order; ``*_seconds`` fields are floats
@@ -40,10 +49,14 @@ FIELDS = (
 )
 
 
-class PerfCounters:
-    """Monotonic process-wide counters (see module docstring)."""
+class PerfCounters(threading.local):
+    """Monotonic per-thread counters (see module docstring).
 
-    __slots__ = FIELDS
+    Deriving from ``threading.local`` gives every thread its own field
+    storage behind the single module-level :data:`counters` name, which
+    is what makes :func:`scoped` race-free under the service's
+    concurrent worker threads.
+    """
 
     def __init__(self) -> None:
         self.reset()
@@ -64,8 +77,45 @@ class PerfCounters:
         return delta
 
 
-#: the process-wide instance every hot path increments
+#: the shared name every hot path increments (thread-local storage)
 counters = PerfCounters()
+
+
+class PerfScope:
+    """Snapshot/delta pair captured around a ``with`` block.
+
+    ``delta`` (raw counter deltas) and ``rates`` (derived tokens/s etc.)
+    are populated when the block exits; :meth:`report` merges both into
+    the dict shape ``ToolReport.perf`` uses.  Because the underlying
+    counters are thread-local, two jobs scoped concurrently on
+    different threads each see only their own work.
+    """
+
+    __slots__ = ("delta", "rates", "_before")
+
+    def __init__(self) -> None:
+        self.delta: Dict[str, float] = {}
+        self.rates: Dict[str, float] = {}
+
+    def __enter__(self) -> "PerfScope":
+        self._before = counters.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.delta = counters.since(self._before)
+        self.rates = derive(self.delta)
+        return False
+
+    def report(self) -> Dict[str, float]:
+        """Counter deltas plus derived rates, merged."""
+        merged = dict(self.delta)
+        merged.update(self.rates)
+        return merged
+
+
+def scoped() -> PerfScope:
+    """Per-job measurement scope: ``with scoped() as s: ...; s.delta``."""
+    return PerfScope()
 
 
 def derive(delta: Dict[str, float]) -> Dict[str, float]:

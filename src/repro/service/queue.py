@@ -1,0 +1,324 @@
+"""Durable SQLite-backed job queue for the analysis daemon.
+
+Every accepted submission becomes one row in ``jobs.sqlite`` and moves
+through ``queued → running → done | failed``.  Durability is the whole
+point: the row is committed before the HTTP 202 goes out, so a daemon
+crash (or SIGTERM mid-run) can never lose an accepted job — on restart
+:meth:`JobQueue.recover` puts interrupted ``running`` rows back to
+``queued`` (or ``failed`` once their claim attempts are exhausted,
+which is how a plugin that reliably kills its worker is quarantined
+instead of crash-looping the daemon forever).
+
+Backpressure is a bounded queue depth: :meth:`submit` raises
+:class:`QueueFull` when ``max_depth`` jobs are already waiting, which
+the HTTP front end maps to ``429 Too Many Requests``.
+
+Thread safety: one shared connection guarded by a lock.  Queue
+operations are tiny row updates, so serializing them costs nothing
+next to the seconds-long analyses they bracket.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: job lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class QueueFull(Exception):
+    """The bounded queue is at capacity; submission must be rejected."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One submission's queue row."""
+
+    id: str
+    digest: str
+    fingerprint: str
+    plugin: str
+    state: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def queued_seconds(self) -> float:
+        """Queue-wait latency (0 until the job is claimed)."""
+        if self.started_at is None:
+            return 0.0
+        return max(0.0, self.started_at - self.submitted_at)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "digest": self.digest,
+            "plugin": self.plugin,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "queued_seconds": round(self.queued_seconds, 6),
+            "error": self.error,
+        }
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id TEXT PRIMARY KEY,
+    digest TEXT NOT NULL,
+    fingerprint TEXT NOT NULL DEFAULT '',
+    plugin TEXT NOT NULL DEFAULT '',
+    state TEXT NOT NULL DEFAULT 'queued',
+    submitted_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    cached INTEGER NOT NULL DEFAULT 0,
+    error TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs(state, submitted_at);
+CREATE INDEX IF NOT EXISTS jobs_digest ON jobs(digest, fingerprint);
+"""
+
+
+class JobQueue:
+    """Crash-safe spool of scan jobs (see module docstring)."""
+
+    def __init__(
+        self,
+        path: str,
+        max_depth: int = 64,
+        max_attempts: int = 2,
+    ) -> None:
+        self.path = path
+        self.max_depth = max_depth
+        self.max_attempts = max_attempts
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    # -- submission side ---------------------------------------------------
+
+    def submit(
+        self,
+        digest: str,
+        fingerprint: str = "",
+        plugin: str = "",
+        cached: bool = False,
+    ) -> Tuple[Job, bool]:
+        """Enqueue one job; returns ``(job, created)``.
+
+        A submission whose ``(digest, fingerprint)`` is already queued
+        or running coalesces onto the in-flight job instead of queueing
+        duplicate work — both clients poll the same id, and ``created``
+        is False.  ``cached=True`` records a submission that was
+        answered straight from the result store: the row is born
+        ``done`` so the status API stays uniform.
+        """
+        now = time.time()
+        with self._lock:
+            if not cached:
+                row = self._conn.execute(
+                    "SELECT * FROM jobs WHERE digest = ? AND fingerprint = ?"
+                    " AND state IN (?, ?) ORDER BY submitted_at LIMIT 1",
+                    (digest, fingerprint, QUEUED, RUNNING),
+                ).fetchone()
+                if row is not None:
+                    return self._job(row), False
+                depth = self._depth_locked()
+                if depth >= self.max_depth:
+                    raise QueueFull(
+                        f"queue depth {depth} at capacity {self.max_depth}"
+                    )
+            job_id = uuid.uuid4().hex[:16]
+            state = DONE if cached else QUEUED
+            self._conn.execute(
+                "INSERT INTO jobs (id, digest, fingerprint, plugin, state,"
+                " submitted_at, finished_at, cached)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    digest,
+                    fingerprint,
+                    plugin,
+                    state,
+                    now,
+                    now if cached else None,
+                    1 if cached else 0,
+                ),
+            )
+            self._conn.commit()
+            return self._get_locked(job_id), True
+
+    # -- worker side -------------------------------------------------------
+
+    def claim(self) -> Optional[Job]:
+        """Atomically move the oldest queued job to ``running``."""
+        now = time.time()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT id FROM jobs WHERE state = ?"
+                " ORDER BY submitted_at, id LIMIT 1",
+                (QUEUED,),
+            ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, started_at = ?,"
+                " attempts = attempts + 1 WHERE id = ?",
+                (RUNNING, now, row["id"]),
+            )
+            self._conn.commit()
+            return self._get_locked(row["id"])
+
+    def complete(self, job_id: str) -> None:
+        self._finish(job_id, DONE, None)
+
+    def fail(self, job_id: str, error: str) -> None:
+        self._finish(job_id, FAILED, error)
+
+    def release(self, job_id: str) -> None:
+        """Put a claimed-but-unstarted job back (graceful shutdown)."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, started_at = NULL,"
+                " attempts = attempts - 1 WHERE id = ? AND state = ?",
+                (QUEUED, job_id, RUNNING),
+            )
+            self._conn.commit()
+
+    def _finish(self, job_id: str, state: str, error: Optional[str]) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, error = ?"
+                " WHERE id = ?",
+                (state, time.time(), error, job_id),
+            )
+            self._conn.commit()
+
+    # -- restart / introspection -------------------------------------------
+
+    def recover(self) -> int:
+        """Requeue jobs interrupted by a crash; returns how many.
+
+        Rows still ``running`` when the daemon starts belong to a
+        previous process that died mid-analysis.  Each goes back to
+        ``queued`` unless its claim attempts are exhausted, in which
+        case it is failed for good (a reliably worker-killing input
+        must not crash-loop the daemon).
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id, attempts FROM jobs WHERE state = ?", (RUNNING,)
+            ).fetchall()
+            requeued = 0
+            for row in rows:
+                if row["attempts"] >= self.max_attempts:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, finished_at = ?, error = ?"
+                        " WHERE id = ?",
+                        (
+                            FAILED,
+                            time.time(),
+                            f"abandoned after {row['attempts']} interrupted"
+                            " attempt(s)",
+                            row["id"],
+                        ),
+                    )
+                else:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, started_at = NULL"
+                        " WHERE id = ?",
+                        (QUEUED, row["id"]),
+                    )
+                    requeued += 1
+            self._conn.commit()
+            return requeued
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            return self._job(row) if row is not None else None
+
+    def depth(self) -> int:
+        """Jobs currently waiting (the bounded-depth measure)."""
+        with self._lock:
+            return self._depth_locked()
+
+    def counts(self) -> Dict[str, int]:
+        """Row count per state (for ``GET /metrics``)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    def jobs_in(self, *states: str) -> List[Job]:
+        with self._lock:
+            marks = ",".join("?" for _ in states)
+            rows = self._conn.execute(
+                f"SELECT * FROM jobs WHERE state IN ({marks})"
+                " ORDER BY submitted_at, id",
+                states,
+            ).fetchall()
+            return [self._job(row) for row in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _depth_locked(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM jobs WHERE state = ?", (QUEUED,)
+        ).fetchone()
+        return row["n"]
+
+    def _get_locked(self, job_id: str) -> Job:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        return self._job(row)
+
+    @staticmethod
+    def _job(row: sqlite3.Row) -> Job:
+        return Job(
+            id=row["id"],
+            digest=row["digest"],
+            fingerprint=row["fingerprint"],
+            plugin=row["plugin"],
+            state=row["state"],
+            submitted_at=row["submitted_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            attempts=row["attempts"],
+            cached=bool(row["cached"]),
+            error=row["error"],
+        )

@@ -1,0 +1,269 @@
+"""SARIF 2.1.0 export of analysis reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what code-scanning consumers — GitHub code scanning, VS Code SARIF
+viewers, defect-tracking importers — ingest, so it is the daemon's
+interchange surface and the ``report --format sarif`` CLI output.
+
+Mapping:
+
+* each :class:`~repro.core.results.ToolReport` becomes one ``run``;
+* each :class:`~repro.core.results.Finding` becomes one ``result``
+  with rule id ``phpsafe/<kind>``, the sink location as its physical
+  location, the variable-to-variable flow as a ``codeFlow``, and a
+  ``partialFingerprints`` entry carrying the canonical finding
+  signature (plugin/kind/file/line/sink — the identity the
+  differential harness compares);
+* typed :class:`~repro.incidents.Incident` records become
+  ``invocations[0].toolExecutionNotifications`` so robustness
+  degradation travels with the findings;
+* coverage / LOC / perf land in run ``properties``.
+
+:func:`result_signatures` inverts the fingerprint encoding, which is
+how the service tests prove the export round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.results import Finding, FindingSignature, ToolReport
+from ..core.review import fix_hint, sorted_findings
+from ..incidents import Incident, IncidentSeverity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+#: rule catalogue: kind value -> (name, description)
+_RULES: Dict[str, Tuple[str, str]] = {
+    "xss": (
+        "CrossSiteScripting",
+        "Tainted input reaches an HTML output sink without "
+        "context-appropriate escaping.",
+    ),
+    "sqli": (
+        "SqlInjection",
+        "Tainted input reaches a database query sink without "
+        "parameterization or escaping.",
+    ),
+    "cmdi": (
+        "CommandInjection",
+        "Tainted input reaches an OS command sink without shell quoting.",
+    ),
+    "lfi": (
+        "FileInclusion",
+        "Tainted input controls the target of an include/require.",
+    ),
+}
+
+_NOTIFICATION_LEVELS = {
+    IncidentSeverity.WARNING: "warning",
+    IncidentSeverity.ERROR: "error",
+    IncidentSeverity.FATAL: "error",
+}
+
+
+def rule_id(kind_value: str) -> str:
+    return f"phpsafe/{kind_value}"
+
+
+def _rule(kind_value: str) -> Dict[str, object]:
+    name, description = _RULES.get(
+        kind_value, (kind_value.upper(), "Tainted input reaches a sensitive sink.")
+    )
+    return {
+        "id": rule_id(kind_value),
+        "name": name,
+        "shortDescription": {"text": name},
+        "fullDescription": {"text": description},
+        "defaultConfiguration": {"level": "error"},
+        "properties": {"tags": ["security", kind_value]},
+    }
+
+
+def _fingerprint(finding: Finding, plugin: str) -> str:
+    """Canonical signature, encoded; ``/`` never occurs in the parts
+    SARIF consumers compare, and the separator cannot collide with PHP
+    identifiers or relative paths because of the escaping below."""
+    parts = (
+        finding.plugin or plugin,
+        finding.kind.value,
+        finding.file,
+        str(finding.line),
+        finding.sink,
+    )
+    return "|".join(part.replace("\\", "\\\\").replace("|", "\\|") for part in parts)
+
+
+def _split_fingerprint(encoded: str) -> List[str]:
+    parts: List[str] = []
+    current: List[str] = []
+    escaped = False
+    for char in encoded:
+        if escaped:
+            current.append(char)
+            escaped = False
+        elif char == "\\":
+            escaped = True
+        elif char == "|":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def _location(file: str, line: int) -> Dict[str, object]:
+    region: Dict[str, object] = {}
+    if line:
+        region["startLine"] = line
+    location: Dict[str, object] = {
+        "physicalLocation": {"artifactLocation": {"uri": file}}
+    }
+    if region:
+        location["physicalLocation"]["region"] = region
+    return location
+
+
+def finding_to_result(finding: Finding, plugin: str = "") -> Dict[str, object]:
+    message = f"{finding.describe()} — fix: {fix_hint(finding)}"
+    result: Dict[str, object] = {
+        "ruleId": rule_id(finding.kind.value),
+        "level": "error",
+        "message": {"text": message},
+        "locations": [_location(finding.file, finding.line)],
+        "partialFingerprints": {
+            "phpsafe/findingSignature/v1": _fingerprint(finding, plugin)
+        },
+        "properties": {
+            "sink": finding.sink,
+            "variable": finding.variable,
+            "vectors": [vector.value for vector in finding.vectors],
+            "viaOop": finding.via_oop,
+            "markupContext": finding.markup_context,
+            "plugin": finding.plugin or plugin,
+        },
+    }
+    if finding.trace:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": {
+                                    **_location(finding.file, finding.line),
+                                    "message": {"text": step},
+                                }
+                            }
+                            for step in finding.trace
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def _incident_notification(incident: Incident) -> Dict[str, object]:
+    notification: Dict[str, object] = {
+        "level": _NOTIFICATION_LEVELS.get(incident.severity, "warning"),
+        "message": {"text": incident.describe()},
+        "descriptor": {"id": f"phpsafe/incident/{incident.stage.value}"},
+        "properties": incident.to_dict(),
+    }
+    if incident.file and not incident.file.startswith("<"):
+        notification["locations"] = [_location(incident.file, incident.line)]
+    return notification
+
+
+def report_to_run(report: ToolReport, tool_version: str = "1.0.0") -> Dict[str, object]:
+    """One SARIF ``run`` for one plugin's report."""
+    kinds_used = sorted({finding.kind.value for finding in report.findings})
+    fatal = any(
+        incident.severity is IncidentSeverity.FATAL for incident in report.incidents
+    )
+    invocation: Dict[str, object] = {"executionSuccessful": not fatal}
+    if report.incidents:
+        invocation["toolExecutionNotifications"] = [
+            _incident_notification(incident) for incident in report.incidents
+        ]
+    return {
+        "tool": {
+            "driver": {
+                "name": report.tool,
+                "informationUri": "https://doi.org/10.1109/DSN.2015.16",
+                "version": tool_version,
+                "rules": [_rule(kind) for kind in kinds_used],
+            }
+        },
+        "automationDetails": {"id": f"phpsafe/scan/{report.plugin}"},
+        "invocations": [invocation],
+        "results": [
+            finding_to_result(finding, report.plugin)
+            for finding in sorted_findings(report)
+        ],
+        "columnKind": "utf16CodeUnits",
+        "properties": {
+            "plugin": report.plugin,
+            "filesAnalyzed": report.files_analyzed,
+            "locAnalyzed": report.loc_analyzed,
+            "filesSkipped": report.files_skipped,
+            "locSkipped": report.loc_skipped,
+            "coverage": round(report.coverage, 4),
+            "seconds": round(report.seconds, 4),
+        },
+    }
+
+
+def to_sarif(
+    reports: Union[ToolReport, Sequence[ToolReport]],
+    tool_version: str = "1.0.0",
+) -> Dict[str, object]:
+    """A complete SARIF 2.1.0 log: one run per report."""
+    if isinstance(reports, ToolReport):
+        reports = [reports]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [report_to_run(report, tool_version) for report in reports],
+    }
+
+
+def to_sarif_json(
+    reports: Union[ToolReport, Sequence[ToolReport]],
+    tool_version: str = "1.0.0",
+    indent: Optional[int] = 1,
+) -> str:
+    return json.dumps(to_sarif(reports, tool_version), indent=indent)
+
+
+def result_signatures(document: Dict[str, object]) -> Set[FindingSignature]:
+    """Decode every result's canonical finding signature.
+
+    The inverse of the ``partialFingerprints`` encoding; the service
+    parity tests compare this set against
+    :func:`repro.core.results.finding_signatures` of a direct scan to
+    prove the SARIF export is lossless and duplicate-free.
+    """
+    signatures: Set[FindingSignature] = set()
+    for run in document.get("runs", ()):  # type: ignore[union-attr]
+        for result in run.get("results", ()):
+            encoded = result.get("partialFingerprints", {}).get(
+                "phpsafe/findingSignature/v1"
+            )
+            if not encoded:
+                continue
+            plugin, kind, file, line, sink = _split_fingerprint(encoded)
+            signatures.add((plugin, kind, file, int(line), sink))
+    return signatures
+
+
+def result_count(document: Dict[str, object]) -> int:
+    """Total results across runs (round-trip cardinality check)."""
+    return sum(len(run.get("results", ())) for run in document.get("runs", ()))

@@ -1,0 +1,148 @@
+"""Content-addressed plugin payloads and scan results.
+
+The daemon never trusts a client-supplied name as identity: every
+submission is hashed into a **plugin digest** (SHA-256 over the sorted
+``(path, source)`` pairs), the payload is persisted under that digest
+so a queued job survives a daemon restart, and finished reports are
+stored under ``(digest, analyzer fingerprint)``.  Identical
+resubmissions — same bytes, same analyzer configuration — therefore
+never reach the queue at all: the stored report is served instantly.
+
+Layout (all writes are atomic temp-file + ``os.replace``, so any number
+of worker threads/processes can share one store)::
+
+    root/plugins/<aa>/<digest>.json   {"name", "version", "files"}
+    root/results/<aa>/<key>.json      the finished report document
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from ..plugin import Plugin
+
+
+def plugin_digest(plugin: Plugin) -> str:
+    """Content identity of a submission: file paths + bytes only.
+
+    Name and version are deliberately excluded — two marketplaces
+    uploading the same bytes under different slugs get one analysis.
+    """
+    hasher = hashlib.sha256()
+    for path, source in plugin.iter_files():
+        hasher.update(path.encode("utf-8", "replace"))
+        hasher.update(b"\x00")
+        hasher.update(source.encode("utf-8", "replace"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+class ResultStore:
+    """Digest-keyed payload + report store under one directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._plugins_dir = os.path.join(root, "plugins")
+        self._results_dir = os.path.join(root, "results")
+        os.makedirs(self._plugins_dir, exist_ok=True)
+        os.makedirs(self._results_dir, exist_ok=True)
+
+    # -- plugin payloads ---------------------------------------------------
+
+    def put_plugin(self, plugin: Plugin) -> str:
+        """Persist the submission payload; returns its digest."""
+        digest = plugin_digest(plugin)
+        path = self._shard_path(self._plugins_dir, digest)
+        if not os.path.exists(path):
+            self._write_json(
+                path,
+                {
+                    "name": plugin.name,
+                    "version": plugin.version,
+                    "files": dict(plugin.files),
+                },
+            )
+        return digest
+
+    def load_plugin(self, digest: str) -> Optional[Plugin]:
+        document = self._read_json(self._shard_path(self._plugins_dir, digest))
+        if document is None:
+            return None
+        return Plugin(
+            name=document.get("name", digest[:12]),
+            version=document.get("version", ""),
+            files=dict(document.get("files", {})),
+        )
+
+    # -- finished reports --------------------------------------------------
+
+    @staticmethod
+    def result_key(digest: str, fingerprint: str) -> str:
+        """Report identity: plugin bytes + analyzer configuration."""
+        if not fingerprint:
+            return digest
+        return hashlib.sha256(
+            f"{digest}:{fingerprint}".encode("utf-8")
+        ).hexdigest()
+
+    def put_result(
+        self, digest: str, fingerprint: str, document: Dict[str, object]
+    ) -> None:
+        path = self._shard_path(
+            self._results_dir, self.result_key(digest, fingerprint)
+        )
+        self._write_json(path, document)
+
+    def get_result(
+        self, digest: str, fingerprint: str
+    ) -> Optional[Dict[str, object]]:
+        return self._read_json(
+            self._shard_path(self._results_dir, self.result_key(digest, fingerprint))
+        )
+
+    def result_count(self) -> int:
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self._results_dir):
+            count += sum(1 for name in filenames if name.endswith(".json"))
+        return count
+
+    # -- I/O helpers -------------------------------------------------------
+
+    @staticmethod
+    def _shard_path(root: str, key: str) -> str:
+        return os.path.join(root, key[:2], key + ".json")
+
+    @staticmethod
+    def _write_json(path: str, document: Dict[str, object]) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=1)
+            os.replace(tmp_path, path)
+        except Exception:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _read_json(path: str) -> Optional[Dict[str, object]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # truncated/corrupt object: treat as absent so the job is
+            # simply re-analyzed; the rewrite replaces the bad file
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None

@@ -107,7 +107,7 @@ class TestBatchScan:
         capsys.readouterr()
         with open(warm_path) as handle:
             warm = json.load(handle)
-        assert warm["schema"] == "repro.batch.telemetry/v3"
+        assert warm["schema"] == "repro.batch.telemetry/v4"
         assert warm["cache"]["hit_rate"] > 0.9
         with open(cold_path) as handle:
             cold = json.load(handle)
@@ -129,6 +129,30 @@ class TestCompare:
     def test_compare_verbose(self, vulnerable_file, capsys):
         main(["compare", vulnerable_file, "-v"])
         assert "echo" in capsys.readouterr().out
+
+    def test_compare_json_is_machine_readable(self, vulnerable_file, capsys):
+        assert main(["compare", vulnerable_file, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["plugins"] == 1
+        tools = {entry["tool"]: entry for entry in document["tools"]}
+        assert {"phpSAFE", "RIPS", "Pixy"} <= set(tools)
+        phpsafe = tools["phpSAFE"]
+        assert phpsafe["xss"] >= 1
+        assert phpsafe["seconds"] >= 0
+        (finding,) = [f for f in phpsafe["findings"] if f["kind"] == "xss"][:1]
+        assert finding["file"] and finding["line"] >= 1 and finding["sink"]
+
+    def test_compare_json_with_jobs_and_cache(self, plugin_dir, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["compare", plugin_dir, "--json", "--jobs", "2",
+                "--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["jobs"] == 2
+        for cold_tool, warm_tool in zip(cold["tools"], warm["tools"]):
+            assert cold_tool["findings"] == warm_tool["findings"]
 
 
 class TestCorpusCommand:
@@ -176,6 +200,14 @@ class TestReportCommand:
     def test_text_report_default(self, vulnerable_file, capsys):
         main(["report", vulnerable_file])
         assert "fix:" in capsys.readouterr().out
+
+    def test_sarif_report(self, vulnerable_file, capsys):
+        assert main(["report", vulnerable_file, "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "phpSAFE"
+        assert run["results"][0]["ruleId"] == "phpsafe/xss"
 
 
 class TestConfirmCommand:
