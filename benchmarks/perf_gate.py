@@ -13,6 +13,10 @@ across refactors):
   persistent cache directory — the paper's dominant workload (the 2014
   version of a plugin re-scanned after the 2012 version, most files
   unchanged) — cold and warm.
+- **rescan** (``BENCH_rescan.json``): the diff-aware incremental path —
+  the largest corpus plugin with one file changed, rescanned against
+  the prior scan's manifest vs cold-scanned from scratch.  Asserts
+  finding parity and records the warm/cold speedup the planner buys.
 
 Usage::
 
@@ -167,6 +171,76 @@ def bench_scan(scale: float, repetitions: int) -> dict:
     }
 
 
+def bench_rescan(scale: float, repetitions: int) -> dict:
+    """One-file-changed incremental rescan vs cold full scan.
+
+    Workload: the largest plugin of the 2014 corpus.  An initial
+    tracked scan produces the per-file digest manifest; one file then
+    grows a tainted-echo block (the canonical plugin update), and the
+    mutated plugin is analyzed both ways.  The two runs must produce
+    identical finding signatures — speed that changes results is a bug,
+    not a benchmark.
+    """
+    import dataclasses
+
+    from repro.core import ModelCache
+    from repro.core.results import finding_signatures
+
+    corpus = build_corpus("2014", scale=scale)
+    plugin = max(
+        corpus.plugins,
+        key=lambda p: sum(len(source) for source in p.files.values()),
+    )
+    # warm side = the product configuration: a long-lived tool with a
+    # live parse/summary cache plus the prior scan's manifest
+    tool = PhpSafe(cache=ModelCache())
+    _report, manifest, _stats = tool.rescan(plugin)
+
+    # mutate a file that is an actual analysis root (not, say, one of
+    # the corpus's deliberately-broken legacy files) so the rescan has
+    # exactly one unit to re-run
+    target = min(root for root in manifest["roots"] if root in plugin.files)
+    files = dict(plugin.files)
+    files[target] = files[target] + "\n<?php echo $_GET['rescan_mutation'];\n"
+    mutated = dataclasses.replace(plugin, files=files)
+
+    cold_s = float("inf")
+    cold_signatures = None
+    for _ in range(repetitions):
+        fresh = PhpSafe()
+        start = time.perf_counter()
+        report = fresh.analyze(mutated)
+        cold_s = min(cold_s, time.perf_counter() - start)
+        cold_signatures = finding_signatures([report])
+
+    warm_s = float("inf")
+    warm_signatures = None
+    stats = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        warm_report, _new_manifest, stats = tool.rescan(mutated, manifest)
+        warm_s = min(warm_s, time.perf_counter() - start)
+        warm_signatures = finding_signatures([warm_report])
+    assert stats is not None and stats.incremental, (
+        f"rescan fell back to a full scan: {stats.fallback_reason!r}"
+    )
+    assert cold_signatures == warm_signatures, (
+        "incremental rescan changed the findings"
+    )
+    return {
+        "scale": scale,
+        "plugin": plugin.slug,
+        "plugin_files": len(plugin.files),
+        "roots_total": stats.roots_total,
+        "roots_reused": stats.roots_reused,
+        "changed_files": len(stats.changed_files),
+        "findings": len(cold_signatures or ()),
+        "cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "warm_speedup": round(cold_s / warm_s, 3) if warm_s else 0.0,
+    }
+
+
 def _merge(path: str, section: dict, record_baseline: bool, quick: bool) -> dict:
     data: dict = {}
     if os.path.exists(path):
@@ -219,6 +293,7 @@ def main(argv=None) -> int:
 
     substrate = bench_substrate(repetitions)
     scan = bench_scan(scale, 1 if args.quick else 2)
+    rescan = bench_rescan(scale, 2 if args.quick else 3)
 
     substrate_data = _merge(
         os.path.join(args.out_dir, "BENCH_substrate.json"),
@@ -228,10 +303,19 @@ def main(argv=None) -> int:
         os.path.join(args.out_dir, "BENCH_scan.json"),
         scan, args.record_baseline, args.quick,
     )
+    rescan_data = _merge(
+        os.path.join(args.out_dir, "BENCH_rescan.json"),
+        rescan, args.record_baseline, args.quick,
+    )
     print("substrate:", json.dumps(substrate_data["current"], indent=1))
     print("substrate speedup vs baseline:", substrate_data["speedup_vs_baseline"])
     print("scan:", json.dumps(scan_data["current"], indent=1))
     print("scan speedup vs baseline:", scan_data["speedup_vs_baseline"])
+    print("rescan:", json.dumps(rescan_data["current"], indent=1))
+    print(
+        "rescan warm speedup (cold full scan / incremental):",
+        rescan_data["current"]["warm_speedup"],
+    )
     return 0
 
 

@@ -209,6 +209,66 @@ def _scan_one(payload: Tuple[str, str, Dict[str, str]]) -> _TaskResult:
     return report, report.seconds, outcome, delta
 
 
+#: rescan worker return value: ``_TaskResult`` plus the new per-file
+#: digest manifest and the rescan-stats dict
+_RescanResult = Tuple[
+    ToolReport, float, str, Tuple[int, ...], Optional[Dict[str, object]],
+    Dict[str, object],
+]
+
+
+def _rescan_one(
+    payload: Tuple[str, str, Dict[str, str], Optional[Dict[str, object]]]
+) -> _RescanResult:
+    """Diff-aware variant of :func:`_scan_one` for the service workers.
+
+    Runs :meth:`PhpSafe.rescan` against the prior manifest (``None``
+    forces a full tracked scan that still produces a manifest for the
+    next submission); tools without a rescan path analyze normally and
+    return no manifest.
+    """
+    name, version, files, manifest = payload
+    plugin = Plugin(name=name, version=version, files=files)
+    tool = _worker_tool
+    assert tool is not None, "worker used before initialization"
+    cache = getattr(tool, "cache", None)
+    stats_before = _cache_stats(cache)
+    outcome = "ok"
+    new_manifest: Optional[Dict[str, object]] = None
+    rescan_stats: Dict[str, object] = {}
+    start = time.perf_counter()
+    if _worker_timeout:
+        signal.setitimer(signal.ITIMER_REAL, _worker_timeout)
+    try:
+        if hasattr(tool, "rescan"):
+            report, new_manifest, stats = tool.rescan(plugin, manifest)
+            rescan_stats = stats.to_dict()
+        else:
+            report = tool.analyze(plugin)
+    except _ScanDeadline:
+        outcome = "timeout"
+        new_manifest = None
+        report = _failure_report(
+            tool.name,
+            plugin.slug,
+            f"scan deadline of {_worker_timeout:g}s exceeded",
+        )
+    except Exception as error:
+        outcome = "error"
+        new_manifest = None
+        report = _failure_report(
+            tool.name, plugin.slug, f"worker exception: {error!r}"
+        )
+    finally:
+        if _worker_timeout:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+    report.seconds = time.perf_counter() - start
+    report.variables = {}
+    stats_after = _cache_stats(cache)
+    delta = tuple(after - before for after, before in zip(stats_after, stats_before))
+    return report, report.seconds, outcome, delta, new_manifest, rescan_stats
+
+
 def _cache_stats(cache: Optional[ModelCache]) -> Tuple[int, ...]:
     """Current cache counters, parse tier then summary tier."""
     if cache is None:

@@ -4,7 +4,7 @@ Each batch run aggregates one :class:`PluginScanStats` per plugin
 (wall time, size, findings, cache counters, outcome) plus run-level
 incidents (worker restarts, deadline timeouts, crashes) into a
 :class:`ScanTelemetry` that serializes to a stable JSON schema
-(``schema`` key: ``repro.batch.telemetry/v4``) for CI dashboards and
+(``schema`` key: ``repro.batch.telemetry/v5``) for CI dashboards and
 the performance benchmarks.
 
 Schema history: v2 adds per-plugin typed-incident counts
@@ -18,7 +18,10 @@ analysis-service fields: a run-level ``service`` section
 (:class:`ServiceStats`: queue depth/peak, accepted/rejected/deduped
 jobs, queue-wait latency and throughput) and the per-plugin
 ``queued_seconds`` latency (time a submission waited before a worker
-picked it up; always 0 outside the daemon).
+picked it up; always 0 outside the daemon).  v5 adds the incremental
+rescan counters: per-plugin ``rescan`` (analysis roots total/reused,
+fallback reason) and the run-level ``rescan`` aggregate
+(roots reused across the run, incremental runs, full-scan fallbacks).
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from typing import Dict, List, Optional
 
 from ..perf import merge as merge_perf
 
-SCHEMA = "repro.batch.telemetry/v4"
+SCHEMA = "repro.batch.telemetry/v5"
 
 
 @dataclass
@@ -129,6 +132,14 @@ class PluginScanStats:
     queued_seconds: float = 0.0
     #: "ok" | "timeout" | "crashed" | "error"
     outcome: str = "ok"
+    #: incremental-rescan counters (schema v5): analysis roots in the
+    #: plugin and how many were reused from the prior scan's manifest;
+    #: both 0 for plain (non-rescan) scans
+    rescan_roots_total: int = 0
+    rescan_roots_reused: int = 0
+    #: why an attempted incremental rescan fell back to a full scan
+    #: (empty: no fallback, or no rescan was attempted)
+    rescan_fallback: str = ""
 
     @property
     def files_per_second(self) -> float:
@@ -159,6 +170,11 @@ class PluginScanStats:
             "perf": dict(self.perf),
             "queued_seconds": round(self.queued_seconds, 6),
             "outcome": self.outcome,
+            "rescan": {
+                "roots_total": self.rescan_roots_total,
+                "roots_reused": self.rescan_roots_reused,
+                "fallback": self.rescan_fallback,
+            },
         }
 
 
@@ -258,6 +274,28 @@ class ScanTelemetry:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def rescan_roots_total(self) -> int:
+        return sum(stats.rescan_roots_total for stats in self.plugins)
+
+    @property
+    def rescan_roots_reused(self) -> int:
+        return sum(stats.rescan_roots_reused for stats in self.plugins)
+
+    @property
+    def rescan_incremental_runs(self) -> int:
+        """Plugins whose scan actually skipped at least one root."""
+        return sum(
+            1
+            for stats in self.plugins
+            if stats.rescan_roots_reused and not stats.rescan_fallback
+        )
+
+    @property
+    def rescan_fallbacks(self) -> int:
+        """Attempted incremental rescans that fell back to a full scan."""
+        return sum(1 for stats in self.plugins if stats.rescan_fallback)
+
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
@@ -283,6 +321,12 @@ class ScanTelemetry:
                 "summary_hit_rate": round(self.summary_hit_rate, 4),
             },
             "perf": self.perf_totals(),
+            "rescan": {
+                "roots_total": self.rescan_roots_total,
+                "roots_reused": self.rescan_roots_reused,
+                "incremental_runs": self.rescan_incremental_runs,
+                "fallbacks": self.rescan_fallbacks,
+            },
             "incidents": {
                 "worker_restarts": self.worker_restarts,
                 "timeouts": self.timeouts,

@@ -33,6 +33,12 @@ Subcommands:
     to ``--out`` when given).
 ``approve PATH``
     Gate a plugin against the integration policy (Section VI workflow).
+``history ACTION``
+    Maintain the historic scan archive (Section VI future work):
+    ``record`` scans a plugin version into the archive, ``diff``
+    classifies the change between the two most recent scans
+    (new / fixed / persistent), ``evolution`` prints the per-version
+    finding-count series.
 """
 
 from __future__ import annotations
@@ -112,6 +118,28 @@ def _print_incidents(report, indent: str = "  ") -> None:
         print(f"{indent}~ {incident.describe()}")
 
 
+def _load_sarif(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"--baseline {path}: {exc}")
+
+
+def _baseline_gate(reports, baseline_path: str):
+    """Classify the reports' findings against a prior SARIF log.
+
+    Returns ``(counts, new)``: the per-state tallies and the number of
+    findings not present in the baseline — what a fail-only-on-new
+    gate fails on.
+    """
+    from .service.sarif import apply_baseline, new_result_count, to_sarif
+
+    document = to_sarif(list(reports))
+    counts = apply_baseline(document, _load_sarif(baseline_path))
+    return counts, new_result_count(document)
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     if args.profile:
         import cProfile
@@ -175,7 +203,23 @@ def _cmd_scan_impl(args: argparse.Namespace) -> int:
             f" {perf.get('nodes_per_second', 0):,.0f} engine steps/s,"
             f" taint intern hit rate {perf.get('taint_intern_hit_rate', 0):.0%}"
         )
-    return 0 if not report.findings else 1
+    return _scan_exit_code(args, [report])
+
+
+def _scan_exit_code(args: argparse.Namespace, reports) -> int:
+    """Exit 1 on findings — all of them, or under ``--fail-on new``
+    only those absent from the ``--baseline`` SARIF log."""
+    if args.baseline:
+        counts, new = _baseline_gate(reports, args.baseline)
+        print(
+            f"baseline: {counts['new']} new, {counts['unchanged']} unchanged,"
+            f" {counts['absent']} absent"
+        )
+        if args.fail_on == "new":
+            return 1 if new else 0
+    # without a baseline every finding is new, so "--fail-on new"
+    # degenerates to the default any-finding gate (fail safe)
+    return 0 if not any(report.findings for report in reports) else 1
 
 
 def _scan_batch(args: argparse.Namespace, tool, targets) -> int:
@@ -233,7 +277,7 @@ def _scan_batch(args: argparse.Namespace, tool, targets) -> int:
     if args.telemetry:
         telemetry.write(args.telemetry)
         print(f"telemetry written to {args.telemetry}")
-    return 0 if not telemetry.total_findings else 1
+    return _scan_exit_code(args, result.reports)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -393,6 +437,8 @@ def cmd_difftest(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from .core.review import to_html, to_json, to_text
 
+    if args.baseline and args.format != "sarif":
+        raise SystemExit("--baseline requires --format sarif")
     plugin = _load_target(args.path)
     report = PhpSafe().analyze_timed(plugin)
     if args.format == "html":
@@ -400,9 +446,17 @@ def cmd_report(args: argparse.Namespace) -> int:
     elif args.format == "json":
         rendered = to_json(report)
     elif args.format == "sarif":
-        from .service.sarif import to_sarif_json
+        from .service.sarif import apply_baseline, to_sarif
 
-        rendered = to_sarif_json(report)
+        document = to_sarif(report)
+        if args.baseline:
+            counts = apply_baseline(document, _load_sarif(args.baseline))
+            print(
+                f"baseline: {counts['new']} new, {counts['unchanged']} unchanged,"
+                f" {counts['absent']} absent",
+                file=sys.stderr,
+            )
+        rendered = json.dumps(document, indent=1)
     else:
         rendered = to_text(report)
     if args.out:
@@ -490,19 +544,75 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_approve(args: argparse.Namespace) -> int:
-    from .history import ApprovalPolicy, ScanRecord
+    from .history import ApprovalPolicy, HistoryStore, ScanRecord
 
     plugin = _load_target(args.path)
     report = PhpSafe().analyze(plugin)
     record = ScanRecord.from_report(
         report, version=plugin.version or "unversioned", scanned_at=args.date
     )
+    previous = None
+    if args.history:
+        previous = HistoryStore(args.history).latest(record.plugin)
     policy = ApprovalPolicy(max_xss=args.max_xss, max_sqli=args.max_sqli)
-    decision = policy.evaluate(record)
+    decision = policy.evaluate(record, previous)
     print(decision)
     for reason in decision.reasons:
         print(f"  - {reason}")
     return 0 if decision.approved else 1
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from .history import HistoryStore
+
+    store = HistoryStore(args.store)
+    if args.action == "record":
+        plugin = _load_target(args.path)
+        report = PhpSafe().analyze(plugin)
+        version = args.version or plugin.version or "unversioned"
+        scan = store.record(report, version=version, scanned_at=args.date)
+        store.save()
+        print(
+            f"recorded {scan.plugin}@{scan.version} ({scan.scanned_at}):"
+            f" {scan.count()} finding(s) → {args.store}"
+        )
+        diff = store.diff_latest(scan.plugin)
+        if diff is not None:
+            print(diff.summary())
+        return 0
+    if args.action == "diff":
+        diff = store.diff_latest(args.plugin)
+        if diff is None:
+            print(f"{args.plugin}: fewer than two scans recorded")
+            return 1
+        print(diff.summary())
+        for finding in diff.introduced:
+            print(
+                f"  + {finding['kind']} {finding['file']}:{finding['line']}"
+                f" via {finding['sink']}"
+            )
+        for finding in diff.fixed:
+            print(
+                f"  - {finding['kind']} {finding['file']}:{finding['line']}"
+                f" via {finding['sink']}"
+            )
+        if args.verbose:
+            for finding in diff.persistent:
+                print(
+                    f"  = {finding['kind']} {finding['file']}:{finding['line']}"
+                    f" via {finding['sink']}"
+                )
+        return 1 if diff.introduced else 0
+    # evolution
+    series = store.evolution(args.plugin)
+    if not series:
+        print(f"{args.plugin}: no scans recorded")
+        return 1
+    peak = max(count for _, count in series) or 1
+    for version, count in series:
+        bar = "#" * round(count / peak * 40)
+        print(f"  {version:16s} {count:4d} {bar}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -546,6 +656,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", type=int, nargs="?", const=25, default=0, metavar="N",
         help="profile the scan with cProfile and print the top N entries "
              "by cumulative time (default N: 25)",
+    )
+    scan.add_argument(
+        "--baseline", metavar="SARIF",
+        help="prior SARIF log to classify findings against "
+             "(new / unchanged / absent)",
+    )
+    scan.add_argument(
+        "--fail-on", choices=("any", "new"), default="any",
+        help="exit non-zero on any finding (default) or only on findings "
+             "not in the --baseline log",
     )
     scan.set_defaults(func=cmd_scan)
 
@@ -615,6 +735,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format; 'sarif' emits a SARIF 2.1.0 interchange document",
     )
     report.add_argument("--out", help="write to a file instead of stdout")
+    report.add_argument(
+        "--baseline", metavar="SARIF",
+        help="prior SARIF log: mark each result's baselineState "
+             "(new / unchanged / absent); requires --format sarif",
+    )
     report.set_defaults(func=cmd_report)
 
     serve = sub.add_parser(
@@ -669,7 +794,42 @@ def build_parser() -> argparse.ArgumentParser:
     approve.add_argument("--max-sqli", type=int, default=0)
     approve.add_argument("--date", default="1970-01-01",
                          help="scan date recorded in the decision")
+    approve.add_argument(
+        "--history",
+        help="scan archive (phpsafe history) supplying the previous scan "
+             "for the regression check",
+    )
     approve.set_defaults(func=cmd_approve)
+
+    history = sub.add_parser(
+        "history", help="maintain the historic scan archive"
+    )
+    history_sub = history.add_subparsers(dest="action", required=True)
+    record = history_sub.add_parser(
+        "record", help="scan a plugin version into the archive"
+    )
+    record.add_argument("path")
+    record.add_argument("--store", required=True, help="archive JSON file")
+    record.add_argument(
+        "--version", help="version label (default: the plugin's own)"
+    )
+    record.add_argument("--date", default="1970-01-01",
+                        help="ISO scan date used for chronological ordering")
+    record.set_defaults(func=cmd_history)
+    hdiff = history_sub.add_parser(
+        "diff", help="classify the change between the two most recent scans"
+    )
+    hdiff.add_argument("plugin")
+    hdiff.add_argument("--store", required=True, help="archive JSON file")
+    hdiff.add_argument("-v", "--verbose", action="store_true",
+                       help="also list persistent findings")
+    hdiff.set_defaults(func=cmd_history)
+    evolution = history_sub.add_parser(
+        "evolution", help="per-version finding-count series"
+    )
+    evolution.add_argument("plugin")
+    evolution.add_argument("--store", required=True, help="archive JSON file")
+    evolution.set_defaults(func=cmd_history)
     return parser
 
 

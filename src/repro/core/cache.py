@@ -43,10 +43,13 @@ def content_key(path: str, source: str, variant: str = "") -> str:
 def summary_key(fingerprint: str, function_key: str, digest: str) -> str:
     """Summary-cache key: analyzer configuration fingerprint (knowledge
     base + engine options) + function key + defining-file content digest.
-    The ``summary!`` prefix keeps these slots disjoint from file models
+    The ``summary2!`` prefix keeps these slots disjoint from file models
     (model keys start with a file path, which never contains ``!``
-    before a ``:``)."""
-    return f"summary!{fingerprint}!{function_key}!{digest}"
+    before a ``:``).  The ``2`` retired the pre-incremental namespace:
+    summaries pickled before the state-coupling sets (``prop_reads``
+    &c.) were added would deserialize with empty sets and let the
+    rescan planner skip roots it must not."""
+    return f"summary2!{fingerprint}!{function_key}!{digest}"
 
 
 @dataclass

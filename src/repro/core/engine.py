@@ -111,6 +111,15 @@ class EngineOptions:
     #: nesting (one-line concat chains of thousands of terms) trips a
     #: unit fault instead of a ``RecursionError`` deep in the stack.
     max_eval_depth: int = 500
+    #: Record per-unit state footprints (globals/properties/statics read
+    #: and written, dependency files) for incremental rescans.  Off by
+    #: default: plain scans pay nothing for the bookkeeping.
+    track_units: bool = False
+    #: Root files whose analysis units are skipped because a prior scan
+    #: manifest proved them unchanged and uncoupled; their findings are
+    #: carried forward by the incremental driver.  Requires
+    #: ``recover=True`` (the unit structure is what gets skipped).
+    reuse_roots: FrozenSet[str] = frozenset()
 
 
 @dataclass
@@ -156,6 +165,10 @@ class SinkEvent:
     trace: Tuple[str, ...] = ()
     via_oop: bool = False
     markup_context: str = ""
+    #: root file of the analysis unit that produced the event (only
+    #: populated under ``track_units``); incremental rescans carry a
+    #: skipped root's findings forward by this attribution
+    unit: str = ""
 
     def substituted(self, mapping: Dict[Label, TaintState]) -> "SinkEvent":
         return replace(self, taint=self.taint.substituted(mapping))
@@ -192,6 +205,25 @@ class FunctionSummary:
     uses_statics: bool = False
     #: placeholder written by a unit fault boundary — never persisted
     faulted: bool = False
+    #: global variable names the body read (``global $x``) / wrote
+    #: through a global alias — name-level state coupling used by the
+    #: incremental planner; only set on non-persisted summaries since
+    #: ``uses_globals`` blocks persistence
+    global_reads: Set[str] = field(default_factory=set)
+    global_writes: Set[str] = field(default_factory=set)
+    #: "class|prop" keys the body read (expanded over the ancestor
+    #: chain, matching finalize-time property resolution)
+    prop_reads: Set[str] = field(default_factory=set)
+    #: "static:<owner>" slots the body touched
+    static_tokens: Set[str] = field(default_factory=set)
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        # summaries pickled by older versions lack the state-coupling
+        # sets; default them so cached objects stay loadable
+        self.__dict__.update(state)
+        for name in ("global_reads", "global_writes", "prop_reads", "static_tokens"):
+            if name not in self.__dict__:
+                self.__dict__[name] = set()
 
 
 def summary_is_valid(summary: FunctionSummary, model: PluginModel,
@@ -208,6 +240,38 @@ def summary_is_valid(summary: FunctionSummary, model: PluginModel,
         elif model.lookup_class(name) is not None:
             return False
     return True
+
+
+@dataclass
+class UnitFootprint:
+    """What the units rooted at one file touched outside themselves.
+
+    Recorded only under ``EngineOptions.track_units``.  The incremental
+    planner intersects read/write sets across scans: a root whose file
+    digest, dependency files, and state couplings are all unchanged can
+    be skipped on rescan with its findings carried forward.
+    """
+
+    #: files whose definitions the units consulted (callee bodies,
+    #: classes, resolved includes)
+    dep_files: Set[str] = field(default_factory=set)
+    #: failed lookups ("fn:name" / "class:name") — a skip is only valid
+    #: while they keep failing
+    dep_unresolved: Set[str] = field(default_factory=set)
+    #: global variable names read / effectively written (taint or class
+    #: changed; trace-only churn is ignored — only finding signatures
+    #: are promised stable)
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+    #: "class|prop" property keys read (expanded over ancestors) and
+    #: written (at the declaring class)
+    prop_reads: Set[str] = field(default_factory=set)
+    prop_writes: Set[str] = field(default_factory=set)
+    #: "static:<owner>" cross-call slots touched
+    statics: Set[str] = field(default_factory=set)
+    #: a unit under this root faulted — its effects are partial, so the
+    #: root is never skippable
+    faulted: bool = False
 
 
 class Scope:
@@ -230,6 +294,10 @@ class Scope:
         #: the engine's slot dict for this scope's function (shared, so
         #: branch snapshots write through — statics only ever join)
         self.static_slots: Optional[Dict[str, TaintState]] = None
+        #: True for the engine's global scope and its branch snapshots:
+        #: reads against such a scope are global-state reads the
+        #: incremental footprint tracker must record
+        self.is_global_image = False
 
     def get(self, name: str) -> Optional[VariableRecord]:
         return self.records.get(name)
@@ -252,6 +320,7 @@ class Scope:
         clone.ref_groups = dict(self.ref_groups)
         clone.static_names = set(self.static_names)
         clone.static_slots = self.static_slots
+        clone.is_global_image = self.is_global_image
         return clone
 
     def join_from(self, *branches: "Scope") -> None:
@@ -306,6 +375,7 @@ class TaintEngine:
         self.profile = profile
         self.options = options or EngineOptions()
         self.globals = Scope("<global>")
+        self.globals.is_global_image = True
         self.class_props = ClassPropertyStore()
         for class_info in model.classes.values():
             if class_info.parent:
@@ -330,6 +400,16 @@ class TaintEngine:
         self._unit_limit: Optional[int] = None
         self._deadline_at: Optional[float] = None
         self._depth = 0
+        #: incremental-rescan bookkeeping (``track_units`` only)
+        self.track = bool(self.options.track_units)
+        #: per-root-file aggregated state footprints
+        self.footprints: Dict[str, UnitFootprint] = {}
+        self._unit_fp: Optional[UnitFootprint] = None
+        self._unit_root = ""
+        #: function key -> root file under which a uses_globals /
+        #: uses_statics summary was first computed; such summaries are
+        #: order-dependent, so the planner pins them to their root
+        self.state_summary_roots: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Top level
@@ -373,11 +453,14 @@ class TaintEngine:
         remaining units, mirroring the strict path.
         """
         standalone = self.options.oop or self.options.analyze_methods_standalone
+        reuse = self.options.reuse_roots
         if self.options.analyze_uncalled:
             for info in self.model.uncalled_functions():
                 if self.aborted:
                     break
                 if info.is_method and not standalone:
+                    continue
+                if info.file in reuse:
                     continue
                 self._run_unit(
                     f"function {info.key}",
@@ -388,6 +471,8 @@ class TaintEngine:
         for path, file_model in sorted(self.model.files.items()):
             if self.aborted:
                 break
+            if path in reuse:
+                continue
 
             def run_file(path=path, file_model=file_model):
                 self._current_file = path
@@ -402,6 +487,8 @@ class TaintEngine:
                 if key in self.summaries:
                     continue
                 if info.is_method and not standalone:
+                    continue
+                if info.file in reuse:
                     continue
                 self._run_unit(
                     f"function {key}",
@@ -432,6 +519,14 @@ class TaintEngine:
         if self.options.unit_deadline is not None:
             self._deadline_at = time.monotonic() + self.options.unit_deadline
         self._depth = 0
+        globals_before: Optional[Dict[str, Tuple[TaintState, str]]] = None
+        if self.track:
+            self._unit_root = file
+            self._unit_fp = self.footprints.setdefault(file, UnitFootprint())
+            globals_before = {
+                name: (record.taint, record.class_name or "")
+                for name, record in self.globals.records.items()
+            }
         try:
             body()
             return True
@@ -486,6 +581,14 @@ class TaintEngine:
             self._unit_limit = None
             self._deadline_at = None
             self._depth = 0
+            if self.track:
+                self._diff_globals(globals_before or {}, self._unit_fp)
+                self._unit_fp = None
+                self._unit_root = ""
+        if self.track:
+            # falling through the boundary means the unit faulted: its
+            # effects are partial, so this root is never skippable
+            self.footprints.setdefault(file, UnitFootprint()).faulted = True
         if summary_key is not None and summary_key not in self.summaries:
             # faulted placeholder: call sites stop re-running the failing
             # body, but the empty summary must never be persisted
@@ -493,6 +596,41 @@ class TaintEngine:
                 key=summary_key, faulted=True
             )
         return False
+
+    #: the "no record" effective value for the unit-boundary diff —
+    #: creating a clean, class-free binding is not an observable write
+    _CLEAN_EFFECT: "Tuple[TaintState, str]" = (TaintState.clean(), "")
+
+    def _diff_globals(
+        self,
+        before: Dict[str, Tuple[TaintState, str]],
+        footprint: Optional[UnitFootprint],
+    ) -> None:
+        """Record global names whose effective value changed this unit.
+
+        Taint states are interned, so identity compares are exact; a
+        record object replaced with an equal value (``join_from``
+        rebinds unchanged names) is correctly ignored.
+        """
+        if footprint is None:
+            return
+        # under register_globals an *uninitialized* global is attacker
+        # data, so even creating a clean binding is an observable write;
+        # otherwise absent and clean-without-class are equivalent
+        strict = bool(self.profile.register_globals)
+        records = self.globals.records
+        for name, record in records.items():
+            prior = before.get(name)
+            if prior is None:
+                if strict or record.taint is not self._CLEAN_EFFECT[0] or (
+                    record.class_name or ""
+                ):
+                    footprint.writes.add(name)
+            elif prior[0] is not record.taint or prior[1] != (record.class_name or ""):
+                footprint.writes.add(name)
+        for name, prior in before.items():
+            if name not in records and (strict or prior != self._CLEAN_EFFECT):
+                footprint.writes.add(name)
 
     def _summarize_all_functions(self) -> None:
         """Pre-analyze plugin entry points (paper: "phpSAFE starts by
@@ -528,11 +666,18 @@ class TaintEngine:
 
     def _collect_summary_events(self) -> None:
         """Promote summary-local sink events to plugin-level events."""
-        for summary in list(self.summaries.values()):
+        for key, summary in sorted(self.summaries.items()):
+            owner = ""
+            if self.track:
+                info = self.model.functions.get(key)
+                owner = info.file if info is not None else ""
             for event in summary.sink_events:
                 concrete = event.taint.substituted({})  # drop ParamRefs, keep PropRefs
                 if concrete.active or self._has_prop_refs(event.taint):
-                    self.events.append(replace(event, taint=event.taint))
+                    promoted = replace(event, taint=event.taint)
+                    if owner and not promoted.unit:
+                        promoted.unit = owner
+                    self.events.append(promoted)
 
     @staticmethod
     def _has_prop_refs(taint: TaintState) -> bool:
@@ -544,45 +689,84 @@ class TaintEngine:
             for label in labels
         )
 
+    def _finalize_one(self, event: SinkEvent) -> Optional[Finding]:
+        """Resolve one event's property placeholders into a finding."""
+        resolved = self.class_props.resolve(event.taint)
+        resolved = resolved.substituted({})  # drop any leftover placeholders
+        labels = resolved.active.get(event.kind, set())
+        concrete = [label for label in labels if isinstance(label, ConcreteSource)]
+        if not concrete:
+            return None
+        vectors = tuple(
+            sorted({label.vector for label in concrete}, key=lambda v: v.value)
+        )
+        via_oop = (
+            event.via_oop
+            or any(label.via_oop for label in concrete)
+            or self._has_prop_refs(event.taint)
+        )
+        trace = tuple(sorted(label.describe() for label in concrete))[:4] + event.trace
+        return Finding(
+            kind=event.kind,
+            file=event.file,
+            line=event.line,
+            sink=event.sink,
+            variable=event.variable,
+            vectors=vectors,
+            trace=trace[: self.options.max_trace],
+            via_oop=via_oop,
+            markup_context=event.markup_context,
+        )
+
+    @staticmethod
+    def dedupe_findings(findings: Sequence[Finding]) -> List[Finding]:
+        """Collapse findings sharing (kind, file, line) to one winner.
+
+        The winner is the canonical *minimum* over the finding's full
+        representation, not the first seen: min-merge is associative and
+        order-independent, so merging an incremental run's live findings
+        with a prior manifest's carried findings reproduces exactly what
+        one cold pass over all events would produce.
+        """
+        best: Dict[Tuple[str, str, int], Tuple[tuple, Finding]] = {}
+        for finding in findings:
+            rank = (
+                finding.sink,
+                finding.variable,
+                tuple(vector.value for vector in finding.vectors),
+                finding.markup_context,
+                finding.via_oop,
+                finding.trace,
+            )
+            prior = best.get(finding.key)
+            if prior is None or rank < prior[0]:
+                best[finding.key] = (rank, finding)
+        deduped = [finding for _rank, finding in best.values()]
+        deduped.sort(key=lambda finding: (finding.file, finding.line, finding.kind.value))
+        return deduped
+
     def _finalize_findings(self) -> List[Finding]:
         """Resolve property placeholders and deduplicate into findings."""
-        findings: List[Finding] = []
-        seen: Set[Tuple[str, str, int]] = set()
+        candidates = []
         for event in self.events:
-            resolved = self.class_props.resolve(event.taint)
-            resolved = resolved.substituted({})  # drop any leftover placeholders
-            labels = resolved.active.get(event.kind, set())
-            concrete = [label for label in labels if isinstance(label, ConcreteSource)]
-            if not concrete:
-                continue
-            key = (event.kind.value, event.file, event.line)
-            if key in seen:
-                continue
-            seen.add(key)
-            vectors = tuple(
-                sorted({label.vector for label in concrete}, key=lambda v: v.value)
-            )
-            via_oop = (
-                event.via_oop
-                or any(label.via_oop for label in concrete)
-                or self._has_prop_refs(event.taint)
-            )
-            trace = tuple(sorted(label.describe() for label in concrete))[:4] + event.trace
-            findings.append(
-                Finding(
-                    kind=event.kind,
-                    file=event.file,
-                    line=event.line,
-                    sink=event.sink,
-                    variable=event.variable,
-                    vectors=vectors,
-                    trace=trace[: self.options.max_trace],
-                    via_oop=via_oop,
-                    markup_context=event.markup_context,
-                )
-            )
-        findings.sort(key=lambda finding: (finding.file, finding.line, finding.kind.value))
-        return findings
+            finding = self._finalize_one(event)
+            if finding is not None:
+                candidates.append(finding)
+        return self.dedupe_findings(candidates)
+
+    def findings_by_unit(self) -> Dict[str, List[Finding]]:
+        """Finalized findings grouped by the root file that produced
+        them (``track_units`` runs only; events emitted outside any unit
+        group under ``""``).  Each group is deduplicated independently —
+        the cross-group min-merge happens when groups are recombined."""
+        grouped: Dict[str, List[Finding]] = {}
+        for event in self.events:
+            finding = self._finalize_one(event)
+            if finding is not None:
+                grouped.setdefault(event.unit, []).append(finding)
+        return {
+            unit: self.dedupe_findings(items) for unit, items in grouped.items()
+        }
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -607,6 +791,8 @@ class TaintEngine:
         if self._summary_stack:
             self._summary_stack[-1].sink_events.append(event)
         else:
+            if self.track and self._unit_root and not event.unit:
+                event = replace(event, unit=self._unit_root)
             self.events.append(event)
 
     # ------------------------------------------------------------------
@@ -628,16 +814,33 @@ class TaintEngine:
     def _merge_summary_deps(self, summary: FunctionSummary) -> None:
         """A caller's summary inherits its callee's dependencies: the
         callee's events are baked into the caller, so whatever
-        invalidates the callee invalidates the caller too."""
-        if not self._summary_stack:
-            return
-        frame = self._summary_stack[-1]
-        frame.dep_files.update(summary.dep_files)
-        frame.dep_unresolved.update(summary.dep_unresolved)
-        if summary.uses_globals or summary.faulted or summary.uses_statics:
-            frame.uses_globals = frame.uses_globals or summary.uses_globals
-            frame.uses_statics = frame.uses_statics or summary.uses_statics
-            frame.faulted = frame.faulted or summary.faulted
+        invalidates the callee invalidates the caller too.  Under unit
+        tracking the current root's footprint also absorbs them, so a
+        memoized summary's state effects are attributed to *every* unit
+        that applies it."""
+        if self._summary_stack:
+            frame = self._summary_stack[-1]
+            frame.dep_files.update(summary.dep_files)
+            frame.dep_unresolved.update(summary.dep_unresolved)
+            frame.global_reads.update(summary.global_reads)
+            frame.global_writes.update(summary.global_writes)
+            frame.prop_reads.update(summary.prop_reads)
+            frame.static_tokens.update(summary.static_tokens)
+            if summary.uses_globals or summary.faulted or summary.uses_statics:
+                frame.uses_globals = frame.uses_globals or summary.uses_globals
+                frame.uses_statics = frame.uses_statics or summary.uses_statics
+                frame.faulted = frame.faulted or summary.faulted
+        if self.track and self._unit_fp is not None:
+            footprint = self._unit_fp
+            footprint.dep_files.update(summary.dep_files)
+            footprint.dep_unresolved.update(summary.dep_unresolved)
+            footprint.reads.update(summary.global_reads)
+            footprint.writes.update(summary.global_writes)
+            footprint.prop_reads.update(summary.prop_reads)
+            footprint.prop_writes.update(
+                f"{class_lower}|{prop}" for class_lower, prop in summary.prop_writes
+            )
+            footprint.statics.update(summary.static_tokens)
 
     def _summarize(self, info: FunctionInfo) -> FunctionSummary:
         cached = self.summaries.get(info.key)
@@ -706,6 +909,12 @@ class TaintEngine:
                     summary.ref_param_writes[index] = record.taint
         self.summaries[info.key] = summary
         counters.summaries_computed += 1
+        if self.track and (summary.uses_globals or summary.uses_statics):
+            # order-dependent summary: remember which root first computed
+            # it so the planner re-runs that root whenever it matters
+            self.state_summary_roots.setdefault(
+                info.key, self._unit_root or info.file
+            )
         self._merge_summary_deps(summary)
         return summary
 
@@ -731,6 +940,7 @@ class TaintEngine:
         for index, taint in summary.ref_param_writes.items():
             if index < len(arg_exprs) and isinstance(arg_exprs[index], ast.Variable):
                 name = arg_exprs[index].name  # type: ignore[union-attr]
+                self._note_global_read(scope, name)
                 record = scope.get(name) or VariableRecord(
                     name=name, file=self._current_file, line=line
                 )
@@ -932,8 +1142,11 @@ class TaintEngine:
             frame = self._summary_stack[-1]
             frame.uses_statics = True
             owner = frame.key
+            frame.static_tokens.add(f"static:{owner}")
         else:
             owner = f"<main>:{self._current_file}"
+        if self.track and self._unit_fp is not None:
+            self._unit_fp.statics.add(f"static:{owner}")
         slots = self._static_store.setdefault(owner, {})
         for name, default in node.vars:
             value = self._eval(default, scope) if default is not None else Value.clean()
@@ -953,11 +1166,16 @@ class TaintEngine:
     def _exec_global(self, node: ast.GlobalStatement, scope: Scope) -> None:
         """Bind names to the global scope; known CMS instances (e.g.
         ``global $wpdb``) get their class from the profile."""
-        if self._summary_stack:
+        frame = self._summary_stack[-1] if self._summary_stack else None
+        if frame is not None:
             # the summary observes run-order-dependent global state, so
             # it cannot be reused across runs
-            self._summary_stack[-1].uses_globals = True
+            frame.uses_globals = True
         for name in node.names:
+            if frame is not None:
+                frame.global_reads.add(name)
+            if self.track and self._unit_fp is not None:
+                self._unit_fp.reads.add(name)
             record = self.globals.get(name)
             if record is None:
                 class_name = None
@@ -972,6 +1190,10 @@ class TaintEngine:
                     class_name=class_name,
                 )
                 self.globals.set(record)
+                if class_name and frame is not None:
+                    # materializing a known CMS instance binding is a
+                    # class-bearing write other units can observe
+                    frame.global_writes.add(name)
             scope.set(record)
             scope.global_aliases.add(name)
 
@@ -1041,6 +1263,7 @@ class TaintEngine:
             return self._eval_property_access(node, scope)
         if isinstance(node, ast.StaticPropertyAccess):
             if self.options.oop:
+                self._note_prop_read(node.class_name, node.name)
                 return Value(taint=self.class_props.read(node.class_name, node.name))
             return Value.clean()
         if isinstance(node, (ast.ClassConstAccess, ast.ConstFetch)):
@@ -1119,6 +1342,11 @@ class TaintEngine:
                 trace=(f"${name} read at {self._current_file}:{node.line}",),
                 name_hint=f"${name}",
             )
+        if self.track and self._unit_fp is not None and scope.is_global_image:
+            # a top-level read observes whatever earlier units left in
+            # the global scope — record it even when nothing is bound
+            # yet (an earlier unit *writing* it is still a coupling)
+            self._unit_fp.reads.add(name)
         record = scope.get(name)
         if record is None and scope is not self.globals:
             pass  # locals do not fall back to globals without `global`
@@ -1177,6 +1405,7 @@ class TaintEngine:
             self._eval(node.name, scope)
         hint = f"{obj.name_hint}->{prop}" if obj.name_hint else f"->{prop}"
         if self.options.oop and obj.class_name and prop:
+            self._note_prop_read(obj.class_name, prop)
             return Value(
                 taint=self.class_props.read(obj.class_name, prop),
                 trace=obj.trace,
@@ -1268,6 +1497,7 @@ class TaintEngine:
             while isinstance(base, ast.ArrayAccess):
                 base = base.array
             if isinstance(base, ast.Variable):
+                self._note_global_read(scope, base.name)
                 record = scope.get(base.name) or VariableRecord(
                     name=base.name, file=self._current_file, line=line
                 )
@@ -1281,6 +1511,7 @@ class TaintEngine:
                 self._record_prop_write(obj.class_name, prop, value.taint)
             elif isinstance(target.object, ast.Variable):
                 # untyped object: taint the container variable itself
+                self._note_global_read(scope, target.object.name)
                 record = scope.get(target.object.name) or VariableRecord(
                     name=target.object.name, file=self._current_file, line=line
                 )
@@ -1315,24 +1546,34 @@ class TaintEngine:
 
     # -- model lookups with summary-dependency recording -------------------
 
-    def _lookup_function_dep(self, name: str):
-        info = self.model.lookup_function(name)
+    def _dep_sinks(self) -> List[Tuple[Set[str], Set[str]]]:
+        """(dep_files, dep_unresolved) targets for the current context:
+        the enclosing summary frame and — under unit tracking — the
+        current root's footprint."""
+        sinks: List[Tuple[Set[str], Set[str]]] = []
         if self._summary_stack:
             frame = self._summary_stack[-1]
+            sinks.append((frame.dep_files, frame.dep_unresolved))
+        if self.track and self._unit_fp is not None:
+            sinks.append((self._unit_fp.dep_files, self._unit_fp.dep_unresolved))
+        return sinks
+
+    def _lookup_function_dep(self, name: str):
+        info = self.model.lookup_function(name)
+        for dep_files, dep_unresolved in self._dep_sinks():
             if info is not None:
-                frame.dep_files.add(info.file)
+                dep_files.add(info.file)
             else:
-                frame.dep_unresolved.add("fn:" + name.lower())
+                dep_unresolved.add("fn:" + name.lower())
         return info
 
     def _lookup_class_dep(self, name: str):
         info = self.model.lookup_class(name)
-        if self._summary_stack:
-            frame = self._summary_stack[-1]
+        for dep_files, dep_unresolved in self._dep_sinks():
             if info is not None:
-                frame.dep_files.add(info.file)
+                dep_files.add(info.file)
             else:
-                frame.dep_unresolved.add("class:" + name.lower())
+                dep_unresolved.add("class:" + name.lower())
         return info
 
     def _resolve_method_dep(self, class_name: str, method: str):
@@ -1341,26 +1582,30 @@ class TaintEngine:
         editing any class on the chain (adding an override, changing a
         parent) must invalidate summaries that dispatched through it."""
         info = self.model.resolve_method(class_name, method)
-        if self._summary_stack:
-            frame = self._summary_stack[-1]
+        sinks = self._dep_sinks()
+        if sinks:
             seen: Set[str] = set()
             current: Optional[str] = class_name
             while current and current.lower() not in seen:
                 seen.add(current.lower())
                 class_info = self.model.lookup_class(current)
                 if class_info is None:
-                    frame.dep_unresolved.add("class:" + current.lower())
+                    for _dep_files, dep_unresolved in sinks:
+                        dep_unresolved.add("class:" + current.lower())
                     break
-                frame.dep_files.add(class_info.file)
+                for dep_files, _dep_unresolved in sinks:
+                    dep_files.add(class_info.file)
                 for trait in class_info.decl.uses:
                     trait_info = self.model.lookup_class(trait)
-                    if trait_info is not None:
-                        frame.dep_files.add(trait_info.file)
-                    else:
-                        frame.dep_unresolved.add("class:" + trait.lower())
+                    for dep_files, dep_unresolved in sinks:
+                        if trait_info is not None:
+                            dep_files.add(trait_info.file)
+                        else:
+                            dep_unresolved.add("class:" + trait.lower())
                 current = class_info.parent
             if info is not None:
-                frame.dep_files.add(info.file)
+                for dep_files, _dep_unresolved in sinks:
+                    dep_files.add(info.file)
         return info
 
     def _record_prop_write(self, class_name: str, prop: str, taint: TaintState) -> None:
@@ -1372,6 +1617,8 @@ class TaintEngine:
         writes by never-called methods are still visible (Section III.E).
         """
         class_name = self._declaring_class(class_name, prop)
+        if self.track and self._unit_fp is not None:
+            self._unit_fp.prop_writes.add(f"{class_name.lower()}|{prop}")
         if self._summary_stack:
             summary = self._summary_stack[-1]
             key = ClassPropertyStore.key(class_name, prop)
@@ -1382,6 +1629,31 @@ class TaintEngine:
             self.class_props.write(class_name, prop, taint.drop_param_refs())
         else:
             self.class_props.write(class_name, prop, taint)
+
+    def _note_global_read(self, scope: Scope, name: str) -> None:
+        """Record a read-modify-write touch of a (possibly) global name
+        that bypasses :meth:`_eval_variable`."""
+        if self.track and self._unit_fp is not None and scope.is_global_image:
+            self._unit_fp.reads.add(name)
+
+    def _note_prop_read(self, class_name: str, prop: str) -> None:
+        """Record a property read for incremental state coupling.
+
+        Reads resolve through the ancestor chain (both at
+        :meth:`ClassPropertyStore.read` placeholder resolution and at
+        finalize), so the read set includes every ancestor's key — a
+        write to an inherited slot anywhere on the chain couples."""
+        keys: Set[str] = set()
+        current = class_name.lower()
+        seen: Set[str] = set()
+        while current and current not in seen:
+            seen.add(current)
+            keys.add(f"{current}|{prop}")
+            current = self.class_props.parents.get(current, "")
+        if self._summary_stack:
+            self._summary_stack[-1].prop_reads.update(keys)
+        if self.track and self._unit_fp is not None:
+            self._unit_fp.prop_reads.update(keys)
 
     # -- binary ------------------------------------------------------------------
 
@@ -1615,6 +1887,9 @@ class TaintEngine:
         file_model = self.model.files.get(resolved)
         if file_model is None:
             return Value.clean()
+        if self.track and self._unit_fp is not None:
+            # the inlined file's content is part of this root's result
+            self._unit_fp.dep_files.add(resolved)
         previous_file = self._current_file
         self._include_stack.append(resolved)
         self._current_file = resolved

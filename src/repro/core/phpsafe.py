@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
 from ..config.profiles import AnalyzerProfile, generic_php, wordpress
 from ..incidents import Incident, IncidentSeverity, IncidentStage
@@ -23,7 +23,7 @@ from ..plugin import Plugin
 from .cache import ModelCache, summary_key
 from .engine import EngineOptions, TaintEngine, summary_is_valid
 from .model import PluginModel
-from .results import FileFailure, ToolReport
+from .results import FileFailure, Finding, ToolReport
 from .tool import AnalyzerTool
 
 
@@ -168,36 +168,23 @@ class PhpSafe(AnalyzerTool):
                     summary_key(fingerprint, key, digest), summary
                 )
 
-    def analyze(self, plugin: Plugin) -> ToolReport:
-        """Run the four stages on every file of ``plugin``."""
-        perf_before = counters.snapshot()
-        report = ToolReport(tool=self.name, plugin=plugin.slug)
-        model = PluginModel.build(
-            plugin,
-            include_budget=self.options.include_budget,
-            cache=self.cache,
-            recover=self.options.recover,
-        )
-        # unrecoverable skips keep their historical FileFailure shape so
-        # the Section V.E robustness tables are unchanged
-        for path, error in sorted(model.parse_failures.items()):
-            report.failures.append(
-                FileFailure(file=path, reason=str(error), is_error=False)
-            )
-        for path, error in sorted(model.budget_failures.items()):
-            report.failures.append(
-                FileFailure(file=path, reason=str(error), is_error=False)
-            )
+    def _engine_options(
+        self,
+        track_units: bool = False,
+        reuse_roots: FrozenSet[str] = frozenset(),
+    ) -> EngineOptions:
         unit_deadline = self.options.engine.unit_deadline
         if self.options.file_deadline is not None:
             unit_deadline = self.options.file_deadline
-        engine_options = EngineOptions(
+        return EngineOptions(
             oop=self.options.oop,
             analyze_uncalled=self.options.analyze_uncalled,
             analyze_methods_standalone=True,
             use_summaries=self.options.use_summaries,
             recover=self.options.recover,
             unit_deadline=unit_deadline,
+            track_units=track_units,
+            reuse_roots=reuse_roots,
             **{
                 key: getattr(self.options.engine, key)
                 for key in (
@@ -209,6 +196,42 @@ class PhpSafe(AnalyzerTool):
                 )
             },
         )
+
+    def analyze(self, plugin: Plugin) -> ToolReport:
+        """Run the four stages on every file of ``plugin``."""
+        report, _model, _engine = self._scan(plugin, self._engine_options())
+        return report
+
+    def _scan(
+        self,
+        plugin: Plugin,
+        engine_options: EngineOptions,
+        model: Optional[PluginModel] = None,
+        carried: Sequence[Finding] = (),
+    ) -> Tuple[ToolReport, PluginModel, TaintEngine]:
+        """The shared scan core behind :meth:`analyze` and
+        :meth:`rescan`: build (or accept) the model, run the engine,
+        shape the report.  ``carried`` findings from a prior manifest
+        are min-merged with the live ones before deduplication."""
+        perf_before = counters.snapshot()
+        report = ToolReport(tool=self.name, plugin=plugin.slug)
+        if model is None:
+            model = PluginModel.build(
+                plugin,
+                include_budget=self.options.include_budget,
+                cache=self.cache,
+                recover=self.options.recover,
+            )
+        # unrecoverable skips keep their historical FileFailure shape so
+        # the Section V.E robustness tables are unchanged
+        for path, error in sorted(model.parse_failures.items()):
+            report.failures.append(
+                FileFailure(file=path, reason=str(error), is_error=False)
+            )
+        for path, error in sorted(model.budget_failures.items()):
+            report.failures.append(
+                FileFailure(file=path, reason=str(error), is_error=False)
+            )
         engine = TaintEngine(model, self.profile, engine_options)
         use_summary_cache = self.cache is not None and engine_options.use_summaries
         fingerprint = ""
@@ -218,7 +241,12 @@ class PhpSafe(AnalyzerTool):
             fingerprint = self._summary_fingerprint(engine_options)
             digests = model.file_digests()
             preloaded = self._preload_summaries(engine, model, fingerprint, digests)
-        for finding in engine.run():
+        live = engine.run()
+        if carried:
+            merged = TaintEngine.dedupe_findings(list(live) + list(carried))
+        else:
+            merged = live
+        for finding in merged:
             report.add_finding(finding)
         if use_summary_cache:
             self._store_summaries(engine, model, fingerprint, digests, preloaded)
@@ -265,7 +293,82 @@ class PhpSafe(AnalyzerTool):
         # per-run observability: counter deltas plus derived rates
         report.perf = counters.since(perf_before)
         report.perf.update(derive(report.perf))
-        return report
+        return report, model, engine
+
+    def rescan(
+        self, plugin: Plugin, manifest: Optional[Dict[str, object]] = None
+    ) -> "Tuple[ToolReport, Dict[str, object], RescanStats]":
+        """Diff-aware scan against a prior manifest.
+
+        Returns ``(report, new_manifest, stats)``.  With no (usable)
+        manifest this is a full scan that additionally records unit
+        footprints; with one, roots whose file digest, dependency set,
+        and state couplings are unchanged are skipped and their
+        findings carried forward — then re-validated against the
+        executed units' actual footprints, falling back to a full
+        tracked scan on any violation.  The report's finding set is
+        identical to a cold :meth:`analyze` either way (``difftest``
+        enforces this); only ``report.variables`` may omit entries a
+        skipped unit would have written.
+        """
+        from .incremental import (
+            RescanStats,
+            build_manifest,
+            carried_findings,
+            plan_rescan,
+            plugin_file_digests,
+            validate_rescan,
+        )
+
+        digests = plugin_file_digests(plugin)
+        base_options = self._engine_options(track_units=True)
+        fingerprint = self._summary_fingerprint(base_options)
+        model = PluginModel.build(
+            plugin,
+            include_budget=self.options.include_budget,
+            cache=self.cache,
+            recover=self.options.recover,
+        )
+        if self.options.recover:
+            plan = plan_rescan(manifest, fingerprint, digests, model)
+        else:
+            # the skip machinery works on recover-mode analysis units
+            plan = plan_rescan(None, fingerprint, digests, model)
+            plan.reason = "strict mode has no skippable units"
+        stats = RescanStats(
+            changed_files=sorted(plan.changed_files),
+            fallback_reason="",
+        )
+        if not plan.full and manifest is not None:
+            options = self._engine_options(
+                track_units=True, reuse_roots=plan.reuse_roots
+            )
+            report, model, engine = self._scan(
+                plugin,
+                options,
+                model=model,
+                carried=carried_findings(manifest, plan.reuse_roots),
+            )
+            violation = validate_rescan(manifest, plan, engine, model)
+            if violation is None:
+                new_manifest = build_manifest(
+                    fingerprint,
+                    digests,
+                    engine,
+                    prior=manifest,
+                    reuse_roots=plan.reuse_roots,
+                )
+                stats.roots_total = len(new_manifest["roots"])  # type: ignore[arg-type]
+                stats.roots_reused = len(plan.reuse_roots)
+                return report, new_manifest, stats
+            stats.fallback_reason = violation
+        elif plan.reason:
+            stats.fallback_reason = plan.reason
+        report, model, engine = self._scan(plugin, base_options, model=model)
+        new_manifest = build_manifest(fingerprint, digests, engine)
+        stats.roots_total = len(new_manifest["roots"])  # type: ignore[arg-type]
+        stats.roots_reused = 0
+        return report, new_manifest, stats
 
     def analyze_source(self, source: str, filename: str = "input.php") -> ToolReport:
         """Convenience: analyze a single PHP source string."""

@@ -7,7 +7,10 @@ change *what* is found, only *how* it is found:
   recovery (identical on cleanly-parseable input),
 * ``cache`` — summary/parse disk cache cold vs warm,
 * ``jobs`` — serial in-process scan vs parallel worker processes,
-* ``summaries`` — function-summary memoization on vs off.
+* ``summaries`` — function-summary memoization on vs off,
+* ``incremental`` — diff-aware rescan (one file mutated, unchanged
+  analysis units reused from the prior scan's manifest) vs a cold
+  full scan of the same mutated plugin.
 
 A finding present on one side of an axis but not the other is a
 :class:`Divergence`: a correctness bug in one of the two execution
@@ -25,8 +28,8 @@ from typing import List, Set
 from ..core.results import FindingSignature
 from ..incidents import Incident, IncidentSeverity, IncidentStage
 
-#: the four config axes the oracle exercises
-AXES = ("recover", "cache", "jobs", "summaries")
+#: the config axes the oracle exercises
+AXES = ("recover", "cache", "jobs", "summaries", "incremental")
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,7 @@ divergence users can hit.
 
 from __future__ import annotations
 
+import dataclasses
 import tempfile
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Set, Tuple
@@ -58,7 +59,45 @@ class ConfigMatrixOracle:
         )
         return finding_signatures(reports)
 
-    # -- the four axes -----------------------------------------------------
+    # -- the incremental axis ----------------------------------------------
+
+    @staticmethod
+    def _mutate_one_file(plugin: Plugin, manifest: dict) -> Plugin:
+        """Deterministically grow one file by a tainted-echo block —
+        the canonical one-file plugin update.  The target is the
+        alphabetically-first *analysis root* (falling back to the first
+        file) so the mutation actually re-runs an analysis unit instead
+        of, say, touching a deliberately-broken legacy file."""
+        roots = [
+            root for root in manifest.get("roots", {}) if root in plugin.files
+        ]
+        target = min(roots) if roots else min(plugin.files)
+        files = dict(plugin.files)
+        files[target] = (
+            files[target] + "\n<?php echo $_GET['difftest_mutation'];\n"
+        )
+        return dataclasses.replace(plugin, files=files)
+
+    def _scan_incremental(
+        self, plugins: Sequence[Plugin], tool_options: PhpSafeOptions
+    ) -> Tuple[Set[FindingSignature], Set[FindingSignature]]:
+        """Per plugin: scan, mutate one file, then rescan against the
+        first scan's manifest AND cold-scan the mutated plugin.  Any
+        difference between the two signature sets means the planner
+        reused an analysis unit it must not have."""
+        cold: Set[FindingSignature] = set()
+        incremental: Set[FindingSignature] = set()
+        for plugin in plugins:
+            tool = PhpSafe(options=tool_options)
+            _report, manifest, _stats = tool.rescan(plugin)
+            mutated = self._mutate_one_file(plugin, manifest)
+            warm_report, _manifest2, _stats2 = tool.rescan(mutated, manifest)
+            incremental |= finding_signatures([warm_report])
+            cold_report = PhpSafe(options=tool_options).analyze(mutated)
+            cold |= finding_signatures([cold_report])
+        return cold, incremental
+
+    # -- the five axes -----------------------------------------------------
 
     def run_version(self, version: str) -> DifftestReport:
         corpus = build_corpus(version, scale=self.options.scale)
@@ -129,6 +168,26 @@ class ConfigMatrixOracle:
                 right_count=len(warm),
                 divergences=diff_signatures(
                     "cache", "cache-cold", "cache-warm", cold, warm
+                ),
+            )
+        )
+
+        # incremental: diff-aware one-file-changed rescan vs a cold full
+        # scan of the identical mutated plugin
+        cold_mutated, warm_mutated = self._scan_incremental(plugins, base_options)
+        report.axes.append(
+            AxisOutcome(
+                axis="incremental",
+                left="full-scan",
+                right="incremental-rescan",
+                left_count=len(cold_mutated),
+                right_count=len(warm_mutated),
+                divergences=diff_signatures(
+                    "incremental",
+                    "full-scan",
+                    "incremental-rescan",
+                    cold_mutated,
+                    warm_mutated,
                 ),
             )
         )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -112,19 +113,29 @@ class FindingsDiff:
 
 
 def diff_scans(older: ScanRecord, newer: ScanRecord) -> FindingsDiff:
-    """Match findings across versions and classify the change."""
-    older_keys = set(older.finding_keys)
-    newer_keys = set(newer.finding_keys)
+    """Match findings across versions and classify the change.
+
+    Matching is a *multiset* operation: two findings sharing a key (two
+    identical sinks on different lines of one file) are two distinct
+    occurrences, so fixing one of them counts as one fixed and one
+    persistent — never as "nothing changed".
+    """
+    older_counts = Counter(older.finding_keys)
+    newer_counts = Counter(newer.finding_keys)
     diff = FindingsDiff(older=older, newer=newer)
+    matched: Counter = Counter()
     for finding in newer.findings:
         key = (finding["kind"], finding["file"], finding["sink"], finding["variable"])
-        if key in older_keys:
+        if matched[key] < older_counts[key]:
+            matched[key] += 1
             diff.persistent.append(finding)
         else:
             diff.introduced.append(finding)
+    consumed: Counter = Counter()
     for finding in older.findings:
         key = (finding["kind"], finding["file"], finding["sink"], finding["variable"])
-        if key not in newer_keys:
+        consumed[key] += 1
+        if consumed[key] > newer_counts[key]:
             diff.fixed.append(finding)
     return diff
 
@@ -144,7 +155,7 @@ class HistoryStore:
         with open(self.path, "r", encoding="utf-8") as handle:  # type: ignore[arg-type]
             raw = json.load(handle)
         for plugin, scans in raw.items():
-            self._scans[plugin] = [
+            records = [
                 ScanRecord(
                     plugin=scan["plugin"],
                     version=scan["version"],
@@ -157,6 +168,11 @@ class HistoryStore:
                 )
                 for scan in scans
             ]
+            # chronological, not insertion, order: a hand-edited archive
+            # (or one written by an older version) must still diff the
+            # right pair; ties keep file order (stable sort)
+            records.sort(key=lambda record: record.scanned_at)
+            self._scans[plugin] = records
 
     def save(self) -> None:
         if not self.path:
@@ -184,7 +200,13 @@ class HistoryStore:
 
     def record(self, report: ToolReport, version: str, scanned_at: str) -> ScanRecord:
         scan = ScanRecord.from_report(report, version=version, scanned_at=scanned_at)
-        self._scans.setdefault(scan.plugin, []).append(scan)
+        scans = self._scans.setdefault(scan.plugin, [])
+        scans.append(scan)
+        # keep the archive ordered by scan date so backfilling an older
+        # version after a newer one cannot make ``latest``/``diff_latest``
+        # compare the wrong pair; the stable sort keeps same-day scans in
+        # recording order
+        scans.sort(key=lambda record: record.scanned_at)
         return scan
 
     # -- queries -----------------------------------------------------------------

@@ -267,3 +267,88 @@ def result_signatures(document: Dict[str, object]) -> Set[FindingSignature]:
 def result_count(document: Dict[str, object]) -> int:
     """Total results across runs (round-trip cardinality check)."""
     return sum(len(run.get("results", ())) for run in document.get("runs", ()))
+
+
+def _result_fingerprint(result: Dict[str, object]) -> str:
+    return result.get("partialFingerprints", {}).get(  # type: ignore[union-attr]
+        "phpsafe/findingSignature/v1", ""
+    )
+
+
+def _baseline_key(encoded: str) -> str:
+    """Baseline-matching identity of a fingerprint.
+
+    Baseline comparison is inherently cross-version — the whole point
+    is relating a new release's scan to the previous release's — so the
+    ``@version`` qualifier the plugin slug may carry must not break the
+    match (the same convention :mod:`repro.history` uses).
+    """
+    parts = _split_fingerprint(encoded)
+    if parts:
+        parts[0] = parts[0].split("@", 1)[0]
+    return "|".join(
+        part.replace("\\", "\\\\").replace("|", "\\|") for part in parts
+    )
+
+
+def apply_baseline(
+    document: Dict[str, object], baseline: Dict[str, object]
+) -> Dict[str, int]:
+    """Mark every result's ``baselineState`` against a prior SARIF log.
+
+    SARIF baseline semantics (§3.27.25), matched on the canonical
+    ``partialFingerprints`` signature:
+
+    * ``unchanged`` — present in both the current log and the baseline;
+    * ``new`` — present now, absent from the baseline (what a CI gate
+      in fail-only-on-new mode fails on);
+    * ``absent`` — present in the baseline only; a copy of the
+      baseline's result is appended with ``baselineState: absent`` so
+      fixed findings stay visible to consumers that track closure.
+
+    Mutates ``document`` in place and returns the per-state counts
+    (also stored under each run's ``properties.baseline``).
+    """
+    baseline_results: Dict[str, Dict[str, object]] = {}
+    for run in baseline.get("runs", ()):  # type: ignore[union-attr]
+        for result in run.get("results", ()):
+            fingerprint = _result_fingerprint(result)
+            if fingerprint:
+                baseline_results.setdefault(_baseline_key(fingerprint), result)
+    counts = {"new": 0, "unchanged": 0, "absent": 0}
+    matched: Set[str] = set()
+    for run in document.get("runs", ()):  # type: ignore[union-attr]
+        run_counts = {"new": 0, "unchanged": 0, "absent": 0}
+        for result in run.get("results", ()):
+            key = _baseline_key(_result_fingerprint(result))
+            if key and key in baseline_results:
+                result["baselineState"] = "unchanged"
+                matched.add(key)
+                run_counts["unchanged"] += 1
+            else:
+                result["baselineState"] = "new"
+                run_counts["new"] += 1
+        for key, old_result in baseline_results.items():
+            if key in matched:
+                continue
+            absent = dict(old_result)
+            absent["baselineState"] = "absent"
+            run.setdefault("results", []).append(absent)
+            matched.add(fingerprint)
+            run_counts["absent"] += 1
+        run.setdefault("properties", {})["baseline"] = dict(run_counts)
+        for state, count in run_counts.items():
+            counts[state] += count
+    return counts
+
+
+def new_result_count(document: Dict[str, object]) -> int:
+    """Results marked ``baselineState: new`` (the fail-only-on-new
+    gate's failure count); results without a baselineState — no
+    baseline was applied — count as new so the gate fails safe."""
+    count = 0
+    for run in document.get("runs", ()):  # type: ignore[union-attr]
+        for result in run.get("results", ()):
+            if result.get("baselineState", "new") == "new":
+                count += 1
+    return count

@@ -9,7 +9,7 @@ that front end for the reproduction.  Two layers:
     tests drive it directly): content-addressed submission through the
     :class:`~repro.service.store.ResultStore`, durable queueing with
     bounded depth, the :class:`~repro.service.workers.WorkerPool`, and
-    live metrics on telemetry schema v4.
+    live metrics on telemetry schema v5.
 
 :class:`ServiceServer` / :func:`run_service`
     A stdlib-only asyncio HTTP/1.1 front end::
@@ -18,8 +18,14 @@ that front end for the reproduction.  Two layers:
                                   or {"path": "/plugin/checkout"}
         GET  /v1/scans/{id}       job status + result document
         GET  /v1/scans/{id}/sarif SARIF 2.1.0 report
+        GET  /v1/scans/{id}/sarif/baseline
+                                  same report with each result's
+                                  baselineState (new/unchanged/absent)
+                                  vs the nearest prior scan of the
+                                  plugin's lineage — the service side
+                                  of the fail-only-on-new gate
         GET  /healthz             liveness
-        GET  /metrics             telemetry v4 + queue state
+        GET  /metrics             telemetry v5 + queue state
 
     Responses are JSON; overload returns 429.  SIGTERM/SIGINT trigger
     the graceful sequence: stop accepting, drain in-flight jobs,
@@ -217,6 +223,35 @@ class AnalysisService:
             return 404, {"error": "no stored result for this scan"}
         return 200, document["sarif"]  # type: ignore[return-value]
 
+    def sarif_baseline(self, job_id: str) -> _Response:
+        """The scan's SARIF log with each result's ``baselineState``
+        computed against the nearest prior scan of the same plugin
+        lineage (same analyzer fingerprint).  A first scan — nothing
+        prior in the lineage — marks every result ``new``.
+        """
+        from .sarif import apply_baseline, new_result_count
+
+        status, document = self.sarif(job_id)
+        if status != 200:
+            return status, document
+        job = self.queue.get(job_id)
+        assert job is not None  # sarif() already resolved it
+        baseline: Dict[str, object] = {"runs": []}
+        plugin = self.store.load_plugin(job.digest)
+        if plugin is not None:
+            for digest in reversed(self.store.lineage(plugin.name)):
+                if digest == job.digest:
+                    continue
+                prior = self.store.get_result(digest, job.fingerprint)
+                if prior is not None and "sarif" in prior:
+                    baseline = prior["sarif"]  # type: ignore[assignment]
+                    break
+        counts = apply_baseline(document, baseline)
+        # log-level properties bag (SARIF §3.13.8): the gate's counts
+        document.setdefault("properties", {})["baseline"] = dict(counts)
+        document["properties"]["newResults"] = new_result_count(document)
+        return 200, document
+
     def health(self) -> _Response:
         return 200, {
             "status": "ok",
@@ -347,6 +382,11 @@ class ServiceServer:
             if method != "GET":
                 return 405, {"error": "GET only"}
             rest = path[len("/v1/scans/") :]
+            if rest.endswith("/sarif/baseline"):
+                job_id = rest[: -len("/sarif/baseline")].strip("/")
+                return await loop.run_in_executor(
+                    None, functools.partial(service.sarif_baseline, job_id)
+                )
             if rest.endswith("/sarif"):
                 job_id = rest[: -len("/sarif")].strip("/")
                 return await loop.run_in_executor(

@@ -11,8 +11,16 @@ never reach the queue at all: the stored report is served instantly.
 Layout (all writes are atomic temp-file + ``os.replace``, so any number
 of worker threads/processes can share one store)::
 
-    root/plugins/<aa>/<digest>.json   {"name", "version", "files"}
-    root/results/<aa>/<key>.json      the finished report document
+    root/plugins/<aa>/<digest>.json    {"name", "version", "files"}
+    root/results/<aa>/<key>.json       the finished report document
+    root/manifests/<aa>/<key>.json     per-file digest manifest of a scan
+    root/lineage/<aa>/<name-key>.json  digest sequence per plugin lineage
+
+The manifest/lineage pair is what makes rescans diff-aware: a
+resubmission whose digest differs is matched to the *nearest prior scan
+of the same plugin lineage* (the most recent digest recorded under the
+submitted plugin's name), and its per-file digest manifest tells the
+analyzer which files actually changed.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..plugin import Plugin
 
@@ -48,8 +56,12 @@ class ResultStore:
         self.root = root
         self._plugins_dir = os.path.join(root, "plugins")
         self._results_dir = os.path.join(root, "results")
+        self._manifests_dir = os.path.join(root, "manifests")
+        self._lineage_dir = os.path.join(root, "lineage")
         os.makedirs(self._plugins_dir, exist_ok=True)
         os.makedirs(self._results_dir, exist_ok=True)
+        os.makedirs(self._manifests_dir, exist_ok=True)
+        os.makedirs(self._lineage_dir, exist_ok=True)
 
     # -- plugin payloads ---------------------------------------------------
 
@@ -82,9 +94,13 @@ class ResultStore:
 
     @staticmethod
     def result_key(digest: str, fingerprint: str) -> str:
-        """Report identity: plugin bytes + analyzer configuration."""
-        if not fingerprint:
-            return digest
+        """Report identity: plugin bytes + analyzer configuration.
+
+        Always hashed — an earlier version returned the raw digest when
+        ``fingerprint`` was empty, which put unfingerprinted results in
+        a namespace that could collide with hashed keys.  Legacy raw
+        paths are migrated lazily by :meth:`get_result`.
+        """
         return hashlib.sha256(
             f"{digest}:{fingerprint}".encode("utf-8")
         ).hexdigest()
@@ -100,9 +116,92 @@ class ResultStore:
     def get_result(
         self, digest: str, fingerprint: str
     ) -> Optional[Dict[str, object]]:
-        return self._read_json(
+        document = self._read_json(
             self._shard_path(self._results_dir, self.result_key(digest, fingerprint))
         )
+        if document is not None:
+            return document
+        if not fingerprint:
+            return self._migrate_legacy_result(digest)
+        return None
+
+    def _migrate_legacy_result(self, digest: str) -> Optional[Dict[str, object]]:
+        """Serve and move a pre-fix raw-digest result to its hashed key."""
+        legacy_path = self._shard_path(self._results_dir, digest)
+        document = self._read_json(legacy_path)
+        if document is None:
+            return None
+        self.put_result(digest, "", document)
+        try:
+            os.remove(legacy_path)
+        except OSError:  # pragma: no cover - concurrent migration
+            pass
+        return document
+
+    # -- per-file digest manifests (incremental rescans) -------------------
+
+    def put_manifest(
+        self, digest: str, fingerprint: str, manifest: Dict[str, object]
+    ) -> None:
+        """Persist the per-file digest manifest of a finished scan,
+        keyed like the result it belongs to."""
+        path = self._shard_path(
+            self._manifests_dir, self.result_key(digest, fingerprint)
+        )
+        self._write_json(path, manifest)
+
+    def get_manifest(
+        self, digest: str, fingerprint: str
+    ) -> Optional[Dict[str, object]]:
+        return self._read_json(
+            self._shard_path(
+                self._manifests_dir, self.result_key(digest, fingerprint)
+            )
+        )
+
+    # -- scan lineage ------------------------------------------------------
+
+    @staticmethod
+    def lineage_key(name: str) -> str:
+        """Lineage identity: the (client-supplied) plugin name.  Hashed
+        so arbitrary slugs map to safe file names."""
+        return hashlib.sha256(("lineage:" + name).encode("utf-8")).hexdigest()
+
+    def record_lineage(self, name: str, digest: str) -> None:
+        """Append ``digest`` to the scan lineage of plugin ``name``.
+
+        A digest already present is moved to the end (most recent); the
+        list is the submission order the store observed.
+        """
+        path = self._shard_path(self._lineage_dir, self.lineage_key(name))
+        document = self._read_json(path) or {"name": name, "digests": []}
+        digests = [d for d in document.get("digests", []) if d != digest]
+        digests.append(digest)
+        document["name"] = name
+        document["digests"] = digests
+        self._write_json(path, document)
+
+    def lineage(self, name: str) -> List[str]:
+        """Digest sequence recorded for ``name``, oldest first."""
+        path = self._shard_path(self._lineage_dir, self.lineage_key(name))
+        document = self._read_json(path)
+        if document is None:
+            return []
+        return list(document.get("digests", []))
+
+    def latest_manifest(
+        self, name: str, fingerprint: str, exclude_digest: str = ""
+    ) -> Optional[Dict[str, object]]:
+        """The nearest prior scan manifest of the plugin lineage: the
+        most recent digest recorded under ``name`` (other than the one
+        being rescanned) that has a stored manifest."""
+        for digest in reversed(self.lineage(name)):
+            if digest == exclude_digest:
+                continue
+            manifest = self.get_manifest(digest, fingerprint)
+            if manifest is not None:
+                return manifest
+        return None
 
     def result_count(self) -> int:
         count = 0

@@ -47,7 +47,7 @@ from ..batch.scheduler import (
     _cache_stats,
     _failure_report,
     _init_worker,
-    _scan_one,
+    _rescan_one,
 )
 from ..batch.telemetry import PluginScanStats, ScanTelemetry, ServiceStats
 from ..core.results import ToolReport
@@ -59,14 +59,21 @@ from .sarif import to_sarif
 from .store import ResultStore
 
 #: schema of the stored result document
-RESULT_SCHEMA = "repro.service.result/v1"
+RESULT_SCHEMA = "repro.service.result/v2"
 
 
 def result_document(
-    job: Job, report: ToolReport, outcome: str
+    job: Job,
+    report: ToolReport,
+    outcome: str,
+    rescan: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """The JSON document persisted per finished job: the full review
-    report, its SARIF rendering, and the service-side envelope."""
+    report, its SARIF rendering, and the service-side envelope.
+
+    Schema v2 adds the ``rescan`` section — how much of the plugin's
+    prior analysis the diff-aware rescan reused (empty dict when the
+    tool has no incremental path)."""
     return {
         "schema": RESULT_SCHEMA,
         "digest": job.digest,
@@ -74,6 +81,7 @@ def result_document(
         "outcome": outcome,
         "queued_seconds": round(job.queued_seconds, 6),
         "seconds": round(report.seconds, 6),
+        "rescan": dict(rescan or {}),
         "report": json.loads(to_json(report)),
         "sarif": to_sarif(report),
     }
@@ -185,16 +193,27 @@ class WorkerPool:
             with self._lock:
                 self.stats.failed += 1
             return
+        # diff-aware rescan: the nearest prior scan of this plugin's
+        # lineage (same analyzer fingerprint) supplies the manifest the
+        # engine reuses unchanged analysis units from
+        manifest = self.store.latest_manifest(
+            plugin.name, job.fingerprint, exclude_digest=job.digest
+        )
         with scoped() as scope:
-            report, outcome, delta = self._scan(plugin, state)
-        document = result_document(job, report, outcome)
+            report, outcome, delta, new_manifest, rescan = self._scan(
+                plugin, state, manifest
+            )
+        document = result_document(job, report, outcome, rescan)
         self.store.put_result(job.digest, job.fingerprint, document)
         if outcome == "ok":
+            if new_manifest is not None:
+                self.store.put_manifest(job.digest, job.fingerprint, new_manifest)
+            self.store.record_lineage(plugin.name, job.digest)
             self.queue.complete(job.id)
         else:
             self.queue.fail(job.id, f"analysis {outcome}")
         finished = self.queue.get(job.id) or job
-        self._record(finished, report, outcome, delta, scope.report())
+        self._record(finished, report, outcome, delta, scope.report(), rescan)
 
     def _record(
         self,
@@ -203,6 +222,7 @@ class WorkerPool:
         outcome: str,
         delta: Tuple[int, ...],
         scope_perf: Dict[str, float],
+        rescan: Optional[Dict[str, object]] = None,
     ) -> None:
         # process-isolated reports carry their own perf delta (computed
         # inside the worker process); the dispatcher-side scope supplies
@@ -229,6 +249,9 @@ class WorkerPool:
             perf=perf,
             queued_seconds=job.queued_seconds,
             outcome=outcome,
+            rescan_roots_total=int((rescan or {}).get("roots_total", 0)),
+            rescan_roots_reused=int((rescan or {}).get("roots_reused", 0)),
+            rescan_fallback=str((rescan or {}).get("fallback_reason", "")),
         )
         with self._lock:
             self.telemetry.record(stats_row)
@@ -245,28 +268,42 @@ class WorkerPool:
 
     # -- the scan itself ---------------------------------------------------
 
+    #: scan return value: report, outcome, cache delta, the new per-file
+    #: digest manifest (None on failure or manifest-less tools), and the
+    #: rescan-stats dict
+    _ScanResult = Tuple[
+        ToolReport, str, Tuple[int, ...], Optional[Dict[str, object]],
+        Dict[str, object],
+    ]
+
     def _scan(
-        self, plugin: Plugin, state: _WorkerState
-    ) -> Tuple[ToolReport, str, Tuple[int, ...]]:
+        self,
+        plugin: Plugin,
+        state: _WorkerState,
+        manifest: Optional[Dict[str, object]] = None,
+    ) -> "_ScanResult":
         if self.isolation == "process":
-            return self._scan_process(plugin, state)
-        return self._scan_thread(plugin, state)
+            return self._scan_process(plugin, state, manifest)
+        return self._scan_thread(plugin, state, manifest)
 
     def _scan_process(
-        self, plugin: Plugin, state: _WorkerState
-    ) -> Tuple[ToolReport, str, Tuple[int, ...]]:
+        self,
+        plugin: Plugin,
+        state: _WorkerState,
+        manifest: Optional[Dict[str, object]] = None,
+    ) -> "_ScanResult":
         if state.executor is None:
             state.executor = ProcessPoolExecutor(
                 max_workers=1,
                 initializer=_init_worker,
                 initargs=(self.spec, self._batch_options),
             )
-        payload = (plugin.name, plugin.version, dict(plugin.files))
+        payload = (plugin.name, plugin.version, dict(plugin.files), manifest)
         try:
-            report, _seconds, outcome, delta = state.executor.submit(
-                _scan_one, payload
-            ).result()
-            return report, outcome, delta
+            report, _seconds, outcome, delta, new_manifest, rescan = (
+                state.executor.submit(_rescan_one, payload).result()
+            )
+            return report, outcome, delta, new_manifest, rescan
         except BrokenProcessPool:
             state.executor.shutdown(wait=False)
             state.executor = None
@@ -275,29 +312,39 @@ class WorkerPool:
             report = _failure_report(
                 self.spec.name, plugin.slug, "worker process died during analysis"
             )
-            return report, "crashed", (0,) * 7
+            return report, "crashed", (0,) * 7, None, {}
 
     def _scan_thread(
-        self, plugin: Plugin, state: _WorkerState
-    ) -> Tuple[ToolReport, str, Tuple[int, ...]]:
+        self,
+        plugin: Plugin,
+        state: _WorkerState,
+        manifest: Optional[Dict[str, object]] = None,
+    ) -> "_ScanResult":
         if state.tool is None:
             state.tool = self._build_thread_tool()
         cache = getattr(state.tool, "cache", None)
         before = _cache_stats(cache)
+        new_manifest: Optional[Dict[str, object]] = None
+        rescan: Dict[str, object] = {}
         start = time.perf_counter()
         try:
-            report = state.tool.analyze(plugin)
+            if hasattr(state.tool, "rescan"):
+                report, new_manifest, stats = state.tool.rescan(plugin, manifest)
+                rescan = stats.to_dict()
+            else:
+                report = state.tool.analyze(plugin)
             outcome = "ok"
         except Exception as error:
             report = _failure_report(
                 self.spec.name, plugin.slug, f"worker exception: {error!r}"
             )
             outcome = "error"
+            new_manifest = None
         report.seconds = time.perf_counter() - start
         report.variables = {}
         after = _cache_stats(cache)
         delta = tuple(b - a for a, b in zip(before, after))
-        return report, outcome, delta
+        return report, outcome, delta, new_manifest, rescan
 
     def _build_thread_tool(self):
         spec = self.spec

@@ -107,7 +107,7 @@ class TestBatchScan:
         capsys.readouterr()
         with open(warm_path) as handle:
             warm = json.load(handle)
-        assert warm["schema"] == "repro.batch.telemetry/v4"
+        assert warm["schema"] == "repro.batch.telemetry/v5"
         assert warm["cache"]["hit_rate"] > 0.9
         with open(cold_path) as handle:
             cold = json.load(handle)
@@ -247,3 +247,135 @@ class TestApproveCommand:
     def test_lenient_policy_approves(self, vulnerable_file, capsys):
         assert main(["approve", vulnerable_file, "--max-xss", "5"]) == 0
         assert "APPROVED" in capsys.readouterr().out
+
+
+class TestBaselineGate:
+    def export_baseline(self, target, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.sarif")
+        assert main(["report", target, "--format", "sarif", "--out", baseline]) == 0
+        capsys.readouterr()  # drain
+        return baseline
+
+    def test_unchanged_scan_passes_fail_on_new(
+        self, vulnerable_file, tmp_path, capsys
+    ):
+        baseline = self.export_baseline(vulnerable_file, tmp_path, capsys)
+        code = main(
+            ["scan", vulnerable_file, "--baseline", baseline, "--fail-on", "new"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 new" in out and "1 unchanged" in out
+
+    def test_unchanged_scan_still_fails_on_any(
+        self, vulnerable_file, tmp_path, capsys
+    ):
+        baseline = self.export_baseline(vulnerable_file, tmp_path, capsys)
+        assert main(["scan", vulnerable_file, "--baseline", baseline]) == 1
+
+    def test_new_finding_fails_fail_on_new(self, vulnerable_file, tmp_path, capsys):
+        baseline = self.export_baseline(vulnerable_file, tmp_path, capsys)
+        with open(vulnerable_file, "a") as handle:
+            handle.write("echo $_COOKIE['fresh'];\n")
+        code = main(
+            ["scan", vulnerable_file, "--baseline", baseline, "--fail-on", "new"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1 new" in out
+
+    def test_fail_on_new_without_baseline_degenerates_to_any(
+        self, vulnerable_file
+    ):
+        assert main(["scan", vulnerable_file, "--fail-on", "new"]) == 1
+
+    def test_report_baseline_marks_states(self, vulnerable_file, tmp_path, capsys):
+        baseline = self.export_baseline(vulnerable_file, tmp_path, capsys)
+        assert main(["report", vulnerable_file, "--format", "sarif",
+                     "--baseline", baseline]) == 0
+        document = json.loads(capsys.readouterr().out)
+        states = [
+            result["baselineState"]
+            for run in document["runs"]
+            for result in run["results"]
+        ]
+        assert states == ["unchanged"]
+
+    def test_report_baseline_requires_sarif(self, vulnerable_file, tmp_path, capsys):
+        baseline = self.export_baseline(vulnerable_file, tmp_path, capsys)
+        with pytest.raises(SystemExit):
+            main(["report", vulnerable_file, "--baseline", baseline])
+
+    def test_missing_baseline_file_is_an_error(self, vulnerable_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["scan", vulnerable_file, "--baseline",
+                  str(tmp_path / "missing.sarif"), "--fail-on", "new"])
+
+
+class TestHistoryCommand:
+    def test_record_diff_evolution_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "history.json")
+        plugin = tmp_path / "demo"
+        plugin.mkdir()
+        source = plugin / "demo.php"
+        source.write_text(
+            "<?php\necho $_GET['m'];\n$wpdb->query('D' . $_GET['id']);\n"
+        )
+        assert main(["history", "record", str(plugin), "--store", store,
+                     "--version", "1.0", "--date", "2012-11-01"]) == 0
+        assert "recorded" in capsys.readouterr().out
+        source.write_text(
+            "<?php\necho esc_html($_GET['m']);\n$wpdb->query('D' . $_GET['id']);\n"
+        )
+        assert main(["history", "record", str(plugin), "--store", store,
+                     "--version", "2.0", "--date", "2014-11-01"]) == 0
+        out = capsys.readouterr().out
+        assert "+0 new" in out and "-1 fixed" in out
+        # diff of the archived pair: one fixed, nothing introduced -> 0
+        assert main(["history", "diff", "demo", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "-1 fixed" in out and "  - xss" in out
+        assert main(["history", "evolution", "demo", "--store", store]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2 and "1.0" in lines[0] and "2.0" in lines[1]
+
+    def test_diff_flags_regression(self, tmp_path, capsys):
+        store = str(tmp_path / "history.json")
+        plugin = tmp_path / "p"
+        plugin.mkdir()
+        source = plugin / "p.php"
+        source.write_text("<?php echo esc_html($_GET['m']);\n")
+        main(["history", "record", str(plugin), "--store", store,
+              "--version", "1.0", "--date", "2012-01-01"])
+        source.write_text("<?php echo $_GET['m'];\n")
+        main(["history", "record", str(plugin), "--store", store,
+              "--version", "2.0", "--date", "2014-01-01"])
+        capsys.readouterr()
+        assert main(["history", "diff", "p", "--store", store]) == 1
+        assert "+1 new" in capsys.readouterr().out
+
+    def test_diff_requires_two_scans(self, tmp_path, capsys):
+        store = str(tmp_path / "history.json")
+        plugin = tmp_path / "solo"
+        plugin.mkdir()
+        (plugin / "p.php").write_text("<?php echo $_GET['m'];\n")
+        main(["history", "record", str(plugin), "--store", store,
+              "--version", "1.0", "--date", "2012-01-01"])
+        capsys.readouterr()
+        assert main(["history", "diff", "solo", "--store", store]) == 1
+        assert "fewer than two" in capsys.readouterr().out
+
+    def test_approve_with_history_blocks_regression(self, tmp_path, capsys):
+        store = str(tmp_path / "history.json")
+        plugin = tmp_path / "gate"
+        plugin.mkdir()
+        source = plugin / "p.php"
+        source.write_text("<?php echo esc_html($_GET['m']);\n")
+        main(["history", "record", str(plugin), "--store", store,
+              "--version", "1.0", "--date", "2012-01-01"])
+        capsys.readouterr()
+        source.write_text("<?php echo $_GET['m'];\n")
+        code = main(["approve", str(plugin), "--max-xss", "5", "--history", store])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "new finding(s)" in out

@@ -176,6 +176,7 @@ class TestConfigMatrixOracle:
             "cache",
             "jobs",
             "summaries",
+            "incremental",
         }
         assert report.ok, render_oracle_reports(reports, verbose=True)
         # the corpus plants vulnerabilities, so an empty set would mean
@@ -187,7 +188,7 @@ class TestConfigMatrixOracle:
             OracleOptions(versions=("2012",), scale=0.02, jobs=2)
         )
         rendered = render_oracle_reports(oracle.run())
-        for axis in ("recover", "summaries", "jobs", "cache"):
+        for axis in ("recover", "summaries", "jobs", "cache", "incremental"):
             assert axis in rendered
 
 

@@ -138,6 +138,58 @@ class TestHistory:
         store.record(report, version="1.0", scanned_at="2012-11-01")
         assert store.diff_latest("demo") is None
 
+    def test_duplicate_findings_diff_as_multiset(self):
+        # two identical sinks on different lines share one finding key;
+        # fixing one of them is one fixed + one persistent, not "no
+        # change" (set semantics would collapse the pair)
+        duplicated = "<?php\necho $_GET['m'];\necho $_GET['m'];\n"
+        single = "<?php\necho $_GET['m'];\n"
+        _p1, report1 = scan(duplicated, "1.0")
+        _p2, report2 = scan(single, "2.0")
+        older = ScanRecord.from_report(report1, "1.0", "2012-11-01")
+        newer = ScanRecord.from_report(report2, "2.0", "2014-11-01")
+        assert len(older.findings) == 2
+        diff = diff_scans(older, newer)
+        assert len(diff.fixed) == 1
+        assert len(diff.persistent) == 1
+        assert not diff.introduced
+        # and the reverse direction: duplicating a finding introduces one
+        reverse = diff_scans(newer, older)
+        assert len(reverse.introduced) == 1
+        assert len(reverse.persistent) == 1
+        assert not reverse.fixed
+
+    def test_out_of_order_recording_sorts_by_date(self):
+        # backfilling an older scan after a newer one must not make
+        # latest()/diff_latest() compare the wrong pair
+        store = HistoryStore()
+        _p2, report2 = scan(FIXED_SOURCE, "2.0")
+        _p1, report1 = scan(VULN_SOURCE, "1.0")
+        store.record(report2, version="2.0", scanned_at="2014-11-01")
+        store.record(report1, version="1.0", scanned_at="2012-11-01")
+        assert store.latest("demo").version == "2.0"
+        diff = store.diff_latest("demo")
+        assert (diff.older.version, diff.newer.version) == ("1.0", "2.0")
+        assert len(diff.fixed) == 2 and not diff.introduced
+
+    def test_reloaded_store_sorts_hand_edited_archive(self, tmp_path):
+        # an archive written newest-first (hand-edited or by an older
+        # version) is re-sorted chronologically on load
+        path = str(tmp_path / "history.json")
+        store = HistoryStore(path)
+        _p2, report2 = scan(FIXED_SOURCE, "2.0")
+        _p1, report1 = scan(VULN_SOURCE, "1.0")
+        store.record(report2, version="2.0", scanned_at="2014-11-01")
+        store.record(report1, version="1.0", scanned_at="2012-11-01")
+        store.save()
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        raw["demo"].reverse()  # newest first on disk
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(raw, handle)
+        reloaded = HistoryStore(path)
+        assert reloaded.latest("demo").version == "2.0"
+
 
 class TestApproval:
     def test_vulnerable_plugin_rejected(self):

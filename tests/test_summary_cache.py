@@ -149,7 +149,7 @@ class TestPersistenceExclusions:
         first = scan(files, cache=cache)
         # render()'s result depends on global state at call time, which
         # the cache key cannot capture — it must never be persisted
-        summary_keys = [key for key in cache._slots if key.startswith("summary!")]
+        summary_keys = [key for key in cache._slots if key.startswith("summary2!")]
         assert all("render" not in key for key in summary_keys)
         second = scan(files, cache=cache)
         assert keys(first) == keys(second)
