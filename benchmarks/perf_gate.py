@@ -44,6 +44,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.benchgate import calibration as _calibration  # noqa: E402
+from repro.benchgate import merge_bench  # noqa: E402
 from repro.core import PhpSafe  # noqa: E402
 from repro.corpus import build_corpus  # noqa: E402
 from repro.php import parse_source, tokenize_significant  # noqa: E402
@@ -87,18 +89,6 @@ def _best_of(repetitions: int, fn) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
-
-
-def _calibration() -> float:
-    """Ops/s of a fixed pure-Python workload, for machine normalization."""
-    n = 2_000_000
-    start = time.perf_counter()
-    total = 0
-    for i in range(n):
-        total += i * i
-    elapsed = time.perf_counter() - start
-    assert total  # keep the loop honest
-    return n / elapsed
 
 
 def bench_substrate(repetitions: int) -> dict:
@@ -242,29 +232,9 @@ def bench_rescan(scale: float, repetitions: int) -> dict:
 
 
 def _merge(path: str, section: dict, record_baseline: bool, quick: bool) -> dict:
-    data: dict = {}
-    if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as handle:
-            try:
-                data = json.load(handle) or {}
-            except ValueError:
-                data = {}
-    data.setdefault("schema", "repro.bench/v1")
-    data["quick"] = quick
-    section["calibration_ops_per_second"] = round(_CALIBRATION, 1)
-    if record_baseline or "baseline" not in data:
-        data["baseline"] = section
-    data["current"] = section
-    baseline, current = data["baseline"], data["current"]
-    speedup = {}
-    for key in current:
-        if key.endswith("_seconds") and baseline.get(key):
-            speedup[key[: -len("_seconds")]] = round(baseline[key] / current[key], 3)
-    data["speedup_vs_baseline"] = speedup
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=1)
-        handle.write("\n")
-    return data
+    return merge_bench(
+        path, section, record_baseline, quick, calibration_ops=_CALIBRATION
+    )
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Fleet chaos harness entry point (CI's ``fleet-chaos-smoke`` job).
+
+Thin wrapper over :mod:`repro.service.chaos`: spins up N real
+``phpsafe serve`` subprocesses behind a coordinator, replays burst +
+duplicate traffic while SIGKILLing one node mid-job and SIGSTOPping
+another, asserts zero lost/duplicated results against a serial-scan
+oracle, and records sustained jobs/min plus p50/p99 queue wait into
+``BENCH_service.json``.
+
+Run from the repo root::
+
+    python scripts/fleet_chaos.py --nodes 3 --kill 1 --stall 1 --quick
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service.chaos import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -154,8 +154,8 @@ def main():
         status, metrics = api(base, "/metrics")
         check(status == 200, "metrics endpoint returns 200")
         check(
-            metrics.get("schema") == "repro.batch.telemetry/v5",
-            "metrics on telemetry schema v4",
+            metrics.get("schema") == "repro.batch.telemetry/v6",
+            "metrics on telemetry schema v6",
         )
         check("service" in metrics and "queue" in metrics, "service + queue sections")
 

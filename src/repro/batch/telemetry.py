@@ -22,17 +22,22 @@ picked it up; always 0 outside the daemon).  v5 adds the incremental
 rescan counters: per-plugin ``rescan`` (analysis roots total/reused,
 fallback reason) and the run-level ``rescan`` aggregate
 (roots reused across the run, incremental runs, full-scan fallbacks).
+v6 adds the fleet layer: ``ServiceStats.quarantined`` (jobs failed for
+good after exhausting their attempts), :class:`FleetStats` (the
+coordinator's dispatch/steal/degradation counters) and
+:func:`aggregate_fleet`, which folds the per-node ``GET /metrics``
+documents of a sharded fleet into one fleet-wide view.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..perf import merge as merge_perf
 
-SCHEMA = "repro.batch.telemetry/v5"
+SCHEMA = "repro.batch.telemetry/v6"
 
 
 @dataclass
@@ -60,6 +65,9 @@ class ServiceStats:
     completed: int = 0
     #: accepted jobs that ended in the ``failed`` state
     failed: int = 0
+    #: jobs failed for good after exhausting their claim attempts
+    #: (crash-looping or repeatedly-stolen inputs; subset of ``failed``)
+    quarantined: int = 0
     #: summed queued→running wait over all started jobs (latency)
     queue_wait_seconds: float = 0.0
     #: jobs the wait sum covers (denominator of the mean)
@@ -91,11 +99,147 @@ class ServiceStats:
             "deduped": self.deduped,
             "completed": self.completed,
             "failed": self.failed,
+            "quarantined": self.quarantined,
             "queue_wait_seconds": round(self.queue_wait_seconds, 6),
             "mean_queue_wait": round(self.mean_queue_wait, 6),
             "uptime_seconds": round(self.uptime_seconds, 6),
             "jobs_per_minute": round(self.jobs_per_minute, 3),
         }
+
+
+@dataclass
+class FleetStats:
+    """The coordinator's own counters (schema v6).
+
+    Everything here is about *dispatch*, not analysis: the per-node
+    analysis numbers live in each node's :class:`ServiceStats` and are
+    folded together by :func:`aggregate_fleet`.
+    """
+
+    #: fleet size as configured
+    nodes_total: int = 0
+    #: jobs handed to a node (each re-dispatch counts again)
+    dispatched: int = 0
+    #: node submissions retried after a transient failure or 429
+    retries: int = 0
+    #: dispatches that moved to the next node on the ring because the
+    #: preferred node was down or refused
+    failovers: int = 0
+    #: in-flight jobs taken away from a dead/wedged/straggler node and
+    #: requeued for another one
+    steals: int = 0
+    #: steals avoided because the dying node had already persisted the
+    #: result — the (digest, fingerprint) dedup of the exactly-once path
+    steal_dedups: int = 0
+    #: submissions shed with 503 because the fleet was degraded
+    shed_503: int = 0
+    #: up→down health transitions observed by the prober
+    nodes_lost: int = 0
+    #: down→up transitions (node recovered or SIGCONT'd)
+    nodes_recovered: int = 0
+    #: dispatch cycles that found no live node and had to park the job
+    no_live_node_waits: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "nodes_total": self.nodes_total,
+            "dispatched": self.dispatched,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "steals": self.steals,
+            "steal_dedups": self.steal_dedups,
+            "shed_503": self.shed_503,
+            "nodes_lost": self.nodes_lost,
+            "nodes_recovered": self.nodes_recovered,
+            "no_live_node_waits": self.no_live_node_waits,
+        }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of ``values``."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+#: ServiceStats counters that sum across nodes
+_FLEET_SUMMED = (
+    "queue_depth",
+    "accepted",
+    "rejected",
+    "deduped",
+    "completed",
+    "failed",
+    "quarantined",
+    "queue_wait_seconds",
+)
+
+
+def aggregate_fleet(
+    node_documents: Dict[str, Optional[Dict[str, object]]],
+) -> Dict[str, object]:
+    """Fold per-node ``GET /metrics`` documents into one fleet view.
+
+    ``node_documents`` maps node name to the node's live telemetry
+    document, or ``None`` when the node was unreachable (down nodes
+    still count toward ``nodes.total``).  Counter-like service fields
+    sum; throughput sums (jobs/min of the fleet is the sum of its
+    nodes); queue-state counts sum; per-node one-line summaries are
+    kept under ``per_node``.
+    """
+    service_totals: Dict[str, float] = {key: 0 for key in _FLEET_SUMMED}
+    queue_totals: Dict[str, int] = {}
+    jobs_per_minute = 0.0
+    findings = files = loc = 0
+    per_node: Dict[str, Dict[str, object]] = {}
+    up = 0
+    for name in sorted(node_documents):
+        document = node_documents[name]
+        if document is None:
+            per_node[name] = {"up": False}
+            continue
+        up += 1
+        service = document.get("service") or {}
+        for key in _FLEET_SUMMED:
+            service_totals[key] += service.get(key, 0) or 0
+        jobs_per_minute += service.get("jobs_per_minute", 0.0) or 0.0
+        for state, count in (document.get("queue") or {}).items():
+            queue_totals[state] = queue_totals.get(state, 0) + count
+        findings += document.get("findings", 0) or 0
+        files += document.get("files", 0) or 0
+        loc += document.get("loc", 0) or 0
+        per_node[name] = {
+            "up": True,
+            "completed": service.get("completed", 0),
+            "failed": service.get("failed", 0),
+            "quarantined": service.get("quarantined", 0),
+            "queue_depth": service.get("queue_depth", 0),
+            "jobs_per_minute": service.get("jobs_per_minute", 0.0),
+            "uptime_seconds": service.get("uptime_seconds", 0.0),
+        }
+    waits = service_totals.pop("queue_wait_seconds")
+    completed = service_totals["completed"]
+    return {
+        "schema": SCHEMA,
+        "nodes": {
+            "total": len(node_documents),
+            "up": up,
+            "down": len(node_documents) - up,
+        },
+        "service": {
+            **{key: round(value, 6) for key, value in service_totals.items()},
+            "queue_wait_seconds": round(waits, 6),
+            "mean_queue_wait": round(waits / completed, 6) if completed else 0.0,
+            "jobs_per_minute": round(jobs_per_minute, 3),
+        },
+        "queue": queue_totals,
+        "findings": findings,
+        "files": files,
+        "loc": loc,
+        "per_node": per_node,
+    }
 
 
 @dataclass

@@ -1,0 +1,72 @@
+"""Shared BENCH_*.json bookkeeping for the perf gates.
+
+Every benchmark in the repo (``benchmarks/perf_gate.py``, ``phpsafe
+bench fleet``) records its numbers the same way: a JSON file with a
+``baseline`` section written once (``--record-baseline``), a
+``current`` section rewritten every run, and derived
+``speedup_vs_baseline`` ratios for every ``*_seconds`` metric.  The
+``calibration_ops_per_second`` field — a fixed pure-Python workload's
+throughput — lets numbers from different machines be compared
+approximately (see EXPERIMENTS.md, "Performance methodology").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+def calibration(n: int = 2_000_000) -> float:
+    """Ops/s of a fixed pure-Python workload, for machine normalization."""
+    start = time.perf_counter()
+    total = 0
+    for i in range(n):
+        total += i * i
+    elapsed = time.perf_counter() - start
+    assert total  # keep the loop honest
+    return n / elapsed
+
+
+def merge_bench(
+    path: str,
+    section: Dict[str, object],
+    record_baseline: bool = False,
+    quick: bool = False,
+    calibration_ops: Optional[float] = None,
+) -> Dict[str, object]:
+    """Fold one benchmark run into its BENCH_*.json file.
+
+    The baseline is preserved across runs unless ``record_baseline``;
+    ``speedup_vs_baseline`` maps every ``*_seconds`` metric to
+    ``baseline/current`` (>1 means the current code is faster).
+    """
+    data: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle) or {}
+            except ValueError:
+                data = {}
+    data.setdefault("schema", BENCH_SCHEMA)
+    data["quick"] = quick
+    if calibration_ops is not None:
+        section["calibration_ops_per_second"] = round(calibration_ops, 1)
+    if record_baseline or "baseline" not in data:
+        data["baseline"] = section
+    data["current"] = section
+    baseline, current = data["baseline"], data["current"]
+    speedup = {}
+    for key in current:
+        if key.endswith("_seconds") and baseline.get(key) and current.get(key):
+            speedup[key[: -len("_seconds")]] = round(
+                baseline[key] / current[key], 3
+            )
+    data["speedup_vs_baseline"] = speedup
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=1)
+        handle.write("\n")
+    return data

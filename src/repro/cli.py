@@ -515,6 +515,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     spec = ToolSpec.from_tool(tool)
     if spec is None:
         raise SystemExit(f"tool {tool.name} cannot run as a service")
+    if args.coordinator:
+        return _serve_coordinator(args, spec, tool.name)
     service = AnalysisService(
         data_dir=args.data_dir,
         spec=spec,
@@ -523,6 +525,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         max_queue_depth=args.max_queue_depth,
         isolation=args.isolation,
+        store_dir=args.store_dir,
+        node_name=args.node,
+        retry_after=args.retry_after,
     )
     if service.requeued:
         print(
@@ -531,16 +536,71 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
 
     def announce(host: str, port: int) -> None:
+        identity = f" node {args.node}," if args.node else ""
         print(
             f"{tool.name} service listening on http://{host}:{port}"
-            f" — workers={args.jobs}, queue depth {args.max_queue_depth},"
-            f" data dir {args.data_dir}",
+            f" —{identity} workers={args.jobs}, queue depth"
+            f" {args.max_queue_depth}, data dir {args.data_dir}",
             flush=True,
         )
 
     run_service(service, args.host, args.port, on_ready=announce)
     print("service stopped: queue drained and persisted", flush=True)
     return 0
+
+
+def _serve_coordinator(args: argparse.Namespace, spec, tool_name: str) -> int:
+    """``phpsafe serve --coordinator --nodes name=host:port …``"""
+    from .service import FleetCoordinator, HttpNodeClient, run_service
+
+    if not args.nodes:
+        raise SystemExit("--coordinator needs at least one --nodes entry")
+    if not args.store_dir:
+        raise SystemExit(
+            "--coordinator needs --store-dir (the result store every"
+            " node shares)"
+        )
+    clients = {}
+    for entry in args.nodes:
+        name, _, address = entry.partition("=")
+        if not address:
+            name, address = f"node{len(clients)}", name
+        clients[name] = HttpNodeClient(address, timeout=args.timeout or 10.0)
+    coordinator = FleetCoordinator(
+        data_dir=args.data_dir,
+        nodes=clients,
+        spec=spec,
+        store_dir=args.store_dir,
+        min_live=args.min_live,
+        max_queue_depth=args.max_queue_depth,
+        retry_after=args.retry_after,
+    )
+    if coordinator.requeued:
+        print(
+            f"recovered {coordinator.requeued} interrupted job(s) from the"
+            " dispatch ledger",
+            flush=True,
+        )
+
+    def announce(host: str, port: int) -> None:
+        print(
+            f"{tool_name} fleet coordinator on http://{host}:{port}"
+            f" — {len(clients)} node(s): "
+            + ", ".join(f"{n}={c.address}" for n, c in sorted(clients.items())),
+            flush=True,
+        )
+
+    run_service(coordinator, args.host, args.port, on_ready=announce)
+    print("coordinator stopped: dispatch ledger persisted", flush=True)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .service.chaos import config_from_args, run_and_gate
+
+    # only one action today; argparse enforces the choice
+    assert args.action == "fleet"
+    return run_and_gate(config_from_args(args))
 
 
 def cmd_approve(args: argparse.Namespace) -> int:
@@ -777,7 +837,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="generic PHP profile (no WordPress)")
     serve.add_argument("--strict", action="store_true",
                        help="disable error recovery")
+    serve.add_argument(
+        "--store-dir",
+        help="result store directory (default DATA_DIR/store); point every"
+             " fleet node and the coordinator at the same one",
+    )
+    serve.add_argument(
+        "--node", help="fleet identity of this node (shown in /healthz)"
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After hint (seconds) on 429/503 answers",
+    )
+    serve.add_argument(
+        "--coordinator", action="store_true",
+        help="run as a fleet coordinator instead of an analysis node",
+    )
+    serve.add_argument(
+        "--nodes", action="append", default=[], metavar="NAME=HOST:PORT",
+        help="coordinator only: one fleet node (repeatable)",
+    )
+    serve.add_argument(
+        "--min-live", type=int, default=1,
+        help="coordinator only: below this many live nodes, shed new load"
+             " with 503 (cached results still served)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    bench = sub.add_parser(
+        "bench", help="performance / robustness harnesses"
+    )
+    bench_sub = bench.add_subparsers(dest="action", required=True)
+    fleet = bench_sub.add_parser(
+        "fleet",
+        help="fault-injection load harness: N-node fleet under chaos",
+    )
+    from .service.chaos import build_arg_parser as _chaos_args
+
+    _chaos_args(fleet)
+    fleet.set_defaults(func=cmd_bench)
 
     confirm = sub.add_parser("confirm", help="dynamically confirm findings")
     confirm.add_argument("path")

@@ -13,6 +13,23 @@ Backpressure is a bounded queue depth: :meth:`submit` raises
 :class:`QueueFull` when ``max_depth`` jobs are already waiting, which
 the HTTP front end maps to ``429 Too Many Requests``.
 
+Fleet semantics (the coordinator of :mod:`repro.service.coordinator`
+uses the same queue as its dispatch ledger):
+
+- :meth:`claim` can take a **lease**: the claimer's name plus an
+  expiry timestamp.  A healthy dispatcher keeps the lease alive with
+  :meth:`extend_lease` while its node works.
+- :meth:`expire_leases` is the work-stealing primitive — a ``running``
+  row whose lease lapsed (dispatcher wedged, node SIGSTOPped, process
+  gone) is **stolen** back to ``queued`` so another worker can claim
+  it.  Stealing never decrements ``attempts`` (the interrupted attempt
+  really happened), so a job that keeps dying lands in quarantine
+  (``failed``, with an error naming the quarantine) after
+  ``max_attempts`` instead of bouncing between nodes forever.
+- :meth:`release` is only for claimed-but-unstarted returns during a
+  graceful shutdown; it refunds the attempt (floored at zero) because
+  no work was begun.
+
 Thread safety: one shared connection guarded by a lock.  Queue
 operations are tiny row updates, so serializing them costs nothing
 next to the seconds-long analyses they bracket.
@@ -54,6 +71,11 @@ class Job:
     attempts: int = 0
     cached: bool = False
     error: Optional[str] = None
+    #: lease fields (fleet dispatch ledger; all None for plain daemons)
+    lease_owner: Optional[str] = None
+    lease_expires: Optional[float] = None
+    #: fleet node the job was last dispatched to (observability)
+    node: Optional[str] = None
 
     @property
     def queued_seconds(self) -> float:
@@ -74,6 +96,7 @@ class Job:
             "attempts": self.attempts,
             "cached": self.cached,
             "queued_seconds": round(self.queued_seconds, 6),
+            "node": self.node,
             "error": self.error,
         }
 
@@ -90,11 +113,22 @@ CREATE TABLE IF NOT EXISTS jobs (
     finished_at REAL,
     attempts INTEGER NOT NULL DEFAULT 0,
     cached INTEGER NOT NULL DEFAULT 0,
-    error TEXT
+    error TEXT,
+    lease_owner TEXT,
+    lease_expires REAL,
+    node TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs(state, submitted_at);
 CREATE INDEX IF NOT EXISTS jobs_digest ON jobs(digest, fingerprint);
 """
+
+#: columns added after the v1 schema shipped; old spools are migrated
+#: in place when reopened
+_MIGRATIONS = (
+    ("lease_owner", "TEXT"),
+    ("lease_expires", "REAL"),
+    ("node", "TEXT"),
+)
 
 
 class JobQueue:
@@ -116,6 +150,15 @@ class JobQueue:
         self._conn.row_factory = sqlite3.Row
         with self._lock:
             self._conn.executescript(_SCHEMA)
+            present = {
+                row["name"]
+                for row in self._conn.execute("PRAGMA table_info(jobs)")
+            }
+            for column, kind in _MIGRATIONS:
+                if column not in present:
+                    self._conn.execute(
+                        f"ALTER TABLE jobs ADD COLUMN {column} {kind}"
+                    )
             self._conn.commit()
 
     # -- submission side ---------------------------------------------------
@@ -173,9 +216,19 @@ class JobQueue:
 
     # -- worker side -------------------------------------------------------
 
-    def claim(self) -> Optional[Job]:
-        """Atomically move the oldest queued job to ``running``."""
+    def claim(
+        self,
+        owner: str = "",
+        lease_seconds: Optional[float] = None,
+    ) -> Optional[Job]:
+        """Atomically move the oldest queued job to ``running``.
+
+        ``owner``/``lease_seconds`` attach a lease to the claim: if the
+        claimer stops extending it (crash, wedge, straggler node), the
+        row becomes stealable via :meth:`expire_leases`.
+        """
         now = time.time()
+        expires = now + lease_seconds if lease_seconds else None
         with self._lock:
             row = self._conn.execute(
                 "SELECT id FROM jobs WHERE state = ?"
@@ -186,11 +239,29 @@ class JobQueue:
                 return None
             self._conn.execute(
                 "UPDATE jobs SET state = ?, started_at = ?,"
-                " attempts = attempts + 1 WHERE id = ?",
-                (RUNNING, now, row["id"]),
+                " attempts = attempts + 1, lease_owner = ?,"
+                " lease_expires = ? WHERE id = ?",
+                (RUNNING, now, owner or None, expires, row["id"]),
             )
             self._conn.commit()
             return self._get_locked(row["id"])
+
+    def extend_lease(self, job_id: str, lease_seconds: float) -> None:
+        """Push a running job's lease expiry out (healthy heartbeat)."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET lease_expires = ? WHERE id = ? AND state = ?",
+                (time.time() + lease_seconds, job_id, RUNNING),
+            )
+            self._conn.commit()
+
+    def assign_node(self, job_id: str, node: str) -> None:
+        """Record which fleet node the job was dispatched to."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET node = ? WHERE id = ?", (node, job_id)
+            )
+            self._conn.commit()
 
     def complete(self, job_id: str) -> None:
         self._finish(job_id, DONE, None)
@@ -199,14 +270,87 @@ class JobQueue:
         self._finish(job_id, FAILED, error)
 
     def release(self, job_id: str) -> None:
-        """Put a claimed-but-unstarted job back (graceful shutdown)."""
+        """Put a claimed-but-unstarted job back (graceful shutdown).
+
+        The attempt is refunded (floored at zero) because no work was
+        begun — unlike :meth:`steal`, which charges the interrupted
+        attempt so repeatedly-dying jobs converge on quarantine.
+        """
         with self._lock:
             self._conn.execute(
                 "UPDATE jobs SET state = ?, started_at = NULL,"
-                " attempts = attempts - 1 WHERE id = ? AND state = ?",
+                " attempts = MAX(attempts - 1, 0), lease_owner = NULL,"
+                " lease_expires = NULL WHERE id = ? AND state = ?",
                 (QUEUED, job_id, RUNNING),
             )
             self._conn.commit()
+
+    def steal(self, job_id: str, reason: str = "lease expired") -> str:
+        """Take a running job away from its (dead/wedged) worker.
+
+        Returns one of:
+
+        - ``"stolen"`` — the row went back to ``queued`` for the next
+          claimer, keeping its ``attempts`` count (the interrupted
+          attempt happened; it must count toward quarantine).
+        - ``"quarantined"`` — attempts were already exhausted, so the
+          row was failed for good instead of flipping back to
+          ``queued`` forever.  The caller records the incident in
+          telemetry.
+        - ``"noop"`` — the row was not ``running`` (finished while we
+          decided, or unknown id).
+        """
+        with self._lock:
+            return self._steal_locked(job_id, reason)
+
+    def _steal_locked(self, job_id: str, reason: str) -> str:
+        row = self._conn.execute(
+            "SELECT state, attempts FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None or row["state"] != RUNNING:
+            return "noop"
+        if row["attempts"] >= self.max_attempts:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, error = ?,"
+                " lease_owner = NULL, lease_expires = NULL WHERE id = ?",
+                (
+                    FAILED,
+                    time.time(),
+                    f"quarantined after {row['attempts']} attempt(s): {reason}",
+                    job_id,
+                ),
+            )
+            self._conn.commit()
+            return "quarantined"
+        self._conn.execute(
+            "UPDATE jobs SET state = ?, started_at = NULL,"
+            " lease_owner = NULL, lease_expires = NULL WHERE id = ?",
+            (QUEUED, job_id),
+        )
+        self._conn.commit()
+        return "stolen"
+
+    def expire_leases(self, now: Optional[float] = None) -> List[Tuple[Job, str]]:
+        """Steal every running job whose lease has lapsed.
+
+        Returns ``(job, outcome)`` pairs where ``outcome`` is
+        ``"stolen"`` or ``"quarantined"`` (see :meth:`steal`); rows
+        without a lease are never touched.
+        """
+        cutoff = time.time() if now is None else now
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id FROM jobs WHERE state = ?"
+                " AND lease_expires IS NOT NULL AND lease_expires < ?",
+                (RUNNING, cutoff),
+            ).fetchall()
+            expired = []
+            for row in rows:
+                job = self._get_locked(row["id"])
+                outcome = self._steal_locked(row["id"], "lease expired")
+                if outcome != "noop":
+                    expired.append((job, outcome))
+            return expired
 
     def _finish(self, job_id: str, state: str, error: Optional[str]) -> None:
         with self._lock:
@@ -248,7 +392,8 @@ class JobQueue:
                     )
                 else:
                     self._conn.execute(
-                        "UPDATE jobs SET state = ?, started_at = NULL"
+                        "UPDATE jobs SET state = ?, started_at = NULL,"
+                        " lease_owner = NULL, lease_expires = NULL"
                         " WHERE id = ?",
                         (QUEUED, row["id"]),
                     )
@@ -321,4 +466,7 @@ class JobQueue:
             attempts=row["attempts"],
             cached=bool(row["cached"]),
             error=row["error"],
+            lease_owner=row["lease_owner"],
+            lease_expires=row["lease_expires"],
+            node=row["node"],
         )

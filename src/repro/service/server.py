@@ -9,7 +9,7 @@ that front end for the reproduction.  Two layers:
     tests drive it directly): content-addressed submission through the
     :class:`~repro.service.store.ResultStore`, durable queueing with
     bounded depth, the :class:`~repro.service.workers.WorkerPool`, and
-    live metrics on telemetry schema v5.
+    live metrics on telemetry schema v6.
 
 :class:`ServiceServer` / :func:`run_service`
     A stdlib-only asyncio HTTP/1.1 front end::
@@ -25,9 +25,12 @@ that front end for the reproduction.  Two layers:
                                   plugin's lineage — the service side
                                   of the fail-only-on-new gate
         GET  /healthz             liveness
-        GET  /metrics             telemetry v5 + queue state
+        GET  /metrics             telemetry v6 + queue state
+        GET  /fleet               coordinator-only: per-node fleet view
 
-    Responses are JSON; overload returns 429.  SIGTERM/SIGINT trigger
+    Responses are JSON; overload returns 429 (and degraded fleets 503)
+    with a ``Retry-After`` header clients are expected to honor.
+    SIGTERM/SIGINT trigger
     the graceful sequence: stop accepting, drain in-flight jobs,
     leave everything else queued in the sqlite spool — zero accepted
     jobs lost across a restart.
@@ -38,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import math
 import os
 import signal as signal_module
 import threading
@@ -71,133 +75,102 @@ _REASONS = {
 }
 
 
-class AnalysisService:
-    """Queue + store + worker pool behind one submission API."""
+def _canonical(value: object) -> object:
+    """Hash-stable view of an options object.
 
-    def __init__(
-        self,
-        data_dir: str,
-        spec: Optional[ToolSpec] = None,
-        jobs: int = 2,
-        timeout: Optional[float] = None,
-        cache_dir: Optional[str] = None,
-        max_queue_depth: int = 64,
-        max_attempts: int = 2,
-        isolation: str = "process",
-    ) -> None:
-        self.data_dir = data_dir
-        os.makedirs(data_dir, exist_ok=True)
-        self.spec = spec or ToolSpec()
-        self.fingerprint = self._spec_fingerprint(self.spec)
-        self.store = ResultStore(os.path.join(data_dir, "store"))
-        self.queue = JobQueue(
-            os.path.join(data_dir, "jobs.sqlite"),
-            max_depth=max_queue_depth,
-            max_attempts=max_attempts,
+    ``repr`` alone is NOT stable across processes: set/frozenset
+    iteration order follows randomized string hashing, so two fleet
+    nodes would disagree on the same configuration's fingerprint and
+    never share cached results.  Dataclasses expand field by field,
+    sets and dicts sort, everything else falls back to ``repr``."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (field.name, _canonical(getattr(value, field.name)))
+                for field in dataclasses.fields(value)
+            ),
         )
-        #: jobs a previous daemon left running; requeued at startup so
-        #: a crash/restart never loses accepted work
-        self.requeued = self.queue.recover()
-        self.stats = ServiceStats()
-        self.pool = WorkerPool(
-            self.queue,
-            self.store,
-            spec=self.spec,
-            jobs=jobs,
-            timeout=timeout,
-            cache_dir=cache_dir or os.path.join(data_dir, "cache"),
-            isolation=isolation,
-            stats=self.stats,
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_canonical(item)) for item in value)))
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(
+                sorted((repr(key), repr(_canonical(item)))
+                       for key, item in value.items())
+            ),
         )
-        self.accepting = True
-        self._started_at = time.monotonic()
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    return repr(value)
 
-    @staticmethod
-    def _spec_fingerprint(spec: ToolSpec) -> str:
-        """Analyzer-configuration identity of stored results: the same
-        plugin bytes analyzed under different options must not share a
-        cached report."""
-        return sha256(repr((spec.name, spec.options)).encode("utf-8")).hexdigest()[
-            :16
-        ]
 
-    # -- lifecycle ---------------------------------------------------------
+def spec_fingerprint(spec: ToolSpec) -> str:
+    """Analyzer-configuration identity of stored results: the same
+    plugin bytes analyzed under different options must not share a
+    cached report.  Shared by every store writer (single-node service,
+    fleet nodes, coordinator) so they key results identically — and
+    deterministic across processes (see :func:`_canonical`)."""
+    return sha256(
+        repr((spec.name, _canonical(spec.options))).encode("utf-8")
+    ).hexdigest()[:16]
 
-    def start(self) -> None:
-        self.pool.start()
 
-    def shutdown(self, timeout: Optional[float] = None) -> bool:
-        """Graceful: stop accepting, drain in-flight, keep the spool."""
-        self.accepting = False
-        return self.pool.stop(timeout=timeout)
+def plugin_from_payload(store: ResultStore, payload: Dict[str, object]) -> Plugin:
+    """Resolve a submission payload to a :class:`Plugin`.
 
-    def close(self) -> None:
-        self.queue.close()
+    Accepts, in precedence order: ``{"digest": ...}`` (submit by
+    reference to a plugin already persisted in the — possibly shared —
+    store; how a fleet coordinator re-dispatches a stolen job without
+    shipping the bytes again), ``{"path": ...}`` (a checkout or single
+    file on the service host), or ``{"name", "files": {path: src}}``
+    (an inline upload).  Raises :class:`ValueError` on anything else.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    digest = payload.get("digest")
+    if digest:
+        if not isinstance(digest, str):
+            raise ValueError("'digest' must be a string")
+        plugin = store.load_plugin(digest)
+        if plugin is None:
+            raise ValueError(f"unknown plugin digest {digest[:16]!r}…")
+        return plugin
+    path = payload.get("path")
+    if path:
+        if not isinstance(path, str) or not os.path.exists(path):
+            raise ValueError(f"path does not exist: {path!r}")
+        if os.path.isdir(path):
+            plugin = Plugin.load_from(path)
+        else:
+            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+                source = handle.read()
+            name = os.path.basename(path)
+            plugin = Plugin(name=name, files={name: source})
+        if not plugin.files:
+            raise ValueError(f"no PHP files under {path!r}")
+        return plugin
+    files = payload.get("files")
+    if not isinstance(files, dict) or not files:
+        raise ValueError("payload needs a non-empty 'files' object or a 'path'")
+    for file_path, source in files.items():
+        if not isinstance(file_path, str) or not isinstance(source, str):
+            raise ValueError("'files' must map relative paths to source text")
+    return Plugin(
+        name=str(payload.get("name") or "submission"),
+        version=str(payload.get("version") or ""),
+        files=dict(files),
+    )
 
-    # -- submission --------------------------------------------------------
 
-    def submit(self, payload: Dict[str, object]) -> _Response:
-        if not self.accepting:
-            return 503, {"error": "service is shutting down"}
-        try:
-            plugin = self._plugin_from_payload(payload)
-        except ValueError as error:
-            return 400, {"error": str(error)}
-        digest = self.store.put_plugin(plugin)
-        cached = self.store.get_result(digest, self.fingerprint)
-        if cached is not None:
-            job, _created = self.queue.submit(
-                digest, self.fingerprint, plugin.slug, cached=True
-            )
-            self.stats.deduped += 1
-            body = job.to_dict()
-            body["cached"] = True
-            return 200, body
-        try:
-            job, created = self.queue.submit(digest, self.fingerprint, plugin.slug)
-        except QueueFull as error:
-            self.stats.rejected += 1
-            return 429, {"error": str(error), "retry": True}
-        if created:
-            self.stats.accepted += 1
-        depth = self.queue.depth()
-        if depth > self.stats.queue_depth_peak:
-            self.stats.queue_depth_peak = depth
-        body = job.to_dict()
-        body["coalesced"] = not created
-        return 202, body
-
-    @staticmethod
-    def _plugin_from_payload(payload: Dict[str, object]) -> Plugin:
-        if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
-        path = payload.get("path")
-        if path:
-            if not isinstance(path, str) or not os.path.exists(path):
-                raise ValueError(f"path does not exist: {path!r}")
-            if os.path.isdir(path):
-                plugin = Plugin.load_from(path)
-            else:
-                with open(path, "r", encoding="utf-8", errors="replace") as handle:
-                    source = handle.read()
-                name = os.path.basename(path)
-                plugin = Plugin(name=name, files={name: source})
-            if not plugin.files:
-                raise ValueError(f"no PHP files under {path!r}")
-            return plugin
-        files = payload.get("files")
-        if not isinstance(files, dict) or not files:
-            raise ValueError("payload needs a non-empty 'files' object or a 'path'")
-        for file_path, source in files.items():
-            if not isinstance(file_path, str) or not isinstance(source, str):
-                raise ValueError("'files' must map relative paths to source text")
-        return Plugin(
-            name=str(payload.get("name") or "submission"),
-            version=str(payload.get("version") or ""),
-            files=dict(files),
-        )
-
-    # -- reads -------------------------------------------------------------
+class StoreReadMixin:
+    """Read-side endpoints shared by the single-node service and the
+    fleet coordinator: both resolve jobs from ``self.queue`` and
+    results/lineage from ``self.store``, so status, SARIF and
+    SARIF-baseline lookups are one implementation."""
 
     def job_status(self, job_id: str) -> _Response:
         job = self.queue.get(job_id)
@@ -252,13 +225,130 @@ class AnalysisService:
         document["properties"]["newResults"] = new_result_count(document)
         return 200, document
 
+
+class AnalysisService(StoreReadMixin):
+    """Queue + store + worker pool behind one submission API."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        spec: Optional[ToolSpec] = None,
+        jobs: int = 2,
+        timeout: Optional[float] = None,
+        cache_dir: Optional[str] = None,
+        max_queue_depth: int = 64,
+        max_attempts: int = 2,
+        isolation: str = "process",
+        store_dir: Optional[str] = None,
+        node_name: Optional[str] = None,
+        retry_after: float = 1.0,
+    ) -> None:
+        self.data_dir = data_dir
+        os.makedirs(data_dir, exist_ok=True)
+        self.spec = spec or ToolSpec()
+        self.fingerprint = self._spec_fingerprint(self.spec)
+        #: fleet identity of this node (None outside a fleet)
+        self.node_name = node_name
+        #: Retry-After hint attached to 429/503 answers
+        self.retry_after = retry_after
+        # ``store_dir`` lets fleet nodes share one content-addressed
+        # result store (atomic writes make that safe by design) while
+        # keeping spool and cache private per node
+        self.store = ResultStore(store_dir or os.path.join(data_dir, "store"))
+        self.queue = JobQueue(
+            os.path.join(data_dir, "jobs.sqlite"),
+            max_depth=max_queue_depth,
+            max_attempts=max_attempts,
+        )
+        #: jobs a previous daemon left running; requeued at startup so
+        #: a crash/restart never loses accepted work
+        self.requeued = self.queue.recover()
+        self.stats = ServiceStats()
+        self.pool = WorkerPool(
+            self.queue,
+            self.store,
+            spec=self.spec,
+            jobs=jobs,
+            timeout=timeout,
+            cache_dir=cache_dir or os.path.join(data_dir, "cache"),
+            isolation=isolation,
+            stats=self.stats,
+        )
+        self.accepting = True
+        self._started_at = time.monotonic()
+
+    #: kept as a method for callers/tests; the shared implementation is
+    #: :func:`spec_fingerprint`
+    _spec_fingerprint = staticmethod(spec_fingerprint)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self.pool.start()
+
+    def shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Graceful: stop accepting, drain in-flight, keep the spool."""
+        self.accepting = False
+        return self.pool.stop(timeout=timeout)
+
+    def close(self) -> None:
+        self.queue.close()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, payload: Dict[str, object]) -> _Response:
+        if not self.accepting:
+            return 503, {
+                "error": "service is shutting down",
+                "retry_after": self.retry_after,
+            }
+        try:
+            plugin = self._plugin_from_payload(payload)
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        digest = self.store.put_plugin(plugin)
+        cached = self.store.get_result(digest, self.fingerprint)
+        if cached is not None:
+            job, _created = self.queue.submit(
+                digest, self.fingerprint, plugin.slug, cached=True
+            )
+            self.stats.deduped += 1
+            body = job.to_dict()
+            body["cached"] = True
+            return 200, body
+        try:
+            job, created = self.queue.submit(digest, self.fingerprint, plugin.slug)
+        except QueueFull as error:
+            self.stats.rejected += 1
+            return 429, {
+                "error": str(error),
+                "retry": True,
+                "retry_after": self.retry_after,
+            }
+        if created:
+            self.stats.accepted += 1
+        depth = self.queue.depth()
+        if depth > self.stats.queue_depth_peak:
+            self.stats.queue_depth_peak = depth
+        body = job.to_dict()
+        body["coalesced"] = not created
+        return 202, body
+
+    def _plugin_from_payload(self, payload: Dict[str, object]) -> Plugin:
+        return plugin_from_payload(self.store, payload)
+
+    # -- reads (status/SARIF lookups come from StoreReadMixin) -------------
+
     def health(self) -> _Response:
-        return 200, {
+        body = {
             "status": "ok",
             "accepting": self.accepting,
             "workers": self.pool.jobs,
             "queue_depth": self.queue.depth(),
         }
+        if self.node_name:
+            body["node"] = self.node_name
+        return 200, body
 
     def metrics(self) -> _Response:
         self.stats.queue_depth = self.queue.depth()
@@ -267,6 +357,8 @@ class AnalysisService:
         document = self.pool.telemetry.to_dict()
         document["queue"] = self.queue.counts()
         document["requeued_at_startup"] = self.requeued
+        if self.node_name:
+            document["node"] = self.node_name
         return 200, document
 
 
@@ -364,6 +456,10 @@ class ServiceServer:
             if method != "GET":
                 return 405, {"error": "GET only"}
             return service.health()
+        if path == "/fleet" and hasattr(service, "fleet_status"):
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return await loop.run_in_executor(None, service.fleet_status)
         if path == "/metrics":
             if method != "GET":
                 return 405, {"error": "GET only"}
@@ -404,10 +500,18 @@ class ServiceServer:
     ) -> None:
         payload = json.dumps(document, indent=1).encode("utf-8")
         reason = _REASONS.get(status, "OK")
+        extra = ""
+        if status in (429, 503) and isinstance(document, dict):
+            # overload/degraded answers carry the backoff hint both in
+            # the body (JSON clients) and as the standard header
+            retry_after = document.get("retry_after")
+            if retry_after is not None:
+                extra = f"Retry-After: {max(1, math.ceil(float(retry_after)))}\r\n"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json; charset=utf-8\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         )
