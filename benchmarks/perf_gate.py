@@ -197,7 +197,10 @@ def bench_rescan(scale: float, repetitions: int) -> dict:
     cold_s = float("inf")
     cold_signatures = None
     for _ in range(repetitions):
-        fresh = PhpSafe()
+        # the cold side must stay genuinely cold: opt out of the
+        # process-wide artifact cache so the warm/cold ratio keeps
+        # measuring the incremental planner, not the L1 cache
+        fresh = PhpSafe(use_process_cache=False)
         start = time.perf_counter()
         report = fresh.analyze(mutated)
         cold_s = min(cold_s, time.perf_counter() - start)
@@ -279,8 +282,16 @@ def main(argv=None) -> int:
     )
     print("substrate:", json.dumps(substrate_data["current"], indent=1))
     print("substrate speedup vs baseline:", substrate_data["speedup_vs_baseline"])
+    print(
+        "substrate speedup (calibration-normalized):",
+        substrate_data["speedup_vs_baseline_normalized"],
+    )
     print("scan:", json.dumps(scan_data["current"], indent=1))
     print("scan speedup vs baseline:", scan_data["speedup_vs_baseline"])
+    print(
+        "scan speedup (calibration-normalized):",
+        scan_data["speedup_vs_baseline_normalized"],
+    )
     print("rescan:", json.dumps(rescan_data["current"], indent=1))
     print(
         "rescan warm speedup (cold full scan / incremental):",

@@ -42,7 +42,13 @@ def merge_bench(
 
     The baseline is preserved across runs unless ``record_baseline``;
     ``speedup_vs_baseline`` maps every ``*_seconds`` metric to
-    ``baseline/current`` (>1 means the current code is faster).
+    ``baseline/current`` (>1 means the current code is faster).  When
+    both sections carry ``calibration_ops_per_second``,
+    ``speedup_vs_baseline_normalized`` additionally factors the machine
+    out of every stage: each side's seconds are converted to
+    calibration-ops-equivalent work (``seconds * ops_per_second``)
+    before the ratio, so a baseline recorded on a 22%-faster box no
+    longer skews every per-stage line.
     """
     data: Dict[str, object] = {}
     if os.path.exists(path):
@@ -59,13 +65,21 @@ def merge_bench(
         data["baseline"] = section
     data["current"] = section
     baseline, current = data["baseline"], data["current"]
+    baseline_cal = baseline.get("calibration_ops_per_second")
+    current_cal = current.get("calibration_ops_per_second")
     speedup = {}
+    normalized = {}
     for key in current:
         if key.endswith("_seconds") and baseline.get(key) and current.get(key):
-            speedup[key[: -len("_seconds")]] = round(
-                baseline[key] / current[key], 3
-            )
+            stage = key[: -len("_seconds")]
+            speedup[stage] = round(baseline[key] / current[key], 3)
+            if baseline_cal and current_cal:
+                normalized[stage] = round(
+                    (baseline[key] * baseline_cal) / (current[key] * current_cal),
+                    3,
+                )
     data["speedup_vs_baseline"] = speedup
+    data["speedup_vs_baseline_normalized"] = normalized
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=1)
         handle.write("\n")

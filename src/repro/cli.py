@@ -99,11 +99,18 @@ def _load_targets(path: str) -> list:
 
 
 def _make_tool(
-    name: str, no_oop: bool = False, generic: bool = False, strict: bool = False
+    name: str,
+    no_oop: bool = False,
+    generic: bool = False,
+    strict: bool = False,
+    no_ir: bool = False,
 ):
     if name == "phpsafe":
         options = PhpSafeOptions(
-            oop=not no_oop, wordpress_config=not generic, recover=not strict
+            oop=not no_oop,
+            wordpress_config=not generic,
+            recover=not strict,
+            use_ir=not no_ir,
         )
         return PhpSafe(options=options)
     if name == "rips":
@@ -162,7 +169,11 @@ def cmd_scan(args: argparse.Namespace) -> int:
 
 def _cmd_scan_impl(args: argparse.Namespace) -> int:
     tool = _make_tool(
-        args.tool, no_oop=args.no_oop, generic=args.generic, strict=args.strict
+        args.tool,
+        no_oop=args.no_oop,
+        generic=args.generic,
+        strict=args.strict,
+        no_ir=args.no_ir,
     )
     targets = _load_targets(args.path)
     batch_requested = (
@@ -510,7 +521,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .service import AnalysisService, run_service
 
     tool = _make_tool(
-        args.tool, no_oop=args.no_oop, generic=args.generic, strict=args.strict
+        args.tool,
+        no_oop=args.no_oop,
+        generic=args.generic,
+        strict=args.strict,
+        no_ir=args.no_ir,
     )
     spec = ToolSpec.from_tool(tool)
     if spec is None:
@@ -695,6 +710,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable error recovery (a parse error skips the whole file)",
     )
     scan.add_argument(
+        "--no-ir", action="store_true",
+        help="use the reference AST interpreter instead of the lowered "
+             "taint IR (slower; cached results never mix evaluators)",
+    )
+    scan.add_argument(
         "--show-incidents", action="store_true",
         help="print the typed robustness incidents recorded per file",
     )
@@ -837,6 +857,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="generic PHP profile (no WordPress)")
     serve.add_argument("--strict", action="store_true",
                        help="disable error recovery")
+    serve.add_argument("--no-ir", action="store_true",
+                       help="use the reference AST interpreter instead of "
+                            "the lowered taint IR")
     serve.add_argument(
         "--store-dir",
         help="result store directory (default DATA_DIR/store); point every"

@@ -52,6 +52,16 @@ def summary_key(fingerprint: str, function_key: str, digest: str) -> str:
     return f"summary2!{fingerprint}!{function_key}!{digest}"
 
 
+def ir_key(fingerprint: str, path: str, digest: str) -> str:
+    """Lowered-IR cache key: analyzer configuration fingerprint + file
+    path + content digest.  The ``ir1!`` prefix keeps these slots
+    disjoint from file models and summaries (same reasoning as
+    :func:`summary_key`); the ``1`` is the on-disk generation — the
+    instruction encoding itself is additionally versioned through
+    :data:`repro.core.ir.IR_VERSION` inside the stored program."""
+    return f"ir1!{fingerprint}!{path}!{digest}"
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
@@ -61,6 +71,23 @@ class CacheStats:
     evictions: int = 0
     #: corrupt persistent entries detected and quarantined (disk cache)
     corrupt: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class IRCacheStats:
+    """Counters of the lowered-IR tier (one entry per file), separate
+    from the parse and summary tiers for the same observability reason."""
+
+    hits: int = 0
+    misses: int = 0
+    #: subset of ``hits`` served from the persistent tier
+    disk_hits: int = 0
+    stores: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -102,6 +129,7 @@ class ModelCache:
     max_entries: int = 4096
     stats: CacheStats = field(default_factory=CacheStats)
     summary_stats: SummaryCacheStats = field(default_factory=SummaryCacheStats)
+    ir_stats: IRCacheStats = field(default_factory=IRCacheStats)
     #: recency-ordered (dict insertion order): first key is the LRU victim
     _slots: Dict[str, _Slot] = field(default_factory=dict, repr=False)
 
@@ -150,6 +178,28 @@ class ModelCache:
         self.summary_stats.stores += 1
         self._insert(key, (summary, None))
 
+    # -- lowered-IR tier ----------------------------------------------------
+
+    def lookup_ir(self, key: str) -> Optional[object]:
+        """Return the cached :class:`~repro.core.ir.IRProgram` under
+        ``key``, or None.  Version/shape validation is the caller's job —
+        the cache only answers by content address."""
+        disk_hits_before = self.stats.disk_hits
+        slot = self._load(key)
+        if self.stats.disk_hits != disk_hits_before:
+            # re-attribute the disk hit to the IR tier's counters
+            self.stats.disk_hits = disk_hits_before
+            self.ir_stats.disk_hits += 1
+        if slot is None:
+            self.ir_stats.misses += 1
+            return None
+        self.ir_stats.hits += 1
+        return slot[0]
+
+    def store_ir(self, key: str, program: object) -> None:
+        self.ir_stats.stores += 1
+        self._insert(key, (program, None))
+
     # -- storage hooks (extended by the persistent disk tier) ---------------
 
     def _load(self, key: str) -> Optional[_Slot]:
@@ -173,6 +223,7 @@ class ModelCache:
         self._slots.clear()
         self.stats = CacheStats()
         self.summary_stats = SummaryCacheStats()
+        self.ir_stats = IRCacheStats()
 
     def __len__(self) -> int:
         return len(self._slots)

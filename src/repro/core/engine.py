@@ -122,14 +122,39 @@ class EngineOptions:
     reuse_roots: FrozenSet[str] = frozenset()
 
 
-@dataclass
-class Value:
-    """Abstract value of an expression: taint + optional object type."""
+#: the interned all-clean taint state, hoisted for Value's default — a
+#: function-call default_factory is measurable at Value-construction rates
+_CLEAN_STATE = TaintState.clean()
 
-    taint: TaintState = field(default_factory=TaintState.clean)
-    class_name: str = ""
-    trace: Tuple[str, ...] = ()
-    name_hint: str = ""
+
+class Value:
+    """Abstract value of an expression: taint + optional object type.
+
+    A ``__slots__`` value class rather than a dataclass: the engine
+    builds one per expression evaluation, so per-instance dict
+    allocation and default-factory calls are the hottest allocation
+    site in the analyzer.
+    """
+
+    __slots__ = ("taint", "class_name", "trace", "name_hint")
+
+    def __init__(
+        self,
+        taint: TaintState = _CLEAN_STATE,
+        class_name: str = "",
+        trace: Tuple[str, ...] = (),
+        name_hint: str = "",
+    ) -> None:
+        self.taint = taint
+        self.class_name = class_name
+        self.trace = trace
+        self.name_hint = name_hint
+
+    def __repr__(self) -> str:
+        return (
+            f"Value(taint={self.taint!r}, class_name={self.class_name!r}, "
+            f"trace={self.trace!r}, name_hint={self.name_hint!r})"
+        )
 
     @classmethod
     def clean(cls) -> "Value":
@@ -171,7 +196,12 @@ class SinkEvent:
     unit: str = ""
 
     def substituted(self, mapping: Dict[Label, TaintState]) -> "SinkEvent":
-        return replace(self, taint=self.taint.substituted(mapping))
+        # hand-rolled ``dataclasses.replace``: summary application calls
+        # this once per recorded event per call site
+        clone = SinkEvent.__new__(SinkEvent)
+        clone.__dict__.update(self.__dict__)
+        clone.__dict__["taint"] = self.taint.substituted(mapping)
+        return clone
 
 
 @dataclass
@@ -277,6 +307,16 @@ class UnitFootprint:
 class Scope:
     """One lexical scope of ``parser_variables`` records."""
 
+    __slots__ = (
+        "name",
+        "records",
+        "global_aliases",
+        "ref_groups",
+        "static_names",
+        "static_slots",
+        "is_global_image",
+    )
+
     def __init__(self, name: str = "<main>") -> None:
         self.name = name
         self.records: Dict[str, VariableRecord] = {}
@@ -312,8 +352,10 @@ class Scope:
         # aliases are deliberately NOT inherited: a branch snapshot must
         # not write through to the global scope for a path that may not
         # be taken (a ``global`` statement inside the branch re-binds).
-        clone = Scope(self.name)
+        clone = Scope.__new__(Scope)  # skip __init__: fields set below
+        clone.name = self.name
         clone.records = dict(self.records)
+        clone.global_aliases = set()
         # reference aliases and statics ARE inherited: they only affect
         # records inside the snapshot itself (joined back afterwards) or
         # monotone static slots, never an untaken path's global binding.
@@ -328,13 +370,24 @@ class Scope:
         names: Set[str] = set(self.records)
         for branch in branches:
             names.update(branch.records)
+        scopes = (self, *branches)
         for name in names:
             variants = [
                 scope.records[name]
-                for scope in (self, *branches)
+                for scope in scopes
                 if name in scope.records
             ]
-            taint = variants[0].taint
+            first = variants[0]
+            for record in variants:
+                if record is not first:
+                    break
+            else:
+                # every path holds the same record object (name untouched
+                # in all branches): the join is the identity, so skip the
+                # rebind — taint states are interned, so this is exact
+                self.records[name] = first
+                continue
+            taint = first.taint
             for record in variants[1:]:
                 taint = taint.joined(record.taint)
             class_name = join_class_names(
@@ -1762,6 +1815,13 @@ class TaintEngine:
 
     def _eval_static_call(self, node: ast.StaticCall, scope: Scope) -> Value:
         values = self._eval_args(node.args, scope)
+        return self._static_call_with_values(node, values, scope)
+
+    def _static_call_with_values(
+        self, node: ast.StaticCall, values: List[Value], scope: Scope
+    ) -> Value:
+        """Static-call resolution after the arguments are evaluated
+        (shared with the IR evaluator, which lowers the argument list)."""
         if not self.options.oop or not isinstance(node.method, str):
             return Value.clean()
         class_name = node.class_name
@@ -1834,6 +1894,13 @@ class TaintEngine:
 
     def _eval_new(self, node: ast.New, scope: Scope) -> Value:
         values = self._eval_args(node.args, scope)
+        return self._new_with_values(node, values, scope)
+
+    def _new_with_values(
+        self, node: ast.New, values: List[Value], scope: Scope
+    ) -> Value:
+        """Constructor dispatch after the arguments are evaluated
+        (shared with the IR evaluator)."""
         if not isinstance(node.class_name, str):
             return Value.clean()
         class_name = node.class_name
@@ -1855,6 +1922,13 @@ class TaintEngine:
         A tainted include path is also a file-inclusion sink (extension
         kind ``VulnKind.LFI``)."""
         path_value = self._eval(node.path, scope)
+        return self._include_with_value(node, path_value, scope)
+
+    def _include_with_value(
+        self, node: ast.IncludeExpr, path_value: Value, scope: Scope
+    ) -> Value:
+        """Include handling after the path expression is evaluated
+        (shared with the IR evaluator)."""
         if (
             VulnKind.LFI in self.options.construct_kinds
             and path_value.taint.active.get(VulnKind.LFI)

@@ -26,7 +26,7 @@ from ..php import ast_nodes as ast
 from ..php.errors import AnalysisBudgetExceeded, PhpParseError, PhpSyntaxError
 from ..php.lexer import Lexer, count_loc
 from ..php.parser import Parser
-from ..php.tokens import TRIVIA, Token
+from ..php.tokens import Token
 from ..plugin import Plugin
 
 
@@ -80,6 +80,10 @@ class FileModel:
     #: sha256 of ``source`` — the identity the incremental summary cache
     #: validates function-summary dependencies against
     digest: str = ""
+    #: single-pass node index (:func:`repro.php.ast_nodes.index_file`);
+    #: cached with the model so cache hits skip the tree traversal.
+    #: ``None`` on models unpickled from older stores — recomputed lazily.
+    index: Optional[ast.FileIndex] = None
 
 
 class PluginModel:
@@ -139,10 +143,8 @@ class PluginModel:
                     model.incidents.extend(getattr(cached, "incidents", []))
                     continue
             try:
-                lexer = Lexer(source, path, recover=recover)
-                tokens = [
-                    token for token in lexer.tokenize() if token.type not in TRIVIA
-                ]
+                lexer = Lexer(source, path, recover=recover, significant=True)
+                tokens = lexer.tokenize()
                 parse_start = time.perf_counter()
                 parser = Parser(tokens, path, recover=recover)
                 tree = parser.parse_file()
@@ -166,15 +168,17 @@ class PluginModel:
                 if cache is not None:
                     cache.store_failure(path, source, wrapped, variant)
                 continue
+            index = ast.index_file(tree)
             file_model = FileModel(
                 path=path,
                 source=source,
                 tokens=tokens,
                 tree=tree,
                 loc=count_loc(source),
-                includes=_collect_includes(tree, path),
+                includes=_collect_includes(index),
                 incidents=file_incidents,
                 digest=digest,
+                index=index,
             )
             model.files[path] = file_model
             model.incidents.extend(file_incidents)
@@ -241,55 +245,48 @@ class PluginModel:
         return size
 
     def _collect_definitions(self) -> None:
-        """One traversal per file collects both definitions and call
-        sites (two separate walks doubled model-construction time)."""
+        """Collect definitions and call sites from each file's node
+        index (built in one traversal at parse time and cached with the
+        file model, so cache hits skip the tree walk entirely)."""
         for path, file_model in self.files.items():
-            for node in ast.walk(file_model.tree):
-                if isinstance(node, ast.FunctionCall):
-                    if isinstance(node.name, str):
-                        self.called_names.add(node.name.lower())
-                elif isinstance(node, ast.MethodCall):
-                    if isinstance(node.method, str):
-                        self.called_methods.add(node.method.lower())
-                elif isinstance(node, ast.StaticCall):
-                    if isinstance(node.method, str):
-                        self.called_methods.add(node.method.lower())
-                elif isinstance(node, ast.New):
-                    if isinstance(node.class_name, str):
-                        # constructors count as called methods
-                        self.called_methods.add("__construct")
-                        self.called_names.add(node.class_name.lower())
-                elif isinstance(node, ast.FunctionDecl):
-                    info = FunctionInfo(
-                        key=node.name.lower(),
-                        name=node.name,
-                        params=node.params,
-                        body=node.body,
+            index = getattr(file_model, "index", None)
+            if index is None:  # model unpickled from a pre-index store
+                index = file_model.index = ast.index_file(file_model.tree)
+            self.called_names.update(index.called_names)
+            self.called_methods.update(index.called_methods)
+            for node in index.functions:
+                info = FunctionInfo(
+                    key=node.name.lower(),
+                    name=node.name,
+                    params=node.params,
+                    body=node.body,
+                    file=path,
+                    line=node.line,
+                )
+                self.functions.setdefault(info.key, info)
+            for node in index.classes:
+                if node.kind not in ("class", "trait"):
+                    continue
+                class_info = ClassInfo(
+                    name=node.name, decl=node, file=path, parent=node.parent
+                )
+                for method in node.methods:
+                    if method.body is None:
+                        continue
+                    method_info = FunctionInfo(
+                        key=f"{node.name.lower()}::{method.name.lower()}",
+                        name=method.name,
+                        params=method.params,
+                        body=method.body,
                         file=path,
-                        line=node.line,
+                        line=method.line,
+                        class_name=node.name,
+                        visibility=method.visibility,
+                        static=method.static,
                     )
-                    self.functions.setdefault(info.key, info)
-                elif isinstance(node, ast.ClassDecl) and node.kind in ("class", "trait"):
-                    class_info = ClassInfo(
-                        name=node.name, decl=node, file=path, parent=node.parent
-                    )
-                    for method in node.methods:
-                        if method.body is None:
-                            continue
-                        method_info = FunctionInfo(
-                            key=f"{node.name.lower()}::{method.name.lower()}",
-                            name=method.name,
-                            params=method.params,
-                            body=method.body,
-                            file=path,
-                            line=method.line,
-                            class_name=node.name,
-                            visibility=method.visibility,
-                            static=method.static,
-                        )
-                        class_info.methods[method.name.lower()] = method_info
-                        self.functions.setdefault(method_info.key, method_info)
-                    self.classes.setdefault(node.name.lower(), class_info)
+                    class_info.methods[method.name.lower()] = method_info
+                    self.functions.setdefault(method_info.key, method_info)
+                self.classes.setdefault(node.name.lower(), class_info)
 
     # -- queries ---------------------------------------------------------------
 
@@ -367,14 +364,13 @@ class PluginModel:
         return sum(file_model.loc for file_model in self.files.values())
 
 
-def _collect_includes(tree: ast.PhpFile, path: str) -> List[str]:
-    """Extract statically-resolvable include targets from a file."""
+def _collect_includes(index: ast.FileIndex) -> List[str]:
+    """Extract statically-resolvable include targets from a file index."""
     includes: List[str] = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.IncludeExpr):
-            target = _static_path(node.path)
-            if target:
-                includes.append(target)
+    for node in index.includes:
+        target = _static_path(node.path)
+        if target:
+            includes.append(target)
     return includes
 
 

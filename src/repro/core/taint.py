@@ -30,7 +30,7 @@ the historical ``state.active.get(kind)`` read API intact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple, Union
 from weakref import WeakValueDictionary
@@ -82,6 +82,19 @@ class PropRef:
 Label = Union[ConcreteSource, ParamRef, PropRef]
 
 
+#: kind -> canonical position.  The canonical order of the per-kind
+#: item tuples is ``kind.value`` (string) order; comparing precomputed
+#: ints is measurably cheaper than re-reading ``.value`` through the
+#: enum descriptor on every ``_freeze``.  The order must never change:
+#: pickled states re-intern their stored item tuples verbatim
+#: (``_rebuild``), so a reordering would let equal-content states land
+#: under distinct pool keys and break identity equality.
+_KIND_ORDER: Dict[VulnKind, int] = {
+    kind: position
+    for position, kind in enumerate(sorted(ALL_KINDS, key=lambda kind: kind.value))
+}
+
+
 def _freeze(mapping: Optional[Mapping[VulnKind, Iterable[Label]]]) -> Tuple:
     """Canonical form of a per-kind label mapping: sorted, frozen, non-empty."""
     if not mapping:
@@ -91,12 +104,17 @@ def _freeze(mapping: Optional[Mapping[VulnKind, Iterable[Label]]]) -> Tuple:
         for kind, labels in mapping.items()
         if labels
     ]
-    items.sort(key=_kind_value)
+    if len(items) > 1:
+        items.sort(key=_kind_value)
     return tuple(items)
 
 
-def _kind_value(item: Tuple) -> str:
-    return item[0].value
+def _kind_value(item: Tuple):
+    order = _KIND_ORDER.get(item[0])
+    # kinds outside the built-in registry (extension kinds) sort by
+    # value string after the known block, preserving the historical
+    # all-string ordering among themselves
+    return (order, "") if order is not None else (len(_KIND_ORDER), item[0].value)
 
 
 def _rebuild(active_items: Tuple, suppressed_items: Tuple) -> "TaintState":
@@ -107,7 +125,14 @@ def _rebuild(active_items: Tuple, suppressed_items: Tuple) -> "TaintState":
 class TaintState:
     """Per-kind active and suppressed label sets with join semantics."""
 
-    __slots__ = ("active", "suppressed", "_key", "__weakref__")
+    __slots__ = (
+        "active",
+        "suppressed",
+        "_key",
+        "_concrete",
+        "_join_memo",
+        "__weakref__",
+    )
 
     #: hash-cons pool; weak so dead states do not accumulate across files
     _pool: "WeakValueDictionary[Tuple, TaintState]" = WeakValueDictionary()
@@ -130,6 +155,17 @@ class TaintState:
         state.active = MappingProxyType(dict(active_items))
         state.suppressed = MappingProxyType(dict(suppressed_items))
         state._key = key
+        # computed once per interned state, checked on every substitution:
+        # a state whose labels are all concrete is a fixed point of
+        # ``substituted`` for any mapping
+        state._concrete = all(
+            type(label) is ConcreteSource
+            for _kind, labels in active_items + suppressed_items
+            for label in labels
+        )
+        # lazily-built join cache (other state -> joined result); keyed
+        # by identity, which the pool makes equivalent to value equality
+        state._join_memo = None
         cls._pool[key] = state
         counters.taint_states_interned += 1
         return state
@@ -150,6 +186,19 @@ class TaintState:
     def from_label(
         cls, label: Label, kinds: Iterable[VulnKind] = ALL_KINDS
     ) -> "TaintState":
+        if kinds is ALL_KINDS:
+            # sources are overwhelmingly created over the full kind set
+            # and the same label recurs at every fixed-point revisit of
+            # its source line: memoize (weakly, so dead states still
+            # leave the pool) and skip the per-call sort
+            state = _FROM_LABEL_MEMO.get(label)
+            if state is None:
+                frozen = frozenset((label,))
+                state = cls._intern(
+                    tuple((kind, frozen) for kind in _ALL_KINDS_SORTED), ()
+                )
+                _FROM_LABEL_MEMO[label] = state
+            return state
         frozen = frozenset((label,))
         return cls._intern(
             tuple(sorted(((kind, frozen) for kind in kinds), key=_kind_value)), ()
@@ -195,6 +244,13 @@ class TaintState:
             return self
         if self is _CLEAN:
             return other
+        memo = self._join_memo
+        if memo is None:
+            memo = self._join_memo = {}
+        else:
+            cached = memo.get(other)
+            if cached is not None:
+                return cached
         counters.taint_joins += 1
         active: Dict[VulnKind, FrozenSet[Label]] = dict(self.active)
         for kind, labels in other.active.items():
@@ -204,7 +260,9 @@ class TaintState:
         for kind, labels in other.suppressed.items():
             mine = suppressed.get(kind)
             suppressed[kind] = labels if mine is None else mine | labels
-        return TaintState(active=active, suppressed=suppressed)
+        result = TaintState(active=active, suppressed=suppressed)
+        memo[other] = result
+        return result
 
     def filtered(self, kinds: Iterable[VulnKind]) -> "TaintState":
         """Sanitize for ``kinds``: active labels become suppressed."""
@@ -242,6 +300,8 @@ class TaintState:
         Placeholders absent from the mapping are dropped (an unresolved
         parameter contributes no taint); concrete labels pass through.
         """
+        if self._concrete:
+            return self  # no placeholders anywhere: substitution is identity
         active: Dict[VulnKind, Set[Label]] = {}
         for kind, labels in self.active.items():
             for label in labels:
@@ -281,6 +341,8 @@ class TaintState:
         return TaintState(active=active, suppressed=suppressed)
 
     def has_param_refs(self) -> bool:
+        if self._concrete:
+            return False
         return any(
             isinstance(label, ParamRef)
             for labels in (*self.active.values(), *self.suppressed.values())
@@ -288,6 +350,8 @@ class TaintState:
         )
 
     def has_placeholders(self) -> bool:
+        if self._concrete:
+            return False
         return any(
             not isinstance(label, ConcreteSource)
             for labels in self.active.values()
@@ -305,6 +369,13 @@ class TaintState:
 
 #: the interned all-clean state; held strongly so the pool never drops it
 _CLEAN = TaintState()
+
+#: canonical item order for the default ``from_label`` construction
+_ALL_KINDS_SORTED = tuple(sorted(ALL_KINDS, key=lambda kind: _KIND_ORDER[kind]))
+
+#: label -> all-kinds source state; weak values so the memo never keeps
+#: a state (and the file/line-bearing labels inside it) alive on its own
+_FROM_LABEL_MEMO: "WeakValueDictionary[Label, TaintState]" = WeakValueDictionary()
 
 
 @dataclass
@@ -329,4 +400,12 @@ class VariableRecord:
     trace: Tuple[str, ...] = ()
 
     def updated(self, **changes) -> "VariableRecord":
-        return replace(self, **changes)
+        # hand-rolled ``dataclasses.replace``: this runs on every branch
+        # join and ref-group write-through, and replace()'s field
+        # introspection is measurable there.  VariableRecord has no
+        # __post_init__, so a __dict__ copy is equivalent.
+        clone = VariableRecord.__new__(VariableRecord)
+        clone.__dict__.update(self.__dict__)
+        if changes:
+            clone.__dict__.update(changes)
+        return clone

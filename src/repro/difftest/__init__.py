@@ -5,8 +5,9 @@ of its *capability envelope* rather than of which execution path ran:
 
 * :class:`~repro.difftest.oracle.ConfigMatrixOracle` scans one corpus
   through every configuration axis (strict/recover, cache cold/warm,
-  serial/parallel, summaries on/off) and diffs the finding sets —
-  any difference is a typed :class:`~repro.difftest.divergence.Divergence`;
+  serial/parallel, summaries on/off, incremental rescan vs full scan,
+  IR evaluator vs AST interpreter) and diffs the finding sets — any
+  difference is a typed :class:`~repro.difftest.divergence.Divergence`;
 * :func:`~repro.difftest.slices.run_slices` runs a deterministic
   catalog of minimal per-construct PHP slices through all three tools,
   asserting phpSAFE's expected finding set per construct.

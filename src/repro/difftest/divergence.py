@@ -1,6 +1,6 @@
 """Typed divergence model of the differential harness.
 
-The analyzer has four independent configuration axes that must not
+The analyzer has six independent configuration axes that must not
 change *what* is found, only *how* it is found:
 
 * ``recover`` — strict all-or-nothing pipeline vs fault-tolerant
@@ -10,7 +10,10 @@ change *what* is found, only *how* it is found:
 * ``summaries`` — function-summary memoization on vs off,
 * ``incremental`` — diff-aware rescan (one file mutated, unchanged
   analysis units reused from the prior scan's manifest) vs a cold
-  full scan of the same mutated plugin.
+  full scan of the same mutated plugin,
+* ``ir`` — the lowered taint-IR evaluator vs the reference AST
+  interpreter (``--no-ir``), the two implementations of the same
+  fixed-point semantics.
 
 A finding present on one side of an axis but not the other is a
 :class:`Divergence`: a correctness bug in one of the two execution
@@ -29,7 +32,7 @@ from ..core.results import FindingSignature
 from ..incidents import Incident, IncidentSeverity, IncidentStage
 
 #: the config axes the oracle exercises
-AXES = ("recover", "cache", "jobs", "summaries", "incremental")
+AXES = ("recover", "cache", "jobs", "summaries", "incremental", "ir")
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,7 @@ class OracleOptions:
 
 
 class ConfigMatrixOracle:
-    """Drives the four axis comparisons over generated corpora."""
+    """Drives the six axis comparisons over generated corpora."""
 
     def __init__(self, options: Optional[OracleOptions] = None) -> None:
         self.options = options or OracleOptions()
@@ -97,7 +97,7 @@ class ConfigMatrixOracle:
             cold |= finding_signatures([cold_report])
         return cold, incremental
 
-    # -- the five axes -----------------------------------------------------
+    # -- the six axes ------------------------------------------------------
 
     def run_version(self, version: str) -> DifftestReport:
         corpus = build_corpus(version, scale=self.options.scale)
@@ -188,6 +188,28 @@ class ConfigMatrixOracle:
                     "incremental-rescan",
                     cold_mutated,
                     warm_mutated,
+                ),
+            )
+        )
+
+        # ir: the lowered taint-IR evaluator vs the reference AST
+        # interpreter — two implementations of the same fixed-point
+        # semantics, so every finding must match bit-for-bit
+        ast_side = self._scan(plugins, replace(base_options, use_ir=False))
+        ir_side = (
+            baseline
+            if base_options.use_ir
+            else self._scan(plugins, replace(base_options, use_ir=True))
+        )
+        report.axes.append(
+            AxisOutcome(
+                axis="ir",
+                left="ast-interpreter",
+                right="ir-evaluator",
+                left_count=len(ast_side),
+                right_count=len(ir_side),
+                divergences=diff_signatures(
+                    "ir", "ast-interpreter", "ir-evaluator", ast_side, ir_side
                 ),
             )
         )

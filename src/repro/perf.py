@@ -46,6 +46,11 @@ FIELDS = (
     "summary_cache_hits",
     "summary_cache_misses",
     "summary_cache_stale",
+    # lowered taint IR (per-file lowering + persistent IR cache)
+    "ir_bodies_lowered",
+    "ir_lower_seconds",
+    "ir_cache_hits",
+    "ir_cache_misses",
 )
 
 

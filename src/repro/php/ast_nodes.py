@@ -669,3 +669,146 @@ def walk(node: object):
                 stack.extend(reversed(children))
         elif isinstance(current, (list, tuple)):
             stack.extend(reversed(current))
+
+
+class FileIndex:
+    """Single-pass index of the nodes the model-construction stage needs.
+
+    One traversal of the tree collects what previously took two generic
+    :func:`walk` passes per file (definitions + includes).  The index is
+    pickle-safe (it holds references into the same tree it was built
+    from) and is stored on the cached ``FileModel``, so cache hits skip
+    the traversal entirely.
+    """
+
+    __slots__ = (
+        "called_names",
+        "called_methods",
+        "functions",
+        "classes",
+        "includes",
+    )
+
+    def __init__(self) -> None:
+        #: lower-cased names of statically-named function calls (``New``
+        #: class names included — constructors count as called)
+        self.called_names = set()
+        #: lower-cased names of statically-named method/static calls
+        self.called_methods = set()
+        #: every FunctionDecl, document order (first-definition-wins)
+        self.functions: List[FunctionDecl] = []
+        #: every ClassDecl, document order
+        self.classes: List[ClassDecl] = []
+        #: every IncludeExpr, document order
+        self.includes: List[IncludeExpr] = []
+
+
+def index_file(tree: "PhpFile") -> FileIndex:
+    """Build the :class:`FileIndex` of ``tree`` (one preorder pass)."""
+    index = FileIndex()
+    called_names = index.called_names
+    called_methods = index.called_methods
+    stack = [tree]
+    pop = stack.pop
+    while stack:
+        node = pop()
+        cls = node.__class__
+        if cls is list or cls is tuple:
+            stack.extend(reversed(node))
+            continue
+        fields = getattr(node, "__walk_fields__", None)
+        if fields is None:
+            continue
+        if cls is FunctionCall:
+            if type(node.name) is str:
+                called_names.add(node.name.lower())
+        elif cls is MethodCall:
+            if type(node.method) is str:
+                called_methods.add(node.method.lower())
+        elif cls is StaticCall:
+            if type(node.method) is str:
+                called_methods.add(node.method.lower())
+        elif cls is New:
+            if type(node.class_name) is str:
+                called_methods.add("__construct")
+                called_names.add(node.class_name.lower())
+        elif cls is FunctionDecl:
+            index.functions.append(node)
+        elif cls is ClassDecl:
+            index.classes.append(node)
+        elif cls is IncludeExpr:
+            index.includes.append(node)
+        children = None
+        for name in fields:
+            value = getattr(node, name)
+            if isinstance(value, Node) or value.__class__ in (list, tuple):
+                if children is None:
+                    children = [value]
+                else:
+                    children.append(value)
+        if children:
+            stack.extend(reversed(children))
+    return index
+
+
+def iter_bodies(tree: "PhpFile"):
+    """Enumerate the executable statement lists of a file in document
+    order: the top-level body first, then every function and method body
+    (abstract methods have no body; closures are excluded because the
+    engine never executes them).
+
+    The order is deterministic for a given tree, which lets per-file
+    compilation artifacts (the lowered taint IR) be cached positionally
+    and rebound to a freshly parsed or unpickled tree.
+
+    Declarations are located with a dedicated statement-structure
+    traversal rather than the generic :func:`walk`: function and class
+    declarations are statements, so the traversal never needs to enter
+    expression subtrees, which is where most nodes live.  (The one
+    exception — a declaration nested inside a closure body — is not
+    enumerated here; consumers lower such stray bodies on demand.)
+    """
+    bodies = [tree.statements]
+    _collect_bodies(tree.statements, bodies)
+    return bodies
+
+
+def _collect_bodies(statements, out) -> None:
+    """Append nested function/method bodies of ``statements`` to ``out``
+    in document order (see :func:`iter_bodies`)."""
+    for node in statements:
+        cls = node.__class__
+        if cls is IfStatement:
+            _collect_bodies(node.then, out)
+            for clause in node.elseifs:
+                _collect_bodies(clause.body, out)
+            if node.otherwise:
+                _collect_bodies(node.otherwise, out)
+        elif (
+            cls is WhileStatement
+            or cls is DoWhileStatement
+            or cls is ForStatement
+            or cls is ForeachStatement
+        ):
+            _collect_bodies(node.body, out)
+        elif cls is SwitchStatement:
+            for case in node.cases:
+                _collect_bodies(case.body, out)
+        elif cls is TryStatement:
+            _collect_bodies(node.body, out)
+            for catch in node.catches:
+                _collect_bodies(catch.body, out)
+            if node.finally_body:
+                _collect_bodies(node.finally_body, out)
+        elif cls is Block:
+            _collect_bodies(node.statements, out)
+        elif cls is FunctionDecl:
+            out.append(node.body)
+            _collect_bodies(node.body, out)
+        elif cls is ClassDecl:
+            for method in node.methods:
+                if method.body is not None:
+                    out.append(method.body)
+                    _collect_bodies(method.body, out)
+        elif (cls is NamespaceStatement or cls is DeclareStatement) and node.body:
+            _collect_bodies(node.body, out)

@@ -32,7 +32,7 @@ from typing import Iterator, List, Optional
 from ..incidents import Incident, IncidentSeverity, IncidentStage
 from ..perf import counters
 from .errors import PhpLexError
-from .tokens import CASTS, KEYWORDS, OPERATORS, TRIVIA, Token, TokenType
+from .tokens import CASTS, KEYWORDS, OPERATORS, Token, TokenType
 
 _IDENT_START = re.compile(r"[A-Za-z_\x80-\xff]")
 _IDENT_FULL = re.compile(r"[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*")
@@ -62,6 +62,47 @@ for _spelling, _type in OPERATORS:
     _OPERATORS_BY_FIRST.setdefault(_spelling[0], []).append((_spelling, _type))
 del _spelling, _type
 
+#: spelling -> token type for the master-regex operator branch
+_OPERATOR_TYPES = dict(OPERATORS)
+
+#: One alternation that matches the overwhelmingly common PHP-mode
+#: tokens in a single C-level regex step: an optional leading
+#: whitespace run (group 1 — fused into the token match so a
+#: ``ws token`` pair costs one scanner step, not two) followed by
+#: variables, identifiers, numbers, single-quoted and constant
+#: double-quoted strings, comments, casts, the close tag, multi-char
+#: operators and safe single-char tokens.  Constructs that need
+#: stateful handling — interpolated/unterminated strings, backtick,
+#: ``<`` (heredoc and the ``<``-family operators),
+#: ``$``-variable-variables, ``\`` — are deliberately absent so they
+#: fall through to the dispatch-table slow path (whitespace directly
+#: before such a construct falls through with it, which is why the
+#: whitespace dispatch handler still exists).  Alternative order is
+#: semantic: comments before the ``/`` operators, numbers before
+#: ``.``/``.=``, multi-char operators before single chars, the cast
+#: alternative before a bare ``(``, and the close tag before a bare
+#: ``?``.
+_MASTER = re.compile(
+    r"([ \t\r\n]+)?"  # 1: optional whitespace run before the token
+    r"(?:(\$[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*)"  # 2: variable
+    r"|([A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*)"  # 3: identifier/keyword
+    r"|(0[xX][0-9a-fA-F]+|0[bB][01]+)"  # 4: hex/bin integer
+    r"|((?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)"  # 5: float
+    r"|(\d+)"  # 6: decimal integer
+    r"|('(?:[^'\\]|\\[\s\S])*')"  # 7: single-quoted string
+    # 8: double-quoted string with no interpolation ($var / ${ / {$)
+    r'|("(?:[^"\\${]|\\[\s\S]|\$(?![A-Za-z_\x80-\xff{])|\{(?!\$))*")'
+    r"|(/\*[^*]*\*+(?:[^/*][^*]*\*+)*/)"  # 9: block comment
+    r"|((?://|\#)(?:[^\n?]|\?(?!>))*)"  # 10: line comment (stops at ?>)
+    # 11: cast — the parenthesized spelling is the token value
+    r"|\(\s*((?i:int|integer|bool|boolean|float|double|real|string"
+    r"|array|object|unset))\s*\)"
+    r"|(\?>)"  # 12: close tag
+    r"|(>>=|===|!==|\.\.\.|\?\?=|\*\*|\?\?|==|!=|>=|&&|\|\||->|=>|::"
+    r"|\+\+|--|\+=|-=|\*=|/=|\.=|%=|&=|\|=|\^=|>>)"  # 13: multi-char operator
+    r"|([;,{}()\[\]=+\-*%!&|^~:@>?./]))"  # 14: bare single-char token
+)
+
 
 class Lexer:
     """Streaming PHP scanner over a single source string.
@@ -72,7 +113,11 @@ class Lexer:
     """
 
     def __init__(
-        self, source: str, filename: str = "<string>", recover: bool = False
+        self,
+        source: str,
+        filename: str = "<string>",
+        recover: bool = False,
+        significant: bool = False,
     ) -> None:
         self.source = source
         self.filename = filename
@@ -83,6 +128,10 @@ class Lexer:
         #: closed at EOF instead of raising, and each repair is recorded
         #: here as a recovered lex incident (paper Section V.E)
         self.recover = recover
+        #: with ``significant=True``, whitespace and comments advance the
+        #: scanner without ever constructing their Token objects — the
+        #: paper's "clean the AST" step fused into the scan itself
+        self.significant = significant
         self.incidents: List[Incident] = []
 
     def _record_recovery(self, reason: str, line: int) -> None:
@@ -145,25 +194,115 @@ class Lexer:
     def _lex_php(self) -> None:
         """Scan PHP code until ``?>`` or end of input.
 
-        The loop is a single dict dispatch on the current character;
-        every handler consumes at least one character.
+        The hot path is one C-level :data:`_MASTER` regex match per
+        token; only stateful constructs (strings, comments, heredocs,
+        casts) fall through to the per-character dispatch table.
         """
         source = self.source
         size = len(source)
-        dispatch = _DISPATCH
-        while self.pos < size:
-            char = source[self.pos]
-            if char == "?" and source.startswith("?>", self.pos):
-                pos = self.pos
-                end = "?>\n" if pos + 2 < size and source[pos + 2] == "\n" else "?>"
-                self._emit(TokenType.CLOSE_TAG, end)
-                self._advance(end)
-                return
-            handler = dispatch.get(char)
+        dispatch_get = _DISPATCH.get
+        append = self.tokens.append
+        significant = self.significant
+        keywords_get = KEYWORDS.get
+        operator_types = _OPERATOR_TYPES
+        token_cls = Token
+        string_type = TokenType.STRING
+        char_type = TokenType.CHAR
+        variable_type = TokenType.VARIABLE
+        ws_type = TokenType.WHITESPACE
+        # pos/line live in locals across the hot loop; the slow-path
+        # handlers read and write the instance attributes, so the loop
+        # syncs before and reloads after every fallback call
+        pos = self.pos
+        line = self.line
+        while pos < size:
+            # Pattern.scanner (stable CPython API since 2.x) anchors
+            # each match at the previous match's end entirely in C, so
+            # the loop never re-passes (source, pos) and only calls
+            # ``end()`` when the scanner stops at a slow-path construct
+            scanner_match = _MASTER.scanner(source, pos).match
+            match = None
+            while True:
+                prev = match
+                match = scanner_match()
+                if match is None:
+                    if prev is not None:
+                        pos = prev.end()
+                    break
+                index = match.lastindex
+                ws = match.group(1)
+                if ws is not None:
+                    if not significant:
+                        append(token_cls(ws_type, ws, line))
+                    line += ws.count("\n")
+                if index == 3:  # identifier / keyword
+                    text = match.group(3)
+                    type_ = keywords_get(text)
+                    if type_ is None:
+                        if not text.islower():
+                            type_ = keywords_get(text.lower())
+                        if type_ is None:
+                            type_ = string_type
+                    append(token_cls(type_, intern(text), line))
+                elif index == 14:  # bare single-char token
+                    append(token_cls(char_type, match.group(14), line))
+                elif index == 2:  # variable
+                    append(token_cls(variable_type, intern(match.group(2)), line))
+                elif index == 13:  # multi-char operator
+                    text = match.group(13)
+                    append(token_cls(operator_types[text], text, line))
+                elif index == 7 or index == 8:  # quoted string, no interpolation
+                    text = match.group(index)
+                    append(token_cls(TokenType.CONSTANT_ENCAPSED_STRING, text, line))
+                    line += text.count("\n")
+                elif index == 9:  # block comment
+                    text = match.group(9)
+                    if not significant:
+                        type_ = (
+                            TokenType.DOC_COMMENT
+                            if text.startswith("/**") and len(text) > 4
+                            else TokenType.COMMENT
+                        )
+                        append(token_cls(type_, text, line))
+                    line += text.count("\n")
+                elif index == 10:  # line comment
+                    if not significant:
+                        append(token_cls(TokenType.COMMENT, match.group(10), line))
+                elif index == 11:  # cast — token value is the full spelling
+                    start = match.start() if ws is None else match.end(1)
+                    text = source[start : match.end()]
+                    append(token_cls(CASTS[match.group(11).lower()], text, line))
+                elif index == 12:  # ?> close tag (swallows one trailing newline)
+                    pos = match.end()
+                    if pos < size and source[pos] == "\n":
+                        append(token_cls(TokenType.CLOSE_TAG, "?>\n", line))
+                        pos += 1
+                        line += 1
+                    else:
+                        append(token_cls(TokenType.CLOSE_TAG, "?>", line))
+                    self.pos = pos
+                    self.line = line
+                    return
+                elif index == 5:  # float
+                    append(token_cls(TokenType.DNUMBER, match.group(5), line))
+                else:  # 4 or 6: integer
+                    append(token_cls(TokenType.LNUMBER, match.group(index), line))
+            if pos >= size:
+                break
+            # the scanner stopped mid-input: a stateful construct (or
+            # whitespace directly before one) sits at ``pos``
+            self.pos = pos
+            self.line = line
+            char = source[pos]
+            handler = dispatch_get(char)
             if handler is not None:
                 handler(self)
             else:
                 self._lex_operator_or_char(char)
+            pos = self.pos
+            line = self.line
+        self.pos = pos
+        self.line = line
 
     def _lex_operator_or_char(self, char: str) -> None:
         """Multi-character operator at ``pos``, else a bare CHAR token."""
@@ -194,8 +333,11 @@ class Lexer:
     def _lex_whitespace(self) -> None:
         match = _WHITESPACE.match(self.source, self.pos)
         assert match is not None
-        self._emit(TokenType.WHITESPACE, match.group(0))
-        self._advance(match.group(0))
+        text = match.group(0)
+        if not self.significant:
+            self.tokens.append(Token(TokenType.WHITESPACE, text, self.line))
+        self.pos = match.end()
+        self.line += text.count("\n")
 
     def _lex_slash(self) -> None:
         source, pos = self.source, self.pos
@@ -245,11 +387,15 @@ class Lexer:
             text = self.source[self.pos :]
         else:
             text = self.source[self.pos : end + 2]
-        type_ = (
-            TokenType.DOC_COMMENT if text.startswith("/**") and len(text) > 4 else TokenType.COMMENT
-        )
-        self._emit(type_, text)
-        self._advance(text)
+        if not self.significant:
+            type_ = (
+                TokenType.DOC_COMMENT
+                if text.startswith("/**") and len(text) > 4
+                else TokenType.COMMENT
+            )
+            self.tokens.append(Token(type_, text, self.line))
+        self.pos += len(text)
+        self.line += text.count("\n")
 
     def _lex_line_comment(self) -> None:
         # a line comment ends at newline or at ?> (which stays in the stream)
@@ -260,8 +406,9 @@ class Lexer:
         newline_index = text.find("\n")
         if newline_index != -1:  # pragma: no cover - regex stops at newline
             text = text[:newline_index]
-        self._emit(TokenType.COMMENT, text)
-        self._advance(text)
+        if not self.significant:
+            self.tokens.append(Token(TokenType.COMMENT, text, self.line))
+        self.pos += len(text)
 
     # -- simple tokens ------------------------------------------------------
 
@@ -646,12 +793,13 @@ def tokenize(
 def tokenize_significant(
     source: str, filename: str = "<string>", recover: bool = False
 ) -> List[Token]:
-    """Tokenize and drop whitespace/comments (the paper's cleaning step)."""
-    return [
-        token
-        for token in tokenize(source, filename, recover=recover)
-        if token.type not in TRIVIA
-    ]
+    """Tokenize and drop whitespace/comments (the paper's cleaning step).
+
+    Trivia tokens are never constructed at all: the lexer runs in
+    significant mode, where whitespace/comment handlers advance the
+    scanner without allocating.
+    """
+    return Lexer(source, filename, recover=recover, significant=True).tokenize()
 
 
 def iter_lines_of_code(source: str) -> Iterator[str]:

@@ -52,10 +52,13 @@ _SYNC_TOKENS = frozenset(
 )
 
 # Binary operator precedence, PHP manual order (higher binds tighter).
+# `??` sits between `||` and the ternary and is right-associative —
+# handled in the main binary loop rather than a dedicated ladder level.
 _BINARY_PRECEDENCE = {
     "or": 1,
     "xor": 2,
     "and": 3,
+    "??": 4,
     "||": 5,
     "&&": 6,
     "|": 7,
@@ -82,7 +85,7 @@ _BINARY_PRECEDENCE = {
     "**": 17,
 }
 
-_RIGHT_ASSOC = {"**"}
+_RIGHT_ASSOC = {"**", "??"}
 
 _COMPOUND_ASSIGN = {
     TokenType.PLUS_EQUAL: "+",
@@ -100,6 +103,7 @@ _COMPOUND_ASSIGN = {
 }
 
 _BINARY_TOKEN_SPELLING = {
+    TokenType.COALESCE: "??",
     TokenType.BOOLEAN_AND: "&&",
     TokenType.BOOLEAN_OR: "||",
     TokenType.LOGICAL_AND: "and",
@@ -132,6 +136,18 @@ _INCLUDE_KINDS = {
     TokenType.INCLUDE_ONCE: "include_once",
     TokenType.REQUIRE: "require",
     TokenType.REQUIRE_ONCE: "require_once",
+}
+
+# Non-CHAR token types that introduce a prefix form in `_parse_unary`.
+# Anything else skips straight to the postfix/primary ladder.
+_UNARY_PREFIX_TYPES = frozenset(_CAST_NAMES) | frozenset(_INCLUDE_KINDS) | {
+    TokenType.INC,
+    TokenType.DEC,
+    TokenType.PRINT,
+    TokenType.THROW,
+    TokenType.NEW,
+    TokenType.CLONE,
+    TokenType.EXIT,
 }
 
 _DOUBLE_ESCAPES = {
@@ -187,6 +203,12 @@ class Parser:
     def __init__(
         self, tokens: List[Token], filename: str = "<string>", recover: bool = False
     ) -> None:
+        # an EOF sentinel closes the stream so every ``tokens[pos]``
+        # access in the hot path is a plain list index with no bounds
+        # check or Token construction
+        if not tokens or tokens[-1].type is not TokenType.EOF:
+            tokens = list(tokens)
+            tokens.append(Token(TokenType.EOF, "", tokens[-1].line if tokens else 0))
         self.tokens = tokens
         self.filename = filename
         self.pos = 0
@@ -202,55 +224,60 @@ class Parser:
 
     def _peek(self, offset: int = 0) -> Token:
         index = self.pos + offset
-        if index < len(self.tokens):
-            return self.tokens[index]
-        line = self.tokens[-1].line if self.tokens else 0
-        return Token(TokenType.EOF, "", line)
+        tokens = self.tokens
+        return tokens[index] if index < len(tokens) else tokens[-1]
 
     def _next(self) -> Token:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.type is not TokenType.EOF:
             self.pos += 1
         return token
 
     def _at(self, type_: TokenType) -> bool:
-        return self._peek().type is type_
+        return self.tokens[self.pos].type is type_
 
     def _at_char(self, char: str) -> bool:
-        return self._peek().is_char(char)
+        token = self.tokens[self.pos]
+        return token.type is TokenType.CHAR and token.value == char
 
     def _accept(self, type_: TokenType) -> Optional[Token]:
-        if self._at(type_):
-            return self._next()
+        token = self.tokens[self.pos]
+        if token.type is type_:
+            self.pos += 1
+            return token
         return None
 
     def _accept_char(self, char: str) -> Optional[Token]:
-        if self._at_char(char):
-            return self._next()
+        token = self.tokens[self.pos]
+        if token.type is TokenType.CHAR and token.value == char:
+            self.pos += 1
+            return token
         return None
 
     def _expect(self, type_: TokenType) -> Token:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.type is not type_:
             raise PhpParseError(
                 f"expected {type_.value}, found {token.name} {token.value!r}",
                 self.filename,
                 token.line,
             )
-        return self._next()
+        self.pos += 1
+        return token
 
     def _expect_char(self, char: str) -> Token:
-        token = self._peek()
-        if not token.is_char(char):
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.CHAR or token.value != char:
             raise PhpParseError(
                 f"expected {char!r}, found {token.name} {token.value!r}",
                 self.filename,
                 token.line,
             )
-        return self._next()
+        self.pos += 1
+        return token
 
     def _error(self, message: str) -> PhpParseError:
-        return PhpParseError(message, self.filename, self._peek().line)
+        return PhpParseError(message, self.filename, self.tokens[self.pos].line)
 
     # -- entry point ----------------------------------------------------------
 
@@ -450,13 +477,16 @@ class Parser:
             TokenType.DEFAULT,
         }
         statements: List[ast.Statement] = []
-        while not self._at(TokenType.EOF):
-            token = self._peek()
-            if any(token.is_char(closer) for closer in closers):
+        while True:
+            token = self.tokens[self.pos]
+            type_ = token.type
+            if type_ is TokenType.EOF:
                 break
-            if closers and not closers[0] == "}" and token.type in closer_types:
+            if type_ is TokenType.CHAR and token.value in closers:
                 break
-            if closers == ("}",) and token.type in (
+            if closers and not closers[0] == "}" and type_ in closer_types:
+                break
+            if closers == ("}",) and type_ in (
                 TokenType.CASE,
                 TokenType.DEFAULT,
                 TokenType.ENDSWITCH,
@@ -997,44 +1027,50 @@ class Parser:
         # above the assignment level.
         left = self._parse_assignment()
         while True:
-            token = self._peek()
-            if token.type is TokenType.LOGICAL_AND:
+            token = self.tokens[self.pos]
+            type_ = token.type
+            if type_ is TokenType.LOGICAL_AND:
                 op = "and"
-            elif token.type is TokenType.LOGICAL_OR:
+            elif type_ is TokenType.LOGICAL_OR:
                 op = "or"
-            elif token.type is TokenType.LOGICAL_XOR:
+            elif type_ is TokenType.LOGICAL_XOR:
                 op = "xor"
             else:
                 return left
-            self._next()
+            self.pos += 1
             right = self._parse_assignment()
             left = ast.Binary(line=token.line, op=op, left=left, right=right)
 
     def _parse_assignment(self) -> ast.Expr:
         left = self._parse_ternary()
-        token = self._peek()
-        if token.is_char("="):
-            self._next()
+        token = self.tokens[self.pos]
+        if token.type is TokenType.CHAR:
+            if token.value != "=":
+                return left
+            self.pos += 1
             by_ref = self._accept_char("&") is not None
             value = self._parse_assignment()
             return ast.Assignment(
                 line=token.line, target=left, value=value, op="=", by_ref=by_ref
             )
-        if token.type in _COMPOUND_ASSIGN:
-            self._next()
+        compound = _COMPOUND_ASSIGN.get(token.type)
+        if compound is not None:
+            self.pos += 1
             value = self._parse_assignment()
             return ast.Assignment(
                 line=token.line,
                 target=left,
                 value=value,
-                op=_COMPOUND_ASSIGN[token.type] + "=",
+                op=compound + "=",
             )
         return left
 
     def _parse_ternary(self) -> ast.Expr:
-        cond = self._parse_coalesce()
-        if self._at_char("?"):
-            line = self._next().line
+        cond = self._parse_binary(4)
+        token = self.tokens[self.pos]
+        if token.type is TokenType.CHAR and token.value == "?":
+            line = token.line
+            self.pos += 1
             if self._accept_char(":"):
                 if_false = self._parse_assignment()
                 return ast.Ternary(line=line, cond=cond, if_true=None, if_false=if_false)
@@ -1044,18 +1080,8 @@ class Parser:
             return ast.Ternary(line=line, cond=cond, if_true=if_true, if_false=if_false)
         return cond
 
-    def _parse_coalesce(self) -> ast.Expr:
-        # `??` sits between `||` and the ternary and is right-associative:
-        # `$a ?? $b ?? $c` is `$a ?? ($b ?? $c)`.
-        left = self._parse_binary(5)
-        if self._at(TokenType.COALESCE):
-            token = self._next()
-            right = self._parse_coalesce()
-            return ast.Binary(line=token.line, op="??", left=left, right=right)
-        return left
-
     def _binary_op_at(self) -> Optional[str]:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.type is TokenType.CHAR and token.value in "+-*/%.&|^<>":
             # exclude chars that terminate expressions
             return token.value
@@ -1063,14 +1089,25 @@ class Parser:
 
     def _parse_binary(self, min_precedence: int) -> ast.Expr:
         left = self._parse_unary()
+        tokens = self.tokens
+        precedence_get = _BINARY_PRECEDENCE.get
+        spelling_get = _BINARY_TOKEN_SPELLING.get
         while True:
-            op = self._binary_op_at()
-            if op is None:
-                return left
-            precedence = _BINARY_PRECEDENCE.get(op)
+            token = tokens[self.pos]
+            type_ = token.type
+            if type_ is TokenType.CHAR:
+                op = token.value
+                if op not in "+-*/%.&|^<>":
+                    # exclude chars that terminate expressions
+                    return left
+            else:
+                op = spelling_get(type_)
+                if op is None:
+                    return left
+            precedence = precedence_get(op)
             if precedence is None or precedence < min_precedence:
                 return left
-            token = self._next()
+            self.pos += 1
             if op == "instanceof":
                 class_name: Union[str, ast.Expr]
                 if self._at(TokenType.STRING) or self._at(TokenType.NS_SEPARATOR):
@@ -1084,43 +1121,49 @@ class Parser:
             left = ast.Binary(line=token.line, op=op, left=left, right=right)
 
     def _parse_unary(self) -> ast.Expr:
-        token = self._peek()
-        if token.is_char("!") or token.is_char("-") or token.is_char("+") or token.is_char("~"):
-            self._next()
+        token = self.tokens[self.pos]
+        type_ = token.type
+        if type_ is TokenType.CHAR:
+            value = token.value
+            if value == "!" or value == "-" or value == "+" or value == "~":
+                self.pos += 1
+                operand = self._parse_unary()
+                return ast.Unary(line=token.line, op=value, operand=operand)
+            if value == "@":
+                self.pos += 1
+                operand = self._parse_unary()
+                return ast.Unary(line=token.line, op="@", operand=operand)
+            return self._parse_postfix_operators(self._parse_primary())
+        if type_ not in _UNARY_PREFIX_TYPES:
+            return self._parse_postfix_operators(self._parse_primary())
+        if type_ in _CAST_NAMES:
+            self.pos += 1
             operand = self._parse_unary()
-            return ast.Unary(line=token.line, op=token.value, operand=operand)
-        if token.is_char("@"):
-            self._next()
-            operand = self._parse_unary()
-            return ast.Unary(line=token.line, op="@", operand=operand)
-        if token.type in _CAST_NAMES:
-            self._next()
-            operand = self._parse_unary()
-            return ast.Cast(line=token.line, to=_CAST_NAMES[token.type], operand=operand)
-        if token.type is TokenType.INC or token.type is TokenType.DEC:
-            self._next()
+            return ast.Cast(line=token.line, to=_CAST_NAMES[type_], operand=operand)
+        if type_ is TokenType.INC or type_ is TokenType.DEC:
+            self.pos += 1
             target = self._parse_unary()
             return ast.IncDec(line=token.line, op=token.value, target=target, prefix=True)
-        if token.type in _INCLUDE_KINDS:
-            self._next()
+        if type_ in _INCLUDE_KINDS:
+            self.pos += 1
             path = self._parse_expression()
-            return ast.IncludeExpr(line=token.line, kind=_INCLUDE_KINDS[token.type], path=path)
-        if token.type is TokenType.PRINT:
-            self._next()
+            return ast.IncludeExpr(line=token.line, kind=_INCLUDE_KINDS[type_], path=path)
+        if type_ is TokenType.PRINT:
+            self.pos += 1
             expr = self._parse_expression()
             return ast.PrintExpr(line=token.line, expr=expr)
-        if token.type is TokenType.THROW:
-            self._next()
+        if type_ is TokenType.THROW:
+            self.pos += 1
             expr = self._parse_expression()
             return ast.Unary(line=token.line, op="throw", operand=expr)
-        if token.type is TokenType.NEW:
+        if type_ is TokenType.NEW:
             return self._parse_new()
-        if token.type is TokenType.CLONE:
-            self._next()
+        if type_ is TokenType.CLONE:
+            self.pos += 1
             expr = self._parse_unary()
             return ast.Clone(line=token.line, expr=expr)
-        if token.type is TokenType.EXIT:
-            self._next()
+        if type_ is TokenType.EXIT:
+            self.pos += 1
             expr = None
             if self._accept_char("("):
                 if not self._at_char(")"):
@@ -1163,27 +1206,38 @@ class Parser:
         return self._parse_postfix_operators(node)
 
     def _parse_postfix_operators(self, node: ast.Expr) -> ast.Expr:  # noqa: C901
+        tokens = self.tokens
         while True:
-            token = self._peek()
-            if token.is_char("["):
-                self._next()
-                index: Optional[ast.Expr] = None
-                if not self._at_char("]"):
+            token = tokens[self.pos]
+            type_ = token.type
+            if type_ is TokenType.CHAR:
+                value = token.value
+                if value == "[":
+                    self.pos += 1
+                    index: Optional[ast.Expr] = None
+                    if not self._at_char("]"):
+                        index = self._parse_expression()
+                    self._expect_char("]")
+                    node = ast.ArrayAccess(line=token.line, array=node, index=index)
+                    continue
+                if value == "(" and isinstance(
+                    node, (ast.Variable, ast.ArrayAccess, ast.PropertyAccess)
+                ):
+                    args = self._parse_call_args()
+                    node = ast.FunctionCall(line=token.line, name=node, args=args)
+                    continue
+                if value == "{" and isinstance(
+                    node, (ast.Variable, ast.ArrayAccess, ast.PropertyAccess)
+                ):
+                    # string offset access $str{0} (PHP5) — treat as array access
+                    self.pos += 1
                     index = self._parse_expression()
-                self._expect_char("]")
-                node = ast.ArrayAccess(line=token.line, array=node, index=index)
-                continue
-            if token.is_char("{") and isinstance(
-                node, (ast.Variable, ast.ArrayAccess, ast.PropertyAccess)
-            ):
-                # string offset access $str{0} (PHP5) — treat as array access
-                self._next()
-                index = self._parse_expression()
-                self._expect_char("}")
-                node = ast.ArrayAccess(line=token.line, array=node, index=index)
-                continue
-            if token.type is TokenType.OBJECT_OPERATOR:
-                self._next()
+                    self._expect_char("}")
+                    node = ast.ArrayAccess(line=token.line, array=node, index=index)
+                    continue
+                return node
+            if type_ is TokenType.OBJECT_OPERATOR:
+                self.pos += 1
                 name = self._parse_member_name()
                 if self._at_char("("):
                     args = self._parse_call_args()
@@ -1193,7 +1247,7 @@ class Parser:
                 else:
                     node = ast.PropertyAccess(line=token.line, object=node, name=name)
                 continue
-            if token.type is TokenType.DOUBLE_COLON:
+            if type_ is TokenType.DOUBLE_COLON:
                 class_name = self._static_class_name(node)
                 self._next()
                 if self._at(TokenType.VARIABLE):
@@ -1230,14 +1284,8 @@ class Parser:
                         line=token.line, class_name=class_name, name=member
                     )
                 continue
-            if token.is_char("(") and isinstance(
-                node, (ast.Variable, ast.ArrayAccess, ast.PropertyAccess)
-            ):
-                args = self._parse_call_args()
-                node = ast.FunctionCall(line=token.line, name=node, args=args)
-                continue
-            if token.type is TokenType.INC or token.type is TokenType.DEC:
-                self._next()
+            if type_ is TokenType.INC or type_ is TokenType.DEC:
+                self.pos += 1
                 node = ast.IncDec(line=token.line, op=token.value, target=node, prefix=False)
                 continue
             return node
@@ -1267,57 +1315,71 @@ class Parser:
         raise self._error("expected class name before '::'")
 
     def _parse_primary(self) -> ast.Expr:  # noqa: C901
-        token = self._peek()
+        token = self.tokens[self.pos]
+        type_ = token.type
 
-        if token.type is TokenType.VARIABLE:
-            self._next()
+        if type_ is TokenType.VARIABLE:
+            self.pos += 1
             return ast.Variable(line=token.line, name=token.value[1:])
-        if token.is_char("$"):
-            self._next()
-            if self._at_char("{"):
-                self._next()
-                expr = self._parse_expression()
-                self._expect_char("}")
-                return ast.VariableVariable(line=token.line, expr=expr)
-            inner = self._parse_primary()
-            return ast.VariableVariable(line=token.line, expr=inner)
-        if token.type is TokenType.LNUMBER:
-            self._next()
-            try:
-                value: object = int(token.value, 0)
-            except ValueError:
-                value = int(token.value)
-            return ast.Literal(line=token.line, value=value, raw=token.value)
-        if token.type is TokenType.DNUMBER:
-            self._next()
-            return ast.Literal(line=token.line, value=float(token.value), raw=token.value)
-        if token.type is TokenType.CONSTANT_ENCAPSED_STRING:
-            self._next()
+        if type_ is TokenType.CONSTANT_ENCAPSED_STRING:
+            self.pos += 1
             raw = token.value
             if raw.startswith("'"):
-                value = unescape_single_quoted(raw)
+                value: object = unescape_single_quoted(raw)
             else:
                 value = unescape_double_quoted(raw[1:-1])
             return ast.Literal(line=token.line, value=value, raw=raw)
-        if token.is_char('"'):
-            return self._parse_interpolated('"')
-        if token.is_char("`"):
-            node = self._parse_interpolated("`")
-            return ast.ShellExec(line=node.line, parts=node.parts)
-        if token.type is TokenType.START_HEREDOC:
+        if type_ is TokenType.CHAR:
+            char = token.value
+            if char == "(":
+                self.pos += 1
+                expr = self._parse_expression()
+                self._expect_char(")")
+                return expr
+            if char == "[":
+                self.pos += 1
+                return self._parse_array_items(token.line, "]")
+            if char == '"':
+                return self._parse_interpolated('"')
+            if char == "$":
+                self.pos += 1
+                if self._at_char("{"):
+                    self.pos += 1
+                    expr = self._parse_expression()
+                    self._expect_char("}")
+                    return ast.VariableVariable(line=token.line, expr=expr)
+                inner = self._parse_primary()
+                return ast.VariableVariable(line=token.line, expr=inner)
+            if char == "`":
+                node = self._parse_interpolated("`")
+                return ast.ShellExec(line=node.line, parts=node.parts)
+            if char == "&":
+                # reference in expression position: &$var — transparent for taint
+                self.pos += 1
+                return self._parse_postfix()
+            raise self._error(f"unexpected token {token.name} {token.value!r}")
+        if type_ is TokenType.STRING:
+            name = self._parse_qualified_name()
+            if self._at_char("("):
+                args = self._parse_call_args()
+                return ast.FunctionCall(line=token.line, name=name, args=args)
+            return ast.ConstFetch(line=token.line, name=name)
+        if type_ is TokenType.LNUMBER:
+            self.pos += 1
+            try:
+                value = int(token.value, 0)
+            except ValueError:
+                value = int(token.value)
+            return ast.Literal(line=token.line, value=value, raw=token.value)
+        if type_ is TokenType.DNUMBER:
+            self.pos += 1
+            return ast.Literal(line=token.line, value=float(token.value), raw=token.value)
+        if type_ is TokenType.START_HEREDOC:
             return self._parse_heredoc()
-        if token.type is TokenType.ARRAY and self._peek(1).is_char("("):
-            self._next()
+        if type_ is TokenType.ARRAY and self._peek(1).is_char("("):
+            self.pos += 1
             return self._parse_array_literal(token.line, ")")
-        if token.is_char("["):
-            self._next()
-            return self._parse_array_items(token.line, "]")
-        if token.is_char("("):
-            self._next()
-            expr = self._parse_expression()
-            self._expect_char(")")
-            return expr
-        if token.type is TokenType.ISSET:
+        if type_ is TokenType.ISSET:
             self._next()
             self._expect_char("(")
             vars_ = self._parse_expr_list_until(")")
@@ -1350,12 +1412,7 @@ class Parser:
         if token.type is TokenType.STATIC and self._peek(1).type is TokenType.DOUBLE_COLON:
             self._next()
             return ast.ConstFetch(line=token.line, name="static")
-        if token.is_char("&"):
-            # reference in expression position: &$var — transparent for taint
-            self._next()
-            return self._parse_postfix()
         if token.type in (
-            TokenType.STRING,
             TokenType.NS_SEPARATOR,
             TokenType.FILE,
             TokenType.LINE,
@@ -1364,9 +1421,8 @@ class Parser:
             TokenType.CLASS_C,
             TokenType.METHOD_C,
         ):
-            name = self._parse_qualified_name() if token.type in (
-                TokenType.STRING,
-                TokenType.NS_SEPARATOR,
+            name = self._parse_qualified_name() if token.type is (
+                TokenType.NS_SEPARATOR
             ) else self._next().value
             if self._at_char("("):
                 args = self._parse_call_args()

@@ -303,17 +303,22 @@ class Token:
 
     A hand-rolled immutable class rather than a frozen dataclass: token
     streams are the analyzer's highest-volume allocation, so instances
-    are slotted, and the hash (tokens key hot dedup/memo dicts) is
-    computed once and cached instead of re-deriving a tuple per lookup.
+    are slotted, and the hash (tokens key dedup/memo dicts, but most
+    tokens are never hashed at all) is computed lazily on first use and
+    cached instead of being paid eagerly in ``__init__``.
     """
 
     __slots__ = ("type", "value", "line", "_hash")
 
-    def __init__(self, type: TokenType, value: str, line: int) -> None:
-        object.__setattr__(self, "type", type)
-        object.__setattr__(self, "value", value)
-        object.__setattr__(self, "line", line)
-        object.__setattr__(self, "_hash", hash((type, value, line)))
+    def __init__(
+        self, type: TokenType, value: str, line: int, _set=object.__setattr__
+    ) -> None:
+        # _set is a default-arg cache of object.__setattr__: this is the
+        # hottest constructor in the tool, and the custom __setattr__
+        # below forces every slot write through the object protocol
+        _set(self, "type", type)
+        _set(self, "value", value)
+        _set(self, "line", line)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"Token is immutable; cannot set {name!r}")
@@ -325,14 +330,18 @@ class Token:
         if other.__class__ is not Token:
             return NotImplemented
         return (
-            self._hash == other._hash  # cheap reject before 3 comparisons
-            and self.type is other.type
+            self.type is other.type
             and self.value == other.value
             and self.line == other.line
         )
 
     def __hash__(self) -> int:
-        return self._hash
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.type, self.value, self.line))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __reduce__(self):  # __setattr__ blocks default slot unpickling
         return (Token, (self.type, self.value, self.line))

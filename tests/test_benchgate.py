@@ -1,0 +1,56 @@
+"""Tests for the shared BENCH_*.json bookkeeping (repro.benchgate)."""
+
+import json
+
+from repro.benchgate import merge_bench
+
+
+class TestMergeBench:
+    def test_baseline_preserved_and_speedup_derived(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        merge_bench(path, {"analyzer_seconds": 0.2}, record_baseline=True)
+        data = merge_bench(path, {"analyzer_seconds": 0.1})
+        assert data["baseline"]["analyzer_seconds"] == 0.2
+        assert data["speedup_vs_baseline"]["analyzer"] == 2.0
+
+    def test_normalized_speedup_cancels_machine_speed(self, tmp_path):
+        """A baseline recorded on a faster box (higher calibration ops/s)
+        must not inflate the speedup: seconds are converted to
+        calibration-ops-equivalent work on each side first."""
+        path = str(tmp_path / "BENCH_x.json")
+        merge_bench(
+            path,
+            {"analyzer_seconds": 0.2, "lexer_seconds": 0.04},
+            record_baseline=True,
+            calibration_ops=20_000_000.0,
+        )
+        data = merge_bench(
+            path,
+            {"analyzer_seconds": 0.1, "lexer_seconds": 0.04},
+            calibration_ops=10_000_000.0,
+        )
+        # raw: 2x; normalized: the current box is half as fast, so the
+        # same wall time means 4x less work per stage
+        assert data["speedup_vs_baseline"]["analyzer"] == 2.0
+        assert data["speedup_vs_baseline_normalized"]["analyzer"] == 4.0
+        # every *_seconds stage gets the normalized line, not just one
+        assert data["speedup_vs_baseline_normalized"]["lexer"] == 2.0
+
+    def test_normalized_empty_without_calibration(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        merge_bench(path, {"analyzer_seconds": 0.2}, record_baseline=True)
+        data = merge_bench(path, {"analyzer_seconds": 0.1})
+        assert data["speedup_vs_baseline_normalized"] == {}
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        merge_bench(
+            path,
+            {"analyzer_seconds": 0.2},
+            record_baseline=True,
+            calibration_ops=1_000_000.0,
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["schema"] == "repro.bench/v1"
+        assert data["current"]["calibration_ops_per_second"] == 1_000_000.0

@@ -177,6 +177,7 @@ class TestConfigMatrixOracle:
             "jobs",
             "summaries",
             "incremental",
+            "ir",
         }
         assert report.ok, render_oracle_reports(reports, verbose=True)
         # the corpus plants vulnerabilities, so an empty set would mean
@@ -188,7 +189,7 @@ class TestConfigMatrixOracle:
             OracleOptions(versions=("2012",), scale=0.02, jobs=2)
         )
         rendered = render_oracle_reports(oracle.run())
-        for axis in ("recover", "summaries", "jobs", "cache", "incremental"):
+        for axis in ("recover", "summaries", "jobs", "cache", "incremental", "ir"):
             assert axis in rendered
 
 
