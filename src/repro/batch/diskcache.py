@@ -11,8 +11,11 @@ store needs no invalidation — a changed file simply hashes to a new
 object — and writes are atomic (temp file + ``os.replace``), so any
 number of worker processes can share one cache directory.
 
-The memory tier keeps its ``max_entries`` LRU bound; the disk tier is
-unbounded and survives across runs (``clear()`` drops both).
+The memory tier keeps its ``max_entries`` (and, when configured,
+``max_bytes``) LRU bounds; the disk tier is unbounded and survives
+across runs (``clear()`` drops both).  An entry too large for the
+memory budget still lands on disk, so it is served persistently without
+ever being pinned in RAM.
 """
 
 from __future__ import annotations
@@ -29,8 +32,13 @@ from ..core.cache import ModelCache, _Slot
 class DiskModelCache(ModelCache):
     """A :class:`ModelCache` backed by a persistent cache directory."""
 
-    def __init__(self, cache_dir: str, max_entries: int = 4096) -> None:
-        super().__init__(max_entries=max_entries)
+    def __init__(
+        self,
+        cache_dir: str,
+        max_entries: int = 4096,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__(max_entries=max_entries, max_bytes=max_bytes)
         self.cache_dir = cache_dir
         self._objects_dir = os.path.join(cache_dir, "objects")
         os.makedirs(self._objects_dir, exist_ok=True)

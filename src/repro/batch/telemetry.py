@@ -26,7 +26,11 @@ v6 adds the fleet layer: ``ServiceStats.quarantined`` (jobs failed for
 good after exhausting their attempts), :class:`FleetStats` (the
 coordinator's dispatch/steal/degradation counters) and
 :func:`aggregate_fleet`, which folds the per-node ``GET /metrics``
-documents of a sharded fleet into one fleet-wide view.
+documents of a sharded fleet into one fleet-wide view.  v7 adds the
+``process_cache`` section: occupancy of the process-wide L1 artifact
+cache (entries/bytes against both caps, byte-pressure evictions), so
+long-lived fleet nodes surface artifact-memory growth instead of
+leaking models across jobs invisibly.
 """
 
 from __future__ import annotations
@@ -37,7 +41,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..perf import merge as merge_perf
 
-SCHEMA = "repro.batch.telemetry/v6"
+SCHEMA = "repro.batch.telemetry/v7"
 
 
 @dataclass
@@ -334,6 +338,9 @@ class ScanTelemetry:
     plugins: List[PluginScanStats] = field(default_factory=list)
     #: daemon metrics; ``None`` for plain batch scans (schema v4)
     service: Optional[ServiceStats] = None
+    #: process-cache occupancy override (schema v7); ``None`` samples
+    #: the serializing process's live L1 cache at ``to_dict`` time
+    process_cache: Optional[Dict[str, object]] = None
 
     def record(self, stats: PluginScanStats) -> None:
         self.plugins.append(stats)
@@ -480,6 +487,16 @@ class ScanTelemetry:
             },
             "plugins": [stats.to_dict() for stats in self.plugins],
         }
+        if self.process_cache is not None:
+            document["process_cache"] = dict(self.process_cache)
+        else:
+            # sample the serializing process's live L1 occupancy; batch
+            # workers keep their own caches, so this reports the
+            # coordinator/daemon process — exactly the one whose
+            # lifetime makes unbounded growth dangerous
+            from ..core.phpsafe import process_cache_occupancy
+
+            document["process_cache"] = process_cache_occupancy()
         if self.service is not None:
             document["service"] = self.service.to_dict()
         return document

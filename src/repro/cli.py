@@ -98,6 +98,29 @@ def _load_targets(path: str) -> list:
     return plugins or [Plugin.load_from(path)]
 
 
+def _iter_targets(path: str):
+    """Lazy variant of :func:`_load_targets` for streaming scans: a
+    corpus checkout yields one plugin at a time, so the corpus never
+    has to fit in memory alongside the scan."""
+    if not os.path.isdir(path):
+        yield _load_target(path)
+        return
+    entries = sorted(os.listdir(path))
+    if any(entry.endswith(".php") for entry in entries):
+        yield Plugin.load_from(path)
+        return
+    yielded = False
+    for entry in entries:
+        subdir = os.path.join(path, entry)
+        if os.path.isdir(subdir):
+            plugin = Plugin.load_from(subdir)
+            if plugin.files:
+                yielded = True
+                yield plugin
+    if not yielded:
+        yield Plugin.load_from(path)
+
+
 def _make_tool(
     name: str,
     no_oop: bool = False,
@@ -168,6 +191,8 @@ def cmd_scan(args: argparse.Namespace) -> int:
 
 
 def _cmd_scan_impl(args: argparse.Namespace) -> int:
+    if args.stream:
+        return _scan_stream(args)
     tool = _make_tool(
         args.tool,
         no_oop=args.no_oop,
@@ -215,6 +240,50 @@ def _cmd_scan_impl(args: argparse.Namespace) -> int:
             f" taint intern hit rate {perf.get('taint_intern_hit_rate', 0):.0%}"
         )
     return _scan_exit_code(args, [report])
+
+
+def _scan_stream(args: argparse.Namespace) -> int:
+    """``scan --stream SINK``: memory-bounded streaming evaluation.
+
+    Plugins are loaded lazily, findings go to the JSONL sink instead of
+    memory, and the artifact cache is byte-capped.  Only the phpSAFE
+    tool streams (the baseline tools have no cache to bound).
+    """
+    from .batch.streaming import stream_scan, streaming_options
+
+    if args.tool != "phpsafe":
+        raise SystemExit("--stream supports only --tool phpsafe")
+    options = streaming_options(
+        PhpSafeOptions(
+            oop=not args.no_oop,
+            wordpress_config=not args.generic,
+            recover=not args.strict,
+            use_ir=not args.no_ir,
+        )
+    )
+    summary = stream_scan(
+        _iter_targets(args.path),
+        args.stream,
+        options=options,
+        max_cache_bytes=args.max_cache_bytes,
+    )
+    print(
+        f"phpSAFE: streamed {summary.plugins} plugin(s) — "
+        f"{summary.files} files, {summary.loc} LOC, "
+        f"{summary.seconds:.2f}s ({summary.loc_per_second:,.0f} LOC/s)"
+    )
+    print(
+        f"{summary.findings} finding(s) → {args.stream}, "
+        f"{summary.failures} failure(s), {summary.incidents} incident(s), "
+        f"peak cache {summary.peak_cache_bytes / 1e6:.1f} MB "
+        f"(cap {args.max_cache_bytes / 1e6:.1f} MB), "
+        f"spilled {summary.spilled_bytes / 1e6:.1f} MB"
+    )
+    if args.telemetry:
+        with open(args.telemetry, "w", encoding="utf-8") as handle:
+            json.dump(summary.to_dict(), handle, indent=1)
+            handle.write("\n")
+    return 0 if not summary.findings else 1
 
 
 def _scan_exit_code(args: argparse.Namespace, reports) -> int:
@@ -611,10 +680,20 @@ def _serve_coordinator(args: argparse.Namespace, spec, tool_name: str) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.action == "scale":
+        from .benchscale import run_and_gate as run_scale
+
+        return run_scale(
+            args.tiers,
+            path=args.output,
+            record_baseline=args.record_baseline,
+            quick=args.quick,
+            seed=args.seed,
+            parity=not args.no_parity,
+        )
     from .service.chaos import config_from_args, run_and_gate
 
-    # only one action today; argparse enforces the choice
-    assert args.action == "fleet"
+    assert args.action == "fleet"  # argparse enforces the choice
     return run_and_gate(config_from_args(args))
 
 
@@ -731,6 +810,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scan.add_argument(
         "--telemetry", help="write the batch telemetry JSON report here"
+    )
+    scan.add_argument(
+        "--stream", metavar="SINK",
+        help="memory-bounded streaming scan: load plugins lazily, cap "
+             "the artifact cache by bytes, and write findings to this "
+             "JSONL sink instead of accumulating reports",
+    )
+    scan.add_argument(
+        "--max-cache-bytes", type=int, default=64 * 1024 * 1024,
+        help="streaming mode's in-memory artifact-cache byte cap "
+             "(default: 64 MiB)",
     )
     scan.add_argument(
         "--profile", type=int, nargs="?", const=25, default=0, metavar="N",
@@ -899,6 +989,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     _chaos_args(fleet)
     fleet.set_defaults(func=cmd_bench)
+
+    scale = bench_sub.add_parser(
+        "scale",
+        help="stress-tier memory/throughput bench: peak RSS and LOC/s "
+             "per tier, streaming vs accumulating, into BENCH_scale.json",
+    )
+    from .corpus.stress import TIERS as _stress_tiers
+
+    scale.add_argument(
+        "--tiers", nargs="+", choices=sorted(_stress_tiers),
+        default=sorted(_stress_tiers),
+        help="stress tiers to bench (default: all)",
+    )
+    scale.add_argument(
+        "--output", default="BENCH_scale.json",
+        help="bench file to merge results into (default: BENCH_scale.json)",
+    )
+    scale.add_argument(
+        "--record-baseline", action="store_true",
+        help="overwrite the stored baseline section with this run",
+    )
+    scale.add_argument(
+        "--quick", action="store_true",
+        help="mark the run quick and shrink the parity corpus scale",
+    )
+    scale.add_argument(
+        "--seed", type=int, default=0,
+        help="stress-corpus noise seed (seeded flows are seed-invariant)",
+    )
+    scale.add_argument(
+        "--no-parity", action="store_true",
+        help="skip the streaming-vs-accumulating parity witness",
+    )
+    scale.set_defaults(func=cmd_bench)
 
     confirm = sub.add_parser("confirm", help="dynamically confirm findings")
     confirm.add_argument("path")

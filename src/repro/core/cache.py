@@ -15,15 +15,77 @@ Parse failures share the same budget and recency queue as models.
 :class:`~repro.batch.diskcache.DiskModelCache` layers a persistent
 content-addressed tier under this memory cache via the :meth:`_load` /
 :meth:`_insert` hooks.
+
+The cache is additionally bounded by **bytes** when ``max_bytes`` is
+set: every slot carries an approximate heap-size estimate
+(:func:`approx_slot_bytes`), and insertion evicts LRU entries until
+*both* caps hold — whichever cap trips first wins.  Entry counts alone
+are a memory lie at scale: 4096 slots of multi-MB file models from a
+"single huge file" plugin are gigabytes of RSS while the entry counter
+reports a healthy cache.  An entry whose own estimate exceeds
+``max_bytes`` is never retained in memory at all (the persistent disk
+tier, when present, still keeps it) — a cache must stay a cache, not
+become the leak.
 """
 
 from __future__ import annotations
 
 import hashlib
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..php.errors import PhpSyntaxError
+
+
+# -- approximate slot sizing -------------------------------------------------
+#
+# Exact deep sizeof over a shared/interned AST is both slow and wrong
+# (interned tokens and hash-consed taint states are shared across
+# entries); instead each artifact type gets a calibrated linear
+# estimate.  The FileModel coefficients come from tracemalloc
+# measurements of representative OOP plugin files: ~150 heap bytes per
+# token, ~560 per effective line of AST/index, ~2 per raw source byte —
+# about 48 bytes of heap per source byte with tokens, half that once
+# tokens are spilled.
+
+_TOKEN_BYTES = 150
+_LOC_BYTES = 560
+_INSTRUCTION_BYTES = 200
+_SLOT_OVERHEAD = 256
+
+
+def approx_object_bytes(obj: object) -> int:
+    """Approximate heap footprint of one cached artifact, in bytes."""
+    if obj is None:
+        return 0
+    source = getattr(obj, "source", None)
+    if isinstance(source, str):  # FileModel (or compatible)
+        tokens = getattr(obj, "tokens", None) or ()
+        loc = getattr(obj, "loc", 0) or 0
+        return (
+            _SLOT_OVERHEAD
+            + 2 * len(source)
+            + _TOKEN_BYTES * len(tokens)
+            + _LOC_BYTES * loc
+        )
+    codes = getattr(obj, "codes", None)
+    if codes is not None:  # IRProgram: flat instruction tuples per body
+        instructions = sum(len(body) for body in codes)
+        return _SLOT_OVERHEAD + _INSTRUCTION_BYTES * max(1, instructions)
+    # summaries, parse failures, anything else: shallow size plus a
+    # fixed allowance for their (small) owned containers
+    try:
+        shallow = sys.getsizeof(obj)
+    except TypeError:  # pragma: no cover - exotic objects
+        shallow = 64
+    return _SLOT_OVERHEAD + shallow + 1024
+
+
+def approx_slot_bytes(slot: "_Slot") -> int:
+    """Approximate footprint of a cache slot (model or failure)."""
+    model, error = slot
+    return approx_object_bytes(model if model is not None else error)
 
 
 def content_key(path: str, source: str, variant: str = "") -> str:
@@ -69,6 +131,12 @@ class CacheStats:
     #: subset of ``hits`` served from a persistent tier (disk cache)
     disk_hits: int = 0
     evictions: int = 0
+    #: subset of ``evictions`` forced by the byte cap while the entry
+    #: count was still under ``max_entries`` (memory pressure, not
+    #: capacity pressure)
+    byte_evictions: int = 0
+    #: entries never retained because they alone exceeded ``max_bytes``
+    oversized: int = 0
     #: corrupt persistent entries detected and quarantined (disk cache)
     corrupt: int = 0
 
@@ -127,11 +195,18 @@ class ModelCache:
     """
 
     max_entries: int = 4096
+    #: approximate in-memory byte bound (None = entries-only bound);
+    #: sized via :func:`approx_slot_bytes` at insertion time
+    max_bytes: Optional[int] = None
     stats: CacheStats = field(default_factory=CacheStats)
     summary_stats: SummaryCacheStats = field(default_factory=SummaryCacheStats)
     ir_stats: IRCacheStats = field(default_factory=IRCacheStats)
     #: recency-ordered (dict insertion order): first key is the LRU victim
     _slots: Dict[str, _Slot] = field(default_factory=dict, repr=False)
+    #: per-key size estimates backing :attr:`current_bytes`
+    _sizes: Dict[str, int] = field(default_factory=dict, repr=False)
+    #: running total of ``_sizes`` (kept incrementally; O(1) reads)
+    _total_bytes: int = field(default=0, repr=False)
 
     def lookup(
         self, path: str, source: str, variant: str = ""
@@ -210,17 +285,74 @@ class ModelCache:
         return slot
 
     def _insert(self, key: str, slot: _Slot) -> None:
-        """Insert (or refresh) ``key``, then evict LRU entries only once
-        the cache is strictly over capacity — the cache holds exactly
-        ``max_entries`` entries, not ``max_entries - 1``."""
-        self._slots.pop(key, None)
+        """Insert (or refresh) ``key``, then evict LRU entries until
+        both bounds hold — strictly over capacity only (the cache holds
+        exactly ``max_entries`` entries, not ``max_entries - 1``), and
+        at most ``max_bytes`` of estimated heap when that cap is set.
+        Whichever cap trips first drives the eviction."""
+        self._evict_key(key)  # refresh: the replacement is re-estimated
+        size = approx_slot_bytes(slot)
+        if self.max_bytes is not None and size > self.max_bytes:
+            # never retain an entry that alone busts the byte budget —
+            # the persistent tier (when present) still keeps it
+            self.stats.oversized += 1
+            return
         self._slots[key] = slot
-        while len(self._slots) > self.max_entries:
-            self._slots.pop(next(iter(self._slots)))
+        self._sizes[key] = size
+        self._total_bytes += size
+        while len(self._slots) > self.max_entries or (
+            self.max_bytes is not None and self._total_bytes > self.max_bytes
+        ):
+            if len(self._slots) <= self.max_entries:
+                self.stats.byte_evictions += 1
+            self._evict_key(next(iter(self._slots)))
             self.stats.evictions += 1
+
+    def _evict_key(self, key: str) -> Optional[_Slot]:
+        """Drop ``key`` from the memory tier, keeping sizes consistent."""
+        slot = self._slots.pop(key, None)
+        if slot is not None:
+            self._total_bytes -= self._sizes.pop(key, 0)
+        return slot
+
+    # -- eager spill --------------------------------------------------------
+
+    def spill(self, keys: Iterable[str]) -> int:
+        """Eagerly evict ``keys`` from the memory tier; returns the
+        estimated bytes released.  On a persistent cache this demotes
+        the artifacts to disk (they were written at insert time); on a
+        memory-only cache they are simply recomputable.  The streaming
+        scanner calls this the moment a plugin's analysis roots
+        complete, so huge file models do not linger until LRU pressure
+        finally reaches them."""
+        released = 0
+        for key in keys:
+            if key in self._slots:
+                released += self._sizes.get(key, 0)
+                self._evict_key(key)
+        return released
+
+    @property
+    def current_bytes(self) -> int:
+        """Approximate bytes held by the memory tier right now."""
+        return self._total_bytes
+
+    def occupancy(self) -> Dict[str, object]:
+        """Live occupancy snapshot for telemetry/metrics consumers."""
+        return {
+            "entries": len(self._slots),
+            "max_entries": self.max_entries,
+            "bytes": self._total_bytes,
+            "max_bytes": self.max_bytes,
+            "evictions": self.stats.evictions,
+            "byte_evictions": self.stats.byte_evictions,
+            "oversized": self.stats.oversized,
+        }
 
     def clear(self) -> None:
         self._slots.clear()
+        self._sizes.clear()
+        self._total_bytes = 0
         self.stats = CacheStats()
         self.summary_stats = SummaryCacheStats()
         self.ir_stats = IRCacheStats()

@@ -114,6 +114,7 @@ class PluginModel:
         include_budget: int = 400_000,
         cache=None,
         recover: bool = False,
+        spill_tokens: bool = False,
     ) -> "PluginModel":
         """Parse every file and collect the model tables.
 
@@ -125,7 +126,12 @@ class PluginModel:
         unchanged files across runs.  ``recover=True`` enables
         panic-mode lexer/parser recovery: a file with a localized syntax
         error still yields a partial model, with each repair recorded in
-        :attr:`incidents`.
+        :attr:`incidents`.  ``spill_tokens=True`` drops each file's
+        token list once its tree is built — tokens are a parse
+        by-product no downstream stage reads, and they carry roughly
+        half a FileModel's heap footprint, so streaming scans spill them
+        eagerly (the tree itself cannot be spilled mid-run: function
+        bodies and include execution hold references into it).
         """
         model = cls(plugin)
         variant = "recover" if recover else ""
@@ -139,6 +145,8 @@ class PluginModel:
                 if cached is not None:
                     if not getattr(cached, "digest", ""):
                         cached.digest = digest  # entry from a pre-digest store
+                    if spill_tokens and getattr(cached, "tokens", None):
+                        cached.tokens = []  # shared entry; safe, see above
                     model.files[path] = cached  # type: ignore[assignment]
                     model.incidents.extend(getattr(cached, "incidents", []))
                     continue
@@ -169,6 +177,10 @@ class PluginModel:
                     cache.store_failure(path, source, wrapped, variant)
                 continue
             index = ast.index_file(tree)
+            if spill_tokens:
+                tokens = []  # spilled before caching: the byte-size
+                # accounting and the persisted object both see the
+                # token-free footprint
             file_model = FileModel(
                 path=path,
                 source=source,

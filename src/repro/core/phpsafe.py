@@ -56,6 +56,10 @@ class PhpSafeOptions:
     #: difftest ``ir`` axis enforces signature equality).  ``False``
     #: (the CLI's ``--no-ir``) selects the reference AST interpreter.
     use_ir: bool = True
+    #: Drop token lists from FileModels as soon as their trees exist
+    #: (streaming scans; roughly halves the per-file model footprint).
+    #: Tokens feed nothing after parse, so findings are unaffected.
+    spill_tokens: bool = False
     engine: EngineOptions = field(default_factory=EngineOptions)
 
 
@@ -71,14 +75,43 @@ class PhpSafeOptions:
 #: without limit.
 _PROCESS_CACHE: Optional[ModelCache] = None
 _PROCESS_CACHE_ENTRIES = 512
+#: Byte ceiling for the shared cache.  Entry counts alone are a poor
+#: bound — 512 slots of multi-MB FileModels is gigabytes — so the cache
+#: also evicts by approximate heap bytes, whichever cap trips first.
+#: 256 MB keeps a warm fleet worker's artifact set resident while
+#: guaranteeing long-lived daemons cannot leak models across jobs.
+_PROCESS_CACHE_MAX_BYTES = 256 * 1024 * 1024
 
 
 def process_cache() -> ModelCache:
     """The shared per-process artifact cache (created on first use)."""
     global _PROCESS_CACHE
     if _PROCESS_CACHE is None:
-        _PROCESS_CACHE = ModelCache(max_entries=_PROCESS_CACHE_ENTRIES)
+        _PROCESS_CACHE = ModelCache(
+            max_entries=_PROCESS_CACHE_ENTRIES,
+            max_bytes=_PROCESS_CACHE_MAX_BYTES,
+        )
     return _PROCESS_CACHE
+
+
+def process_cache_occupancy() -> Dict[str, object]:
+    """Occupancy snapshot of the process cache for telemetry.
+
+    Returns the cache's entry/byte usage against both caps without
+    forcing the cache into existence — an untouched process reports
+    zero occupancy.
+    """
+    if _PROCESS_CACHE is None:
+        return {
+            "entries": 0,
+            "max_entries": _PROCESS_CACHE_ENTRIES,
+            "bytes": 0,
+            "max_bytes": _PROCESS_CACHE_MAX_BYTES,
+            "evictions": 0,
+            "byte_evictions": 0,
+            "oversized": 0,
+        }
+    return _PROCESS_CACHE.occupancy()
 
 
 class PhpSafe(AnalyzerTool):
@@ -258,6 +291,7 @@ class PhpSafe(AnalyzerTool):
                 include_budget=self.options.include_budget,
                 cache=self.cache,
                 recover=self.options.recover,
+                spill_tokens=self.options.spill_tokens,
             )
         # unrecoverable skips keep their historical FileFailure shape so
         # the Section V.E robustness tables are unchanged
@@ -378,6 +412,7 @@ class PhpSafe(AnalyzerTool):
             include_budget=self.options.include_budget,
             cache=self.cache,
             recover=self.options.recover,
+            spill_tokens=self.options.spill_tokens,
         )
         if self.options.recover:
             plan = plan_rescan(manifest, fingerprint, digests, model)

@@ -9,8 +9,9 @@ variable dump phpSAFE exposes for manual review (Section III.D).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..config.vulnerability import InputVector, VulnKind
 from ..incidents import Incident
@@ -179,17 +180,31 @@ class ToolReport:
     _seen_keys: Set[Tuple[str, str, str, int]] = field(
         default_factory=set, init=False, repr=False, compare=False
     )
+    #: how many entries of :attr:`findings` the index covers.  Staleness
+    #: is detected against this watermark, NOT against
+    #: ``len(_seen_keys)``: the list may legitimately hold dedup-key
+    #: duplicates after direct mutation, and a set-vs-list length
+    #: comparison then mismatches forever — every insert rebuilt the
+    #: whole index and large merges went quadratic.
+    _indexed_count: int = field(default=0, init=False, repr=False, compare=False)
+    #: index rebuilds performed (observability hook for the O(n)
+    #: regression test; a merge must trigger at most one)
+    _index_rebuilds: int = field(default=0, init=False, repr=False, compare=False)
 
     def add_finding(self, finding: Finding) -> bool:
         """Append ``finding`` unless an identical sink was already
         reported; returns True when added."""
-        if len(self._seen_keys) != len(self.findings):
-            # findings was assigned or mutated directly; rebuild the index
+        if self._indexed_count != len(self.findings):
+            # findings was assigned or mutated directly since the last
+            # insert; rebuild the index once, then track incrementally
             self._seen_keys = {existing.dedup_key for existing in self.findings}
+            self._indexed_count = len(self.findings)
+            self._index_rebuilds += 1
         if finding.dedup_key in self._seen_keys:
             return False
         self.findings.append(finding)
         self._seen_keys.add(finding.dedup_key)
+        self._indexed_count += 1
         return True
 
     def findings_of(self, kind: VulnKind) -> List[Finding]:
@@ -238,3 +253,186 @@ class ToolReport:
         merged.loc_skipped = self.loc_skipped + other.loc_skipped
         merged.seconds = self.seconds + other.seconds
         return merged
+
+
+# ---------------------------------------------------------------------------
+# Streaming findings: the on-disk JSONL sink of memory-bounded scans
+# ---------------------------------------------------------------------------
+#
+# At million-LOC corpus scale, accumulating one ToolReport per plugin in
+# memory IS the memory bug: findings carry traces, incidents and perf
+# dicts, and thousands of retained reports dominate peak RSS long after
+# each plugin's analysis finished.  Streaming mode writes every finding
+# to an append-only JSONL file the moment its plugin completes and drops
+# the report; SARIF export, telemetry and the parity harness consume the
+# stream through the readers below instead of live report objects.
+
+#: schema tag of the findings stream (header record)
+FINDINGS_STREAM_SCHEMA = "repro.findings.stream/v1"
+
+
+def finding_to_dict(finding: Finding) -> Dict[str, object]:
+    """Lossless JSON form of one finding (inverse: :func:`finding_from_dict`)."""
+    return {
+        "kind": finding.kind.value,
+        "file": finding.file,
+        "line": finding.line,
+        "sink": finding.sink,
+        "variable": finding.variable,
+        "vectors": [vector.value for vector in finding.vectors],
+        "trace": list(finding.trace),
+        "via_oop": finding.via_oop,
+        "markup_context": finding.markup_context,
+        "plugin": finding.plugin,
+    }
+
+
+def finding_from_dict(record: Dict[str, object]) -> Finding:
+    """Rebuild a :class:`Finding` from its JSON record."""
+    return Finding(
+        kind=VulnKind(record["kind"]),
+        file=str(record["file"]),
+        line=int(record["line"]),  # type: ignore[arg-type]
+        sink=str(record["sink"]),
+        variable=str(record.get("variable", "")),
+        vectors=tuple(
+            InputVector(value) for value in record.get("vectors", ())  # type: ignore[union-attr]
+        ),
+        trace=tuple(str(step) for step in record.get("trace", ())),  # type: ignore[union-attr]
+        via_oop=bool(record.get("via_oop", False)),
+        markup_context=str(record.get("markup_context", "")),
+        plugin=str(record.get("plugin", "")),
+    )
+
+
+class JsonlFindingSink:
+    """Append-only JSONL sink replacing in-memory report accumulation.
+
+    Three record types, one JSON object per line:
+
+    - ``header`` — stream schema + tool name, written once;
+    - ``finding`` — one :class:`Finding`, plugin-stamped (the streaming
+      equivalent of the stamping :meth:`ToolReport.merged` performs);
+    - ``plugin`` — the per-plugin summary written after its findings
+      (files/LOC/coverage/seconds/incident counts), so readers can
+      rebuild skeletal reports without the findings' memory footprint.
+
+    Records are flushed per plugin: a streaming scan killed mid-corpus
+    keeps every completed plugin's results.
+    """
+
+    def __init__(self, path: str, tool: str = "") -> None:
+        self.path = path
+        self.findings_written = 0
+        self.plugins_written = 0
+        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self._write({"record": "header", "schema": FINDINGS_STREAM_SCHEMA,
+                     "tool": tool})
+
+    def _write(self, record: Dict[str, object]) -> None:
+        assert self._handle is not None, "sink already closed"
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+
+    def write_report(self, report: ToolReport) -> int:
+        """Stream one plugin's results; returns findings written."""
+        for finding in report.findings:
+            record = finding_to_dict(finding)
+            record["record"] = "finding"
+            if not record["plugin"]:
+                record["plugin"] = report.plugin
+            self._write(record)
+        self._write(
+            {
+                "record": "plugin",
+                "plugin": report.plugin,
+                "tool": report.tool,
+                "findings": len(report.findings),
+                "failures": len(report.failures),
+                "incidents": len(report.incidents),
+                "recovered": report.recovered_count,
+                "files_analyzed": report.files_analyzed,
+                "loc_analyzed": report.loc_analyzed,
+                "files_skipped": report.files_skipped,
+                "loc_skipped": report.loc_skipped,
+                "seconds": round(report.seconds, 6),
+            }
+        )
+        assert self._handle is not None
+        self._handle.flush()
+        self.findings_written += len(report.findings)
+        self.plugins_written += 1
+        return len(report.findings)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlFindingSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_finding_stream(path: str) -> Iterator[Dict[str, object]]:
+    """Yield every record of a findings stream, in file order.
+
+    Reading is itself streaming (one line at a time), so consumers can
+    process million-LOC scan output without materializing it.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def stream_signatures(path: str) -> Set[FindingSignature]:
+    """Canonical signature set of a findings stream — the value the
+    streaming-vs-accumulating parity gate compares."""
+    signatures: Set[FindingSignature] = set()
+    for record in read_finding_stream(path):
+        if record.get("record") != "finding":
+            continue
+        signatures.add(
+            (
+                str(record.get("plugin", "")),
+                str(record["kind"]),
+                str(record["file"]),
+                int(record["line"]),  # type: ignore[arg-type]
+                str(record["sink"]),
+            )
+        )
+    return signatures
+
+
+def stream_reports(path: str) -> Iterator[ToolReport]:
+    """Rebuild per-plugin :class:`ToolReport` objects from a stream.
+
+    Yields one report per ``plugin`` summary record, carrying the
+    plugin's findings and summary counters (failure/incident *counts*
+    survive the round trip; the typed objects themselves are not
+    persisted).  This is the adapter that lets the SARIF exporter and
+    telemetry readers consume a streamed scan one plugin at a time.
+    """
+    pending: List[Finding] = []
+    for record in read_finding_stream(path):
+        kind = record.get("record")
+        if kind == "finding":
+            pending.append(finding_from_dict(record))
+        elif kind == "plugin":
+            report = ToolReport(
+                tool=str(record.get("tool", "")),
+                plugin=str(record.get("plugin", "")),
+            )
+            for finding in pending:
+                report.add_finding(finding)
+            pending = []
+            report.files_analyzed = int(record.get("files_analyzed", 0))  # type: ignore[arg-type]
+            report.loc_analyzed = int(record.get("loc_analyzed", 0))  # type: ignore[arg-type]
+            report.files_skipped = int(record.get("files_skipped", 0))  # type: ignore[arg-type]
+            report.loc_skipped = int(record.get("loc_skipped", 0))  # type: ignore[arg-type]
+            report.seconds = float(record.get("seconds", 0.0))  # type: ignore[arg-type]
+            yield report

@@ -418,7 +418,7 @@ class TestServiceIntegration:
             wait_done(service, [job["id"]])
             code, document = service.metrics()
             assert code == 200
-            assert document["schema"] == SCHEMA == "repro.batch.telemetry/v6"
+            assert document["schema"] == SCHEMA == "repro.batch.telemetry/v7"
             assert document["service"]["completed"] == 1
             assert document["service"]["accepted"] == 1
             assert document["queue"]["done"] == 1
@@ -499,7 +499,7 @@ class TestHttpServer:
     def test_metrics_over_http(self, http_service):
         code, document = http_service("GET", "/metrics")
         assert code == 200
-        assert document["schema"] == "repro.batch.telemetry/v6"
+        assert document["schema"] == "repro.batch.telemetry/v7"
         assert "service" in document and "queue" in document
 
 
