@@ -46,7 +46,9 @@ from ..plugin import Plugin
 from .diskcache import DiskModelCache
 from .telemetry import PluginScanStats, ScanTelemetry
 
-#: profile names ToolSpec can rebuild from options alone
+#: profile names ToolSpec can rebuild from options alone; named base
+#: profiles + rule packs are also rebuildable (workers re-resolve them
+#: from ``options.profile_name`` / ``options.rule_packs``)
 _REBUILDABLE_PHPSAFE_PROFILES = ("wordpress", "generic-php")
 
 
@@ -88,12 +90,21 @@ class ToolSpec:
         from ..baselines import PixyLike, RipsLike
 
         if isinstance(tool, PhpSafe):
-            expected = (
-                "wordpress" if tool.options.wordpress_config else "generic-php"
-            )
+            options = tool.options
+            if options.profile_name or options.rule_packs:
+                # options-driven profiles (named base + rule packs) are
+                # re-resolved in the worker; reject only hand-built
+                # profile objects that the options cannot reproduce
+                from ..rules import resolve_profile
+
+                expected = resolve_profile(options).name
+            else:
+                expected = (
+                    "wordpress" if options.wordpress_config else "generic-php"
+                )
             if tool.profile.name != expected:
                 return None
-            return cls(name="phpsafe", options=tool.options)
+            return cls(name="phpsafe", options=options)
         if isinstance(tool, RipsLike):
             return cls(name="rips") if tool.profile.name == "rips" else None
         if isinstance(tool, PixyLike):

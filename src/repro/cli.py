@@ -127,6 +127,8 @@ def _make_tool(
     generic: bool = False,
     strict: bool = False,
     no_ir: bool = False,
+    profile: Optional[str] = None,
+    rule_packs: Sequence[str] = (),
 ):
     if name == "phpsafe":
         options = PhpSafeOptions(
@@ -134,8 +136,12 @@ def _make_tool(
             wordpress_config=not generic,
             recover=not strict,
             use_ir=not no_ir,
+            profile_name=profile,
+            rule_packs=tuple(rule_packs),
         )
         return PhpSafe(options=options)
+    if profile or rule_packs:
+        raise SystemExit(f"--profile/--rule-pack require --tool phpsafe, not {name}")
     if name == "rips":
         return RipsLike()
     if name == "pixy":
@@ -171,7 +177,7 @@ def _baseline_gate(reports, baseline_path: str):
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
-    if args.profile:
+    if args.cprofile:
         import cProfile
         import io
         import pstats
@@ -184,7 +190,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
             profiler.disable()
             stream = io.StringIO()
             stats = pstats.Stats(profiler, stream=stream)
-            stats.sort_stats("cumulative").print_stats(args.profile)
+            stats.sort_stats("cumulative").print_stats(args.cprofile)
             print(stream.getvalue().rstrip())
         return exit_code
     return _cmd_scan_impl(args)
@@ -199,6 +205,8 @@ def _cmd_scan_impl(args: argparse.Namespace) -> int:
         generic=args.generic,
         strict=args.strict,
         no_ir=args.no_ir,
+        profile=args.profile,
+        rule_packs=args.rule_pack,
     )
     targets = _load_targets(args.path)
     batch_requested = (
@@ -259,6 +267,8 @@ def _scan_stream(args: argparse.Namespace) -> int:
             wordpress_config=not args.generic,
             recover=not args.strict,
             use_ir=not args.no_ir,
+            profile_name=args.profile,
+            rule_packs=tuple(args.rule_pack),
         )
     )
     summary = stream_scan(
@@ -595,6 +605,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         generic=args.generic,
         strict=args.strict,
         no_ir=args.no_ir,
+        profile=args.profile,
+        rule_packs=args.rule_pack,
     )
     spec = ToolSpec.from_tool(tool)
     if spec is None:
@@ -769,6 +781,68 @@ def cmd_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_rules(args: argparse.Namespace) -> int:
+    from .rules import PackError, builtin_pack_names, load_pack
+
+    if args.action == "show":
+        refs = [args.pack]
+    else:
+        refs = list(args.packs) or builtin_pack_names()
+        if not refs:
+            print("no rule packs found")
+            return 1
+    exit_code = 0
+    for ref in refs:
+        try:
+            pack = load_pack(ref)
+        except PackError as exc:
+            exit_code = 1
+            print(f"{ref}: INVALID — {len(exc.issues)} issue(s)")
+            for incident in exc.to_incidents():
+                print(f"  ~ {incident.describe()}")
+            continue
+        counts = pack.entry_counts()
+        summary = ", ".join(
+            f"{count} {section}" for section, count in counts.items() if count
+        )
+        if args.action == "validate":
+            print(f"{pack.name}@{pack.version}: ok ({summary})")
+        elif args.action == "list":
+            print(
+                f"{pack.name:16s} {pack.version:8s} {pack.content_hash}  "
+                f"{pack.title or pack.description}"
+            )
+        else:  # show
+            print(f"{pack.name}@{pack.version} ({pack.path})")
+            print(f"  content hash: {pack.content_hash}")
+            if pack.title:
+                print(f"  title: {pack.title}")
+            if pack.description:
+                print(f"  {pack.description}")
+            for decl in pack.kinds:
+                print(f"  kind {decl.value}: {decl.title or decl.description}")
+            for sink in pack.sinks:
+                where = f"{sink.class_name}::{sink.name}" if sink.class_name else sink.name
+                argspec = (
+                    ",".join(str(i) for i in sink.args)
+                    if sink.args is not None
+                    else "*"
+                )
+                note = f" — {sink.description}" if sink.description else ""
+                print(f"  sink {where}(args {argspec}) → {sink.kind}{note}")
+            for source in pack.sources:
+                label = "superglobal" if source.superglobal else source.vector
+                print(f"  source {source.name} [{label}] → {','.join(source.kinds)}")
+            for flt in pack.filters:
+                print(f"  filter {flt.name} → {','.join(flt.kinds) or '*'}")
+            for revert in pack.reverts:
+                print(f"  revert {revert.name} → {','.join(revert.kinds)}")
+            for prop in pack.propagation:
+                print(f"  propagation {prop.name} → {','.join(prop.kinds)}")
+            print(f"  totals: {summary}")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="phpsafe",
@@ -823,7 +897,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 64 MiB)",
     )
     scan.add_argument(
-        "--profile", type=int, nargs="?", const=25, default=0, metavar="N",
+        "--profile", choices=("wordpress", "drupal", "joomla", "generic"),
+        help="analyzer knowledge-base profile (overrides --generic)",
+    )
+    scan.add_argument(
+        "--rule-pack", action="append", default=[], metavar="PACK",
+        help="rule pack to load on top of the profile: a builtin pack "
+             "name (see 'phpsafe rules list') or a path to a .json/.toml "
+             "pack file (repeatable)",
+    )
+    scan.add_argument(
+        "--cprofile", type=int, nargs="?", const=25, default=0, metavar="N",
         help="profile the scan with cProfile and print the top N entries "
              "by cumulative time (default N: 25)",
     )
@@ -951,6 +1035,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the reference AST interpreter instead of "
                             "the lowered taint IR")
     serve.add_argument(
+        "--profile", choices=("wordpress", "drupal", "joomla", "generic"),
+        help="analyzer knowledge-base profile (overrides --generic)",
+    )
+    serve.add_argument(
+        "--rule-pack", action="append", default=[], metavar="PACK",
+        help="rule pack to load on top of the profile (builtin name or "
+             "path, repeatable)",
+    )
+    serve.add_argument(
         "--store-dir",
         help="result store directory (default DATA_DIR/store); point every"
              " fleet node and the coordinator at the same one",
@@ -1075,6 +1168,33 @@ def build_parser() -> argparse.ArgumentParser:
     evolution.add_argument("plugin")
     evolution.add_argument("--store", required=True, help="archive JSON file")
     evolution.set_defaults(func=cmd_history)
+
+    rules = sub.add_parser(
+        "rules", help="inspect and validate declarative rule packs"
+    )
+    rules_sub = rules.add_subparsers(dest="action", required=True)
+    rules_list = rules_sub.add_parser(
+        "list", help="one line per pack: name, version, content hash"
+    )
+    rules_list.add_argument(
+        "packs", nargs="*", metavar="PACK",
+        help="builtin pack names or pack file paths (default: all builtin)",
+    )
+    rules_list.set_defaults(func=cmd_rules)
+    rules_validate = rules_sub.add_parser(
+        "validate",
+        help="validate packs; exit non-zero when any pack is invalid",
+    )
+    rules_validate.add_argument(
+        "packs", nargs="*", metavar="PACK",
+        help="builtin pack names or pack file paths (default: all builtin)",
+    )
+    rules_validate.set_defaults(func=cmd_rules)
+    rules_show = rules_sub.add_parser(
+        "show", help="print one pack's full rule inventory"
+    )
+    rules_show.add_argument("pack", metavar="PACK")
+    rules_show.set_defaults(func=cmd_rules)
     return parser
 
 

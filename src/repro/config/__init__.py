@@ -4,7 +4,14 @@ Exports the vulnerability taxonomy, the entry dataclasses, and the
 profile factories (``wordpress()`` is phpSAFE's default configuration).
 """
 
-from .entries import FilterSpec, KnownInstance, RevertSpec, SinkSpec, SourceSpec
+from .entries import (
+    FilterSpec,
+    KnownInstance,
+    PropagationSpec,
+    RevertSpec,
+    SinkSpec,
+    SourceSpec,
+)
 from .profiles import (
     AnalyzerProfile,
     drupal,
@@ -21,6 +28,7 @@ __all__ = [
     "FilterSpec",
     "InputVector",
     "KnownInstance",
+    "PropagationSpec",
     "RevertSpec",
     "SinkSpec",
     "SourceSpec",

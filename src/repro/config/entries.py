@@ -99,6 +99,34 @@ class SinkSpec:
 
 
 @dataclass(frozen=True)
+class PropagationSpec:
+    """An ``ArgToReturn`` propagator (semgrep taint-mode taxonomy).
+
+    Calling the function returns a value carrying the taint of the
+    selected argument positions (``None`` = all), restricted to
+    ``kinds``.  This is the declarative, kind-aware form of the
+    engine's builtin passthrough list: rule packs use it for helpers
+    like ``http_build_query`` that keep attacker data attacker-shaped
+    for some kinds but neutralize it for others.
+    """
+
+    name: str
+    kinds: FrozenSet[VulnKind] = ALL_KINDS
+    arg_indices: Optional[Tuple[int, ...]] = None
+    class_name: Optional[str] = None
+    description: str = ""
+
+    @property
+    def qualified(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}::{self.name}"
+        return self.name
+
+    def arg_is_propagated(self, index: int) -> bool:
+        return self.arg_indices is None or index in self.arg_indices
+
+
+@dataclass(frozen=True)
 class KnownInstance:
     """A well-known global object instance, e.g. ``$wpdb`` of class
     ``wpdb``.  Lets the analyzer resolve ``$wpdb->get_results`` without

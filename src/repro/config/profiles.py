@@ -7,8 +7,12 @@ analyzing code.  ``wordpress()`` is phpSAFE's out-of-the-box profile;
 ``pixy_2007()`` is the dated subset Pixy ships with.
 
 Profiles are plain data: other CMSs (Drupal, Joomla — the paper's future
-work) are supported by building a profile with their API entries, see
-``examples/custom_cms_profile.py``.
+work) are supported by building a profile with their API entries, and
+loadable rule packs (:mod:`repro.rules`) compile into the same shape.
+A pack's identity (name, version, content hash) is recorded on the
+profile and participates in :meth:`AnalyzerProfile.fingerprint`, so
+every cache tier keyed on the fingerprint invalidates when pack content
+changes.
 """
 
 from __future__ import annotations
@@ -17,17 +21,29 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
-from .entries import FilterSpec, KnownInstance, RevertSpec, SinkSpec, SourceSpec
+from .entries import (
+    FilterSpec,
+    KnownInstance,
+    PropagationSpec,
+    RevertSpec,
+    SinkSpec,
+    SourceSpec,
+)
 from .filters import GENERIC_FILTERS, GENERIC_REVERTS
 from .sinks import GENERIC_SINKS
 from .sources import GENERIC_SOURCES
-from .vulnerability import VulnKind
+from .vulnerability import ALL_KINDS, VulnKind
 from .wordpress import (
     WORDPRESS_FILTERS,
     WORDPRESS_INSTANCES,
     WORDPRESS_SINKS,
     WORDPRESS_SOURCES,
 )
+
+#: Pack identity: (pack name, version, content hash).
+PackId = Tuple[str, str, str]
+
+_NO_SINKS: Tuple[SinkSpec, ...] = ()
 
 
 @dataclass
@@ -36,6 +52,9 @@ class AnalyzerProfile:
 
     Lookup dictionaries are precomputed at construction: plain functions
     and superglobals by name, methods by ``(class name, method name)``.
+    A name may carry *several* sinks of different kinds (rule packs sink
+    ``file_get_contents`` for both SSRF and path traversal), so sink
+    lookups return tuples.
     """
 
     name: str
@@ -43,9 +62,13 @@ class AnalyzerProfile:
     filters: Tuple[FilterSpec, ...] = ()
     reverts: Tuple[RevertSpec, ...] = ()
     sinks: Tuple[SinkSpec, ...] = ()
+    propagation: Tuple[PropagationSpec, ...] = ()
     instances: Tuple[KnownInstance, ...] = ()
     #: Pixy-era PHP: uninitialized globals are attacker-settable.
     register_globals: bool = False
+    #: Identities of the rule packs compiled into this profile; flows
+    #: into :meth:`fingerprint` so pack edits invalidate every cache.
+    packs: Tuple[PackId, ...] = ()
 
     _function_sources: Dict[str, SourceSpec] = field(default_factory=dict, repr=False)
     _superglobal_sources: Dict[str, SourceSpec] = field(default_factory=dict, repr=False)
@@ -57,8 +80,18 @@ class AnalyzerProfile:
         default_factory=dict, repr=False
     )
     _reverts: Dict[str, RevertSpec] = field(default_factory=dict, repr=False)
-    _function_sinks: Dict[str, SinkSpec] = field(default_factory=dict, repr=False)
-    _method_sinks: Dict[Tuple[str, str], SinkSpec] = field(default_factory=dict, repr=False)
+    _function_sinks: Dict[str, Tuple[SinkSpec, ...]] = field(
+        default_factory=dict, repr=False
+    )
+    _method_sinks: Dict[Tuple[str, str], Tuple[SinkSpec, ...]] = field(
+        default_factory=dict, repr=False
+    )
+    _function_propagation: Dict[str, PropagationSpec] = field(
+        default_factory=dict, repr=False
+    )
+    _method_propagation: Dict[Tuple[str, str], PropagationSpec] = field(
+        default_factory=dict, repr=False
+    )
     _instances: Dict[str, KnownInstance] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -78,9 +111,18 @@ class AnalyzerProfile:
             self._reverts[spec.name.lower()] = spec
         for spec in self.sinks:
             if spec.class_name:
-                self._method_sinks[(spec.class_name.lower(), spec.name.lower())] = spec
+                key = (spec.class_name.lower(), spec.name.lower())
+                self._method_sinks[key] = self._method_sinks.get(key, ()) + (spec,)
             else:
-                self._function_sinks[spec.name.lower()] = spec
+                fkey = spec.name.lower()
+                self._function_sinks[fkey] = self._function_sinks.get(fkey, ()) + (spec,)
+        for spec in self.propagation:
+            if spec.class_name:
+                self._method_propagation[
+                    (spec.class_name.lower(), spec.name.lower())
+                ] = spec
+            else:
+                self._function_propagation[spec.name.lower()] = spec
         for instance in self.instances:
             self._instances[instance.var_name] = instance
 
@@ -106,22 +148,69 @@ class AnalyzerProfile:
         return self._reverts.get(name.lower())
 
     def function_sink(self, name: str) -> Optional[SinkSpec]:
-        return self._function_sinks.get(name.lower())
+        """First sink registered for ``name`` (legacy single-sink view)."""
+        specs = self._function_sinks.get(name.lower())
+        return specs[0] if specs else None
+
+    def function_sinks(self, name: str) -> Tuple[SinkSpec, ...]:
+        """Every sink registered for ``name`` (possibly several kinds)."""
+        return self._function_sinks.get(name.lower(), _NO_SINKS)
 
     def method_sink(self, class_name: str, method: str) -> Optional[SinkSpec]:
-        return self._method_sinks.get((class_name.lower(), method.lower()))
+        specs = self._method_sinks.get((class_name.lower(), method.lower()))
+        return specs[0] if specs else None
+
+    def method_sinks(self, class_name: str, method: str) -> Tuple[SinkSpec, ...]:
+        return self._method_sinks.get((class_name.lower(), method.lower()), _NO_SINKS)
+
+    def function_propagation(self, name: str) -> Optional[PropagationSpec]:
+        return self._function_propagation.get(name.lower())
+
+    def method_propagation(
+        self, class_name: str, method: str
+    ) -> Optional[PropagationSpec]:
+        return self._method_propagation.get((class_name.lower(), method.lower()))
 
     def known_instance(self, var_name: str) -> Optional[KnownInstance]:
         return self._instances.get(var_name)
+
+    def kind_universe(self) -> frozenset:
+        """Every kind this profile can reason about: the builtins plus
+        any pack-introduced kind mentioned by a spec.
+
+        Returns the ``ALL_KINDS`` object itself when no extra kinds are
+        present: ``TaintState.from_label`` has an identity fast path on
+        it, and pack-free profiles must keep hitting it.
+        """
+        kinds = set(ALL_KINDS)
+        for src in self.sources:
+            kinds.update(src.kinds)
+        for flt in self.filters:
+            kinds.update(flt.kinds)
+        for rev in self.reverts:
+            kinds.update(rev.kinds)
+        for snk in self.sinks:
+            kinds.add(snk.kind)
+        for prp in self.propagation:
+            kinds.update(prp.kinds)
+        if len(kinds) == len(ALL_KINDS):
+            return ALL_KINDS
+        return frozenset(kinds)
+
+    def sink_kinds(self) -> Tuple[VulnKind, ...]:
+        """Kinds that can actually produce findings under this profile
+        (a sink exists), in registry order — drives SARIF rule arrays."""
+        present = {snk.kind for snk in self.sinks}
+        return tuple(kind for kind in VulnKind.registered() if kind in present)
 
     def fingerprint(self) -> str:
         """Stable digest of the knowledge base's semantics.
 
         Keys the persistent summary cache: two profiles that would drive
         the engine identically share a fingerprint, and any KB edit —
-        adding a sink, changing a filter's kinds — produces a new one.
-        Frozensets are sorted before hashing so the digest is stable
-        across processes (``PYTHONHASHSEED``).
+        adding a sink, changing a filter's kinds, bumping a rule pack —
+        produces a new one.  Frozensets are sorted before hashing so the
+        digest is stable across processes (``PYTHONHASHSEED``).
         """
         parts = [f"register_globals={int(self.register_globals)}"]
         for spec in self.sources:
@@ -149,8 +238,22 @@ class AnalyzerProfile:
                 str(index) for index in spec.tainted_args
             )
             parts.append("snk|%s|%s|%s" % (spec.qualified, spec.kind.value, args))
+        for spec in self.propagation:
+            args = "*" if spec.arg_indices is None else ",".join(
+                str(index) for index in spec.arg_indices
+            )
+            parts.append(
+                "prp|%s|%s|%s"
+                % (
+                    spec.qualified,
+                    ",".join(sorted(kind.value for kind in spec.kinds)),
+                    args,
+                )
+            )
         for instance in self.instances:
             parts.append("ins|%s|%s" % (instance.var_name, instance.class_name))
+        for pack_name, version, content_hash in self.packs:
+            parts.append("pak|%s|%s|%s" % (pack_name, version, content_hash))
         parts.sort()
         return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
 
@@ -163,7 +266,9 @@ class AnalyzerProfile:
         filters: Iterable[FilterSpec] = (),
         reverts: Iterable[RevertSpec] = (),
         sinks: Iterable[SinkSpec] = (),
+        propagation: Iterable[PropagationSpec] = (),
         instances: Iterable[KnownInstance] = (),
+        packs: Iterable[PackId] = (),
     ) -> "AnalyzerProfile":
         """A new profile with extra entries — how "data for other CMSs can
         be easily added to the configuration" (paper III.A)."""
@@ -173,8 +278,10 @@ class AnalyzerProfile:
             filters=self.filters + tuple(filters),
             reverts=self.reverts + tuple(reverts),
             sinks=self.sinks + tuple(sinks),
+            propagation=self.propagation + tuple(propagation),
             instances=self.instances + tuple(instances),
             register_globals=self.register_globals,
+            packs=self.packs + tuple(packs),
         )
 
 

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+from ..config.entries import PropagationSpec
 from ..config.profiles import AnalyzerProfile
 from ..config.vulnerability import ALL_KINDS, InputVector, VulnKind
 from ..incidents import Incident, IncidentSeverity, IncidentStage
@@ -427,6 +428,10 @@ class TaintEngine:
         self.model = model
         self.profile = profile
         self.options = options or EngineOptions()
+        #: every kind this profile's specs mention; ``ALL_KINDS`` itself
+        #: (same object — the ``from_label`` fast path is identity-based)
+        #: unless rule packs introduced extra kinds
+        self._kind_universe = profile.kind_universe()
         self.globals = Scope("<global>")
         self.globals.is_global_image = True
         self.class_props = ClassPropertyStore()
@@ -912,7 +917,9 @@ class TaintEngine:
         def build_scope() -> Scope:
             activation = Scope(info.key)
             for index, param in enumerate(info.params):
-                taint = TaintState.from_label(ParamRef(info.key, index))
+                taint = TaintState.from_label(
+                    ParamRef(info.key, index), self._kind_universe
+                )
                 activation.set(
                     VariableRecord(
                         name=param.name,
@@ -1419,7 +1426,7 @@ class TaintEngine:
                     line=node.line,
                 )
                 return Value(
-                    taint=TaintState.from_label(label),
+                    taint=TaintState.from_label(label, self._kind_universe),
                     trace=(f"uninitialized ${name} at {self._current_file}:{node.line}",),
                     name_hint=f"${name}",
                 )
@@ -1740,9 +1747,10 @@ class TaintEngine:
         lowered = name.lower()
         values = self._eval_args(node.args, scope)
 
-        sink = self.profile.function_sink(lowered)
-        if sink is not None and lowered not in ("echo", "print", "exit"):
-            self._check_sink(sink.kind, name, node, values, sink_spec=sink)
+        sinks = self.profile.function_sinks(lowered)
+        if sinks and lowered not in ("echo", "print", "exit"):
+            for sink in sinks:
+                self._check_sink(sink.kind, name, node, values, sink_spec=sink)
 
         filter_spec = self.profile.function_filter(lowered)
         if filter_spec is not None:
@@ -1781,6 +1789,10 @@ class TaintEngine:
         if info is not None and not info.is_method:
             summary = self._summarize(info)
             return self._apply_summary(summary, values, node.args, scope, node.line)
+
+        propagation = self.profile.function_propagation(lowered)
+        if propagation is not None:
+            return self._apply_propagation(propagation, name, values)
 
         if lowered in PASSTHROUGH_FUNCTIONS:
             joined = Value.clean()
@@ -1854,8 +1866,7 @@ class TaintEngine:
         """Shared resolution for ``->`` and ``::`` calls."""
         qualified = f"{obj.name_hint or class_name}->{method}"
 
-        sink = self.profile.method_sink(class_name, method)
-        if sink is not None:
+        for sink in self.profile.method_sinks(class_name, method):
             self._check_sink(
                 sink.kind, qualified, node, values, sink_spec=sink, via_oop=True
             )
@@ -1890,7 +1901,25 @@ class TaintEngine:
         if info is not None:
             summary = self._summarize(info)
             return self._apply_summary(summary, values, node.args, scope, node.line)
+
+        propagation = self.profile.method_propagation(class_name, method)
+        if propagation is not None:
+            return self._apply_propagation(propagation, qualified, values)
         return Value.clean()
+
+    def _apply_propagation(
+        self, spec: "PropagationSpec", name: str, values: List[Value]
+    ) -> Value:
+        """ArgToReturn propagation: the return value carries the taint of
+        the spec's argument positions, restricted to the spec's kinds."""
+        joined = Value.clean()
+        for index, value in enumerate(values):
+            if spec.arg_is_propagated(index):
+                joined = joined.joined(value)
+        taint = joined.taint.restricted(spec.kinds)
+        if taint.is_clean() and not taint.suppressed:
+            return Value.clean()
+        return Value(taint=taint, trace=joined.trace + (f"through {name}()",))
 
     def _eval_new(self, node: ast.New, scope: Scope) -> Value:
         values = self._eval_args(node.args, scope)

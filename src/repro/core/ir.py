@@ -61,7 +61,8 @@ from .engine import (
 from .taint import ConcreteSource, TaintState, VariableRecord
 
 #: bump when the instruction encoding changes; part of cache validity
-IR_VERSION = 1
+#: (2: E_CALL carries a sink *tuple* and a trailing propagation spec)
+IR_VERSION = 2
 
 # -- statement opcodes -------------------------------------------------------
 S_EXPR = 0
@@ -142,6 +143,7 @@ class _Lowerer:
         self.oop = options.oop
         self.construct_kinds = options.construct_kinds
         self.unknown_call_policy = options.unknown_call_policy
+        self.kind_universe = profile.kind_universe()
 
     # -- statements --------------------------------------------------------
     #
@@ -456,7 +458,7 @@ class _Lowerer:
                 line=node.line,
             )
             rg_pre = (
-                TaintState.from_label(label),
+                TaintState.from_label(label, self.kind_universe),
                 (f"uninitialized ${name} at {self.file}:{node.line}",),
             )
         return (E_LOCAL, name, f"${name}", instance_class, rg_pre)
@@ -505,9 +507,9 @@ class _Lowerer:
         lowered = name.lower()
         arg_codes = tuple(self.lower_expr(arg) for arg in node.args)
 
-        sink = self.profile.function_sink(lowered)
-        if sink is not None and lowered in ("echo", "print", "exit"):
-            sink = None
+        sinks = self.profile.function_sinks(lowered)
+        if sinks and lowered in ("echo", "print", "exit"):
+            sinks = ()
 
         filter_pre = None
         filter_spec = self.profile.function_filter(lowered)
@@ -552,11 +554,12 @@ class _Lowerer:
             arg_codes,
             lowered,
             name,
-            sink,
+            sinks,
             filter_pre,
             revert_pre,
             source_pre,
             final_join,
+            self.profile.function_propagation(lowered),
         )
 
 
@@ -1092,8 +1095,7 @@ class IRTaintEngine(TaintEngine):
     def _ex_call(self, code: tuple, scope: Scope) -> Value:
         values = [self._eval_code(arg, scope) for arg in code[2]]
 
-        sink = code[5]
-        if sink is not None:
+        for sink in code[5]:
             self._check_sink(sink.kind, code[4], code[1], values, sink_spec=sink)
 
         filter_pre = code[6]
@@ -1125,6 +1127,10 @@ class IRTaintEngine(TaintEngine):
             summary = self._summarize(info)
             node = code[1]
             return self._apply_summary(summary, values, node.args, scope, node.line)
+
+        propagation = code[10]
+        if propagation is not None:
+            return self._apply_propagation(propagation, code[4], values)
 
         if code[9]:
             joined = Value()

@@ -34,6 +34,14 @@ class PhpSafeOptions:
     #: Load the WordPress-specific configuration (sources/filters/sinks
     #: and known instances like ``$wpdb``) on top of generic PHP.
     wordpress_config: bool = True
+    #: Named base profile (``wordpress``, ``drupal``, ``joomla``,
+    #: ``generic``); ``None`` keeps the legacy ``wordpress_config``
+    #: switch semantics.  Resolved through ``repro.rules``.
+    profile_name: Optional[str] = None
+    #: Rule packs layered onto the base profile: shipped pack names
+    #: (``ssrf``) or filesystem paths.  Pack content hashes flow into
+    #: the profile fingerprint, hence into every cache key.
+    rule_packs: Tuple[str, ...] = ()
     #: Parse OOP constructs: properties, methods, ``new``, ``$this``.
     oop: bool = True
     #: Analyze functions never called from plugin code (entry points).
@@ -142,6 +150,11 @@ class PhpSafe(AnalyzerTool):
         self.cache = cache
         if profile is not None:
             self.profile = profile
+        elif self.options.profile_name or self.options.rule_packs:
+            # late import: rules builds on config, core builds on both
+            from ..rules import resolve_profile
+
+            self.profile = resolve_profile(self.options)
         elif self.options.wordpress_config:
             self.profile = wordpress()
         else:

@@ -294,6 +294,20 @@ class TaintState:
             return self
         return TaintState(active=active, suppressed=suppressed)
 
+    def restricted(self, kinds: Iterable[VulnKind]) -> "TaintState":
+        """Keep only the entries for ``kinds`` (kind-limited propagation:
+        a ``PropagationSpec`` forwards argument taint for some kinds and
+        neutralizes the rest).  Suppressed labels for kept kinds survive
+        so a later revert can still reactivate them."""
+        keep = kinds if type(kinds) is frozenset else frozenset(kinds)
+        active = {kind: labels for kind, labels in self.active.items() if kind in keep}
+        suppressed = {
+            kind: labels for kind, labels in self.suppressed.items() if kind in keep
+        }
+        if len(active) == len(self.active) and len(suppressed) == len(self.suppressed):
+            return self
+        return TaintState(active=active, suppressed=suppressed)
+
     def substituted(self, mapping: Dict[Label, "TaintState"]) -> "TaintState":
         """Replace placeholder labels using ``mapping``.
 

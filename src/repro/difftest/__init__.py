@@ -16,7 +16,7 @@ of its *capability envelope* rather than of which execution path ran:
 from .divergence import AXES, AxisOutcome, DifftestReport, Divergence, diff_signatures
 from .oracle import ConfigMatrixOracle, OracleOptions
 from .report import render_oracle_report, render_oracle_reports, render_slice_table
-from .slices import SLICES, Slice, SliceResult, run_slices
+from .slices import SLICES, Slice, SliceResult, pack_enabled_phpsafe, run_slices
 
 __all__ = [
     "AXES",
@@ -29,6 +29,7 @@ __all__ = [
     "Slice",
     "SliceResult",
     "diff_signatures",
+    "pack_enabled_phpsafe",
     "render_oracle_report",
     "render_oracle_reports",
     "render_slice_table",

@@ -24,6 +24,15 @@ from ..plugin import Plugin
 from .divergence import AxisOutcome, DifftestReport, diff_signatures
 
 
+def _pack_enabled_base() -> PhpSafeOptions:
+    """Default baseline options: every builtin rule pack loaded, so all
+    six axes exercise the pack-compiled profile (the pack content hash
+    then flows through every cache key the axes compare)."""
+    from ..rules import builtin_pack_names
+
+    return PhpSafeOptions(rule_packs=tuple(builtin_pack_names()))
+
+
 @dataclass
 class OracleOptions:
     """Shape of one oracle run."""
@@ -36,7 +45,7 @@ class OracleOptions:
     jobs: int = 2
     #: analyzer options of the baseline configuration; every variant is
     #: derived from this by flipping exactly one axis
-    base: PhpSafeOptions = field(default_factory=PhpSafeOptions)
+    base: PhpSafeOptions = field(default_factory=_pack_enabled_base)
 
 
 class ConfigMatrixOracle:

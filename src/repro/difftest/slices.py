@@ -29,6 +29,9 @@ _XSS = frozenset({"xss"})
 _SQLI = frozenset({"sqli"})
 _CMDI = frozenset({"cmdi"})
 _LFI = frozenset({"lfi"})
+_SSRF = frozenset({"ssrf"})
+_TRAV = frozenset({"traversal"})
+_DESER = frozenset({"deserialization"})
 _NONE: FrozenSet[str] = frozenset()
 
 
@@ -123,6 +126,24 @@ SLICES: Tuple[Slice, ...] = (
     Slice("oop-property-flow", "oop", _php("class Box {\n    public $v;\n    public function fill() {\n        $this->v = $_GET['a'];\n    }\n    public function dump() {\n        echo $this->v;\n    }\n}\n$b = new Box();\n$b->fill();\n$b->dump();"), _XSS),
     Slice("oop-method-return", "oop", _php("class Src {\n    public function get() {\n        return $_GET['a'];\n    }\n}\n$s = new Src();\necho $s->get();"), _XSS),
     Slice("oop-static-property", "oop", _php("class Cfg {\n    public static $v;\n}\nCfg::$v = $_GET['a'];\necho Cfg::$v;"), _XSS),
+    # -- rule packs (declarative knowledge bases; every builtin pack is
+    # -- loaded, so overlapping sinks report their *combined* kinds) -------
+    Slice("pack-ssrf-wp-remote-get", "pack-ssrf", _php("wp_remote_get($_GET['u']);"), _SSRF),
+    Slice("pack-ssrf-curl-init", "pack-ssrf", _php("curl_init($_POST['u']);"), _SSRF),
+    Slice("pack-ssrf-validate-url", "pack-ssrf", _php("wp_remote_get(wp_http_validate_url($_GET['u']));"), _NONE),
+    Slice("pack-ssrf-propagation", "pack-ssrf", _php("wp_remote_get(add_query_arg('p', 'v', $_GET['u']));"), _SSRF),
+    Slice("pack-ssrf-propagation-narrows", "pack-ssrf", _php("echo add_query_arg('p', 'v', $_GET['u']);"), _NONE),
+    Slice("pack-traversal-readfile", "pack-traversal", _php("readfile($_GET['f']);"), _TRAV),
+    Slice("pack-traversal-unlink", "pack-traversal", _php("unlink($_COOKIE['f']);"), _TRAV),
+    Slice("pack-traversal-basename", "pack-traversal", _php("readfile(basename($_GET['f']));"), _NONE),
+    Slice("pack-traversal-write-value-clean", "pack-traversal", _php("file_put_contents('log.txt', $_GET['d']);"), _NONE),
+    Slice("pack-overlap-file-get-contents", "pack-traversal", _php("file_get_contents($_REQUEST['u']);"), _SSRF | _TRAV),
+    Slice("pack-deser-unserialize", "pack-deser", _php("$o = unserialize($_POST['blob']);"), _DESER),
+    Slice("pack-deser-maybe-unserialize", "pack-deser", _php("maybe_unserialize($_COOKIE['c']);"), _DESER),
+    Slice("pack-deser-passthrough-echo", "pack-deser", _php("echo unserialize($_GET['a']);"), _DESER | _XSS),
+    Slice("pack-cmdi-mail-params", "pack-cmdi", _php("mail('a@example.com', 's', 'b', '', $_GET['x']);"), _CMDI),
+    Slice("pack-cmdi-mail-safe-args", "pack-cmdi", _php("mail($_GET['to'], 's', 'b');"), _NONE),
+    Slice("pack-cmdi-ssh2-exec", "pack-cmdi", _php("$c = ssh2_connect('host');\nssh2_exec($c, $_GET['cmd']);"), _CMDI),
 )
 
 
@@ -146,10 +167,21 @@ class SliceResult:
         return self.reference_kinds == self.slice.expected
 
 
+def pack_enabled_phpsafe() -> PhpSafe:
+    """The catalog's reference analyzer: phpSAFE with every builtin
+    rule pack loaded, so slices can exercise pack kinds and the pre-pack
+    slices prove the compiled profile changes nothing they cover."""
+    from ..core.phpsafe import PhpSafeOptions
+    from ..rules import builtin_pack_names
+
+    options = PhpSafeOptions(rule_packs=tuple(builtin_pack_names()))
+    return PhpSafe(options=options)
+
+
 def default_tools() -> List[AnalyzerTool]:
     from ..baselines import PixyLike, RipsLike
 
-    return [PhpSafe(), RipsLike(), PixyLike()]
+    return [pack_enabled_phpsafe(), RipsLike(), PixyLike()]
 
 
 def run_slices(

@@ -52,7 +52,9 @@ class Payload:
             return False
         if self.kind is VulnKind.LFI:
             return f"../../lfi-{self.marker}" in haystack
-        raise ValueError(f"no payload rule for {self.kind}")
+        # pack-introduced kinds: the generic payload embeds the marker
+        # verbatim, so a raw (unencoded) occurrence confirms the flow
+        return f"{self.kind.value}-{self.marker}" in haystack
 
 
 def make_payload(kind: VulnKind) -> Payload:
@@ -67,5 +69,7 @@ def make_payload(kind: VulnKind) -> Payload:
     elif kind is VulnKind.LFI:
         text = f"../../lfi-{marker}"
     else:
-        raise ValueError(f"no payload for {kind}")
+        # pack-introduced kinds get a marker-bearing generic payload
+        # (e.g. ``http://ssrf-m0001.invalid/`` for an ssrf finding)
+        text = f"http://{kind.value}-{marker}.invalid/"
     return Payload(kind=kind, text=text, marker=marker)

@@ -39,6 +39,9 @@ class IncidentStage(str, Enum):
     #: differential-testing oracle: two configurations that must agree
     #: produced different finding sets (see :mod:`repro.difftest`)
     DIFF = "diff"
+    #: rule-pack loading/validation (see :mod:`repro.rules`): a pack
+    #: file that failed schema validation or could not be read
+    RULES = "rules"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value

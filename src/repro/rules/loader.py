@@ -1,0 +1,468 @@
+"""Rule-pack parsing and schema validation.
+
+``load_pack`` reads a JSON pack (TOML is accepted on Python 3.11+,
+where the stdlib ships ``tomllib``), validates it against the schema,
+and returns a :class:`~repro.rules.model.RulePack`.  Every failure mode
+— unreadable file, syntax error, schema violation, dangling kind label
+— is reported as typed :class:`PackIssue` entries inside a
+:class:`PackError`; the loader never lets a parser traceback escape.
+
+Shipped packs live next to this module under ``packs/``;
+``resolve_pack_path`` maps a bare pack name (``ssrf``) onto that
+directory and passes filesystem paths through untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config.vulnerability import ALL_KINDS, InputVector
+from .model import (
+    FilterDecl,
+    KindDecl,
+    PackError,
+    PackIssue,
+    PropagationDecl,
+    RevertDecl,
+    RulePack,
+    SinkDecl,
+    SourceDecl,
+)
+
+#: current pack document schema version
+PACK_SCHEMA_VERSION = 1
+
+_SLUG = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
+_TOP_LEVEL_KEYS = {
+    "schema",
+    "name",
+    "version",
+    "title",
+    "description",
+    "kinds",
+    "sources",
+    "sinks",
+    "filters",
+    "reverts",
+    "propagation",
+}
+_VECTOR_VALUES = {vector.value for vector in InputVector}
+_BUILTIN_KIND_VALUES = {kind.value for kind in ALL_KINDS}
+
+
+def builtin_pack_dir() -> str:
+    """Directory holding the packs shipped with the reproduction."""
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "packs")
+
+
+def builtin_pack_names() -> Tuple[str, ...]:
+    """Names of the shipped packs (sorted, without extensions)."""
+    directory = builtin_pack_dir()
+    names = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return ()
+    for entry in entries:
+        base, ext = os.path.splitext(entry)
+        if ext in (".json", ".toml"):
+            names.append(base)
+    return tuple(sorted(names))
+
+
+def resolve_pack_path(ref: str) -> str:
+    """Map a pack reference onto a file path.
+
+    A reference is either a shipped pack name (``ssrf``) or a
+    filesystem path (anything containing a separator or an extension).
+    """
+    if os.sep in ref or "/" in ref or ref.endswith((".json", ".toml")):
+        return ref
+    for ext in (".json", ".toml"):
+        candidate = os.path.join(builtin_pack_dir(), ref + ext)
+        if os.path.exists(candidate):
+            return candidate
+    return ref  # unresolved name: load_pack reports a typed issue
+
+
+def _parse_bytes(raw: bytes, path: str) -> Tuple[Optional[Dict[str, Any]], List[PackIssue]]:
+    if path.endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError:
+            return None, [
+                PackIssue(
+                    path,
+                    "<file>",
+                    "TOML packs require Python 3.11+ (stdlib tomllib); "
+                    "re-author the pack as JSON for older interpreters",
+                )
+            ]
+        try:
+            return tomllib.loads(raw.decode("utf-8")), []
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            return None, [PackIssue(path, "<file>", f"TOML parse error: {exc}")]
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return None, [PackIssue(path, "<file>", f"JSON parse error: {exc}")]
+    if not isinstance(data, dict):
+        return None, [PackIssue(path, "<file>", "pack document must be an object")]
+    return data, []
+
+
+def _str_field(
+    entry: Dict[str, Any],
+    key: str,
+    where: str,
+    issues: List[PackIssue],
+    path: str,
+    default: str = "",
+    required: bool = False,
+) -> str:
+    value = entry.get(key, None)
+    if value is None:
+        if required:
+            issues.append(PackIssue(path, where, f"missing required field '{key}'"))
+        return default
+    if not isinstance(value, str):
+        issues.append(PackIssue(path, f"{where}.{key}", "must be a string"))
+        return default
+    if required and not value:
+        issues.append(PackIssue(path, f"{where}.{key}", "must be non-empty"))
+    return value
+
+
+def _kind_list(
+    entry: Dict[str, Any],
+    where: str,
+    declared: set,
+    issues: List[PackIssue],
+    path: str,
+    default: Tuple[str, ...] = ("*",),
+    required: bool = False,
+) -> Tuple[str, ...]:
+    value = entry.get("kinds", None)
+    if value is None:
+        if required:
+            issues.append(PackIssue(path, where, "missing required field 'kinds'"))
+        return default
+    if value == "*":
+        return ("*",)
+    if not isinstance(value, list) or not all(isinstance(item, str) for item in value):
+        issues.append(
+            PackIssue(path, f"{where}.kinds", "must be \"*\" or a list of kind values")
+        )
+        return default
+    if not value:
+        issues.append(PackIssue(path, f"{where}.kinds", "must not be empty"))
+        return default
+    for item in value:
+        if item != "*" and item not in declared and item not in _BUILTIN_KIND_VALUES:
+            issues.append(
+                PackIssue(
+                    path,
+                    f"{where}.kinds",
+                    f"dangling kind label '{item}': not a builtin kind and "
+                    f"not declared in this pack's 'kinds' section",
+                )
+            )
+    return tuple(value)
+
+
+def _arg_list(
+    entry: Dict[str, Any], where: str, issues: List[PackIssue], path: str
+) -> Optional[Tuple[int, ...]]:
+    value = entry.get("args", None)
+    if value is None:
+        return None
+    if (
+        not isinstance(value, list)
+        or not value
+        or not all(isinstance(item, int) and not isinstance(item, bool) and item >= 0
+                   for item in value)
+    ):
+        issues.append(
+            PackIssue(
+                path, f"{where}.args", "must be a non-empty list of argument indexes >= 0"
+            )
+        )
+        return None
+    return tuple(value)
+
+
+def _entries(
+    data: Dict[str, Any],
+    section: str,
+    allowed_keys: set,
+    issues: List[PackIssue],
+    path: str,
+) -> List[Tuple[Dict[str, Any], str]]:
+    value = data.get(section, [])
+    if not isinstance(value, list):
+        issues.append(PackIssue(path, section, "must be a list"))
+        return []
+    out = []
+    for index, entry in enumerate(value):
+        where = f"{section}[{index}]"
+        if not isinstance(entry, dict):
+            issues.append(PackIssue(path, where, "must be an object"))
+            continue
+        for key in entry:
+            if key not in allowed_keys:
+                issues.append(PackIssue(path, f"{where}.{key}", "unknown field"))
+        out.append((entry, where))
+    return out
+
+
+def validate_pack_data(
+    data: Dict[str, Any], path: str = "<data>"
+) -> Tuple[Optional[RulePack], List[PackIssue]]:
+    """Validate a parsed pack document; return (pack, issues).
+
+    ``pack`` is ``None`` whenever ``issues`` is non-empty — a pack that
+    failed validation must never reach the compiler.  The content hash
+    of in-memory documents is derived from their canonical JSON form.
+    """
+    issues: List[PackIssue] = []
+
+    for key in data:
+        if key not in _TOP_LEVEL_KEYS:
+            issues.append(PackIssue(path, key, "unknown top-level field"))
+
+    schema = data.get("schema")
+    if schema != PACK_SCHEMA_VERSION:
+        issues.append(
+            PackIssue(
+                path,
+                "schema",
+                f"unsupported schema version {schema!r} "
+                f"(this build supports {PACK_SCHEMA_VERSION})",
+            )
+        )
+
+    name = _str_field(data, "name", "<pack>", issues, path, required=True)
+    if name and not _SLUG.match(name):
+        issues.append(
+            PackIssue(path, "name", "must be a slug: lowercase letters/digits/_/-")
+        )
+    version = _str_field(data, "version", "<pack>", issues, path, required=True)
+    title = _str_field(data, "title", "<pack>", issues, path)
+    description = _str_field(data, "description", "<pack>", issues, path)
+
+    declared: set = set()
+    kinds: List[KindDecl] = []
+    for entry, where in _entries(
+        data, "kinds", {"value", "title", "description"}, issues, path
+    ):
+        value = _str_field(entry, "value", where, issues, path, required=True)
+        if not value:
+            continue
+        if not _SLUG.match(value):
+            issues.append(PackIssue(path, f"{where}.value", "must be a slug"))
+            continue
+        if value in _BUILTIN_KIND_VALUES:
+            issues.append(
+                PackIssue(
+                    path,
+                    f"{where}.value",
+                    f"redeclares builtin kind '{value}' — builtin kinds may be "
+                    f"referenced directly without a declaration",
+                )
+            )
+            continue
+        if value in declared:
+            issues.append(PackIssue(path, f"{where}.value", f"duplicate kind '{value}'"))
+            continue
+        declared.add(value)
+        kinds.append(
+            KindDecl(
+                value=value,
+                title=_str_field(entry, "title", where, issues, path),
+                description=_str_field(entry, "description", where, issues, path),
+            )
+        )
+
+    sources: List[SourceDecl] = []
+    for entry, where in _entries(
+        data,
+        "sources",
+        {"name", "vector", "kinds", "class", "superglobal", "description"},
+        issues,
+        path,
+    ):
+        sname = _str_field(entry, "name", where, issues, path, required=True)
+        vector = _str_field(entry, "vector", where, issues, path, default="Function")
+        if vector not in _VECTOR_VALUES:
+            issues.append(
+                PackIssue(
+                    path,
+                    f"{where}.vector",
+                    f"unknown input vector {vector!r}; expected one of "
+                    + ", ".join(sorted(_VECTOR_VALUES)),
+                )
+            )
+        superglobal = entry.get("superglobal", False)
+        if not isinstance(superglobal, bool):
+            issues.append(PackIssue(path, f"{where}.superglobal", "must be a boolean"))
+            superglobal = False
+        if sname:
+            sources.append(
+                SourceDecl(
+                    name=sname,
+                    vector=vector,
+                    kinds=_kind_list(entry, where, declared, issues, path),
+                    class_name=_str_field(entry, "class", where, issues, path) or None,
+                    superglobal=superglobal,
+                    description=_str_field(entry, "description", where, issues, path),
+                )
+            )
+
+    sinks: List[SinkDecl] = []
+    seen_sinks: set = set()
+    for entry, where in _entries(
+        data, "sinks", {"name", "kind", "class", "args", "description"}, issues, path
+    ):
+        sname = _str_field(entry, "name", where, issues, path, required=True)
+        kind = _str_field(entry, "kind", where, issues, path, required=True)
+        if kind and kind not in declared and kind not in _BUILTIN_KIND_VALUES:
+            issues.append(
+                PackIssue(
+                    path,
+                    f"{where}.kind",
+                    f"dangling kind label '{kind}': not a builtin kind and "
+                    f"not declared in this pack's 'kinds' section",
+                )
+            )
+        class_name = _str_field(entry, "class", where, issues, path) or None
+        if sname and kind:
+            dedup = (class_name or "", sname.lower(), kind)
+            if dedup in seen_sinks:
+                issues.append(
+                    PackIssue(path, where, f"duplicate sink '{sname}' for kind '{kind}'")
+                )
+                continue
+            seen_sinks.add(dedup)
+            sinks.append(
+                SinkDecl(
+                    name=sname,
+                    kind=kind,
+                    class_name=class_name,
+                    args=_arg_list(entry, where, issues, path),
+                    description=_str_field(entry, "description", where, issues, path),
+                )
+            )
+
+    filters: List[FilterDecl] = []
+    for entry, where in _entries(
+        data, "filters", {"name", "kinds", "class", "description"}, issues, path
+    ):
+        sname = _str_field(entry, "name", where, issues, path, required=True)
+        if sname:
+            filters.append(
+                FilterDecl(
+                    name=sname,
+                    kinds=_kind_list(entry, where, declared, issues, path, required=True),
+                    class_name=_str_field(entry, "class", where, issues, path) or None,
+                    description=_str_field(entry, "description", where, issues, path),
+                )
+            )
+
+    reverts: List[RevertDecl] = []
+    for entry, where in _entries(
+        data, "reverts", {"name", "kinds", "description"}, issues, path
+    ):
+        sname = _str_field(entry, "name", where, issues, path, required=True)
+        if sname:
+            reverts.append(
+                RevertDecl(
+                    name=sname,
+                    kinds=_kind_list(entry, where, declared, issues, path),
+                    description=_str_field(entry, "description", where, issues, path),
+                )
+            )
+
+    propagation: List[PropagationDecl] = []
+    for entry, where in _entries(
+        data, "propagation", {"name", "kinds", "args", "class", "description"}, issues, path
+    ):
+        sname = _str_field(entry, "name", where, issues, path, required=True)
+        if sname:
+            propagation.append(
+                PropagationDecl(
+                    name=sname,
+                    kinds=_kind_list(entry, where, declared, issues, path),
+                    args=_arg_list(entry, where, issues, path),
+                    class_name=_str_field(entry, "class", where, issues, path) or None,
+                    description=_str_field(entry, "description", where, issues, path),
+                )
+            )
+
+    if not (sources or sinks or filters or reverts or propagation or kinds):
+        issues.append(PackIssue(path, "<pack>", "pack declares no entries at all"))
+
+    if issues:
+        return None, issues
+
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    content_hash = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    return (
+        RulePack(
+            name=name,
+            version=version,
+            path=path,
+            content_hash=content_hash,
+            title=title,
+            description=description,
+            kinds=tuple(kinds),
+            sources=tuple(sources),
+            sinks=tuple(sinks),
+            filters=tuple(filters),
+            reverts=tuple(reverts),
+            propagation=tuple(propagation),
+        ),
+        [],
+    )
+
+
+def load_pack(ref: str) -> RulePack:
+    """Load and validate the pack at ``ref`` (name or path).
+
+    Raises :class:`PackError` carrying every issue found.  The content
+    hash is computed over the raw file bytes, so any edit — including
+    whitespace — produces a new pack identity and therefore new cache
+    keys everywhere downstream.
+    """
+    path = resolve_pack_path(ref)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise PackError(
+            [PackIssue(str(ref), "<file>", f"cannot read pack: {exc}")]
+        ) from None
+    data, issues = _parse_bytes(raw, path)
+    if issues:
+        raise PackError(issues)
+    pack, issues = validate_pack_data(data, path)
+    if issues:
+        raise PackError(issues)
+    content_hash = hashlib.sha256(raw).hexdigest()[:16]
+    return RulePack(
+        name=pack.name,
+        version=pack.version,
+        path=path,
+        content_hash=content_hash,
+        title=pack.title,
+        description=pack.description,
+        kinds=pack.kinds,
+        sources=pack.sources,
+        sinks=pack.sinks,
+        filters=pack.filters,
+        reverts=pack.reverts,
+        propagation=pack.propagation,
+    )

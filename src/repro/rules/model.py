@@ -1,0 +1,148 @@
+"""Typed shapes for rule packs: the parsed document and its errors.
+
+A :class:`RulePack` is the validated in-memory form of a pack file.  It
+deliberately stores *plain data* (strings, ints) rather than compiled
+:mod:`repro.config` specs: compilation against a base profile — kind
+interning, ``"*"`` widening, collision merging — happens in
+:mod:`repro.rules.compiler`, so a pack can be loaded, listed and
+validated without touching the analyzer at all.
+
+Malformed packs never raise bare exceptions out of the loader: every
+problem becomes a :class:`PackIssue`, and :class:`PackError` carries the
+full list plus a conversion to the repo-wide typed
+:class:`~repro.incidents.Incident` taxonomy (stage ``rules``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..incidents import Incident, IncidentSeverity, IncidentStage
+
+
+@dataclass(frozen=True)
+class PackIssue:
+    """One validation problem in a pack document."""
+
+    path: str  #: pack file path (or "<data>" for in-memory documents)
+    where: str  #: JSON-pointer-ish location, e.g. ``sinks[2].kind``
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}: {self.where}: {self.message}"
+
+    def to_incident(self) -> Incident:
+        return Incident(
+            stage=IncidentStage.RULES,
+            severity=IncidentSeverity.ERROR,
+            file=self.path,
+            reason=f"{self.where}: {self.message}",
+            recovered=False,
+        )
+
+
+class PackError(Exception):
+    """A pack failed to load or validate.
+
+    Carries every issue found (not just the first), so ``rules
+    validate`` can report them all in one pass.
+    """
+
+    def __init__(self, issues: List[PackIssue]) -> None:
+        self.issues = list(issues)
+        super().__init__(
+            "; ".join(issue.describe() for issue in self.issues) or "invalid rule pack"
+        )
+
+    def to_incidents(self) -> List[Incident]:
+        return [issue.to_incident() for issue in self.issues]
+
+
+@dataclass(frozen=True)
+class KindDecl:
+    """A vulnerability kind a pack introduces (or documents)."""
+
+    value: str
+    title: str = ""
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SourceDecl:
+    name: str
+    vector: str = "Function"
+    kinds: Tuple[str, ...] = ("*",)
+    class_name: Optional[str] = None
+    superglobal: bool = False
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SinkDecl:
+    name: str
+    kind: str = ""
+    class_name: Optional[str] = None
+    args: Optional[Tuple[int, ...]] = None
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class FilterDecl:
+    name: str
+    kinds: Tuple[str, ...] = ()
+    class_name: Optional[str] = None
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class RevertDecl:
+    name: str
+    kinds: Tuple[str, ...] = ("*",)
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class PropagationDecl:
+    name: str
+    kinds: Tuple[str, ...] = ("*",)
+    args: Optional[Tuple[int, ...]] = None
+    class_name: Optional[str] = None
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class RulePack:
+    """A validated rule pack document."""
+
+    name: str
+    version: str
+    path: str
+    #: 16-hex-char sha256 of the raw file bytes: *any* content edit —
+    #: even one that parses identically — yields a new identity, which
+    #: is exactly the conservative invalidation cache keys want.
+    content_hash: str
+    title: str = ""
+    description: str = ""
+    kinds: Tuple[KindDecl, ...] = ()
+    sources: Tuple[SourceDecl, ...] = ()
+    sinks: Tuple[SinkDecl, ...] = ()
+    filters: Tuple[FilterDecl, ...] = ()
+    reverts: Tuple[RevertDecl, ...] = ()
+    propagation: Tuple[PropagationDecl, ...] = field(default=())
+
+    @property
+    def pack_id(self) -> Tuple[str, str, str]:
+        """Identity tuple recorded on compiled profiles — the piece of a
+        pack that reaches ``AnalyzerProfile.fingerprint()``."""
+        return (self.name, self.version, self.content_hash)
+
+    def entry_counts(self) -> dict:
+        return {
+            "kinds": len(self.kinds),
+            "sources": len(self.sources),
+            "sinks": len(self.sinks),
+            "filters": len(self.filters),
+            "reverts": len(self.reverts),
+            "propagation": len(self.propagation),
+        }

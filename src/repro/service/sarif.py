@@ -26,8 +26,10 @@ how the service tests prove the export round-trips losslessly.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+import re
+from typing import Dict, List, Optional, Sequence, Set, Union
 
+from ..config import VulnKind
 from ..core.results import Finding, FindingSignature, ToolReport
 from ..core.review import fix_hint, sorted_findings
 from ..incidents import Incident, IncidentSeverity
@@ -37,28 +39,6 @@ SARIF_SCHEMA_URI = (
     "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
     "sarif-schema-2.1.0.json"
 )
-
-#: rule catalogue: kind value -> (name, description)
-_RULES: Dict[str, Tuple[str, str]] = {
-    "xss": (
-        "CrossSiteScripting",
-        "Tainted input reaches an HTML output sink without "
-        "context-appropriate escaping.",
-    ),
-    "sqli": (
-        "SqlInjection",
-        "Tainted input reaches a database query sink without "
-        "parameterization or escaping.",
-    ),
-    "cmdi": (
-        "CommandInjection",
-        "Tainted input reaches an OS command sink without shell quoting.",
-    ),
-    "lfi": (
-        "FileInclusion",
-        "Tainted input controls the target of an include/require.",
-    ),
-}
 
 _NOTIFICATION_LEVELS = {
     IncidentSeverity.WARNING: "warning",
@@ -71,17 +51,31 @@ def rule_id(kind_value: str) -> str:
     return f"phpsafe/{kind_value}"
 
 
-def _rule(kind_value: str) -> Dict[str, object]:
-    name, description = _RULES.get(
-        kind_value, (kind_value.upper(), "Tainted input reaches a sensitive sink.")
+def _rule_name(kind: VulnKind) -> str:
+    """SARIF rule name: the registry title CamelCased (``Cross-site
+    scripting`` -> ``CrossSiteScripting``), or the upper-cased value for
+    kinds registered without metadata."""
+    words = [word for word in re.split(r"[^0-9A-Za-z]+", kind.title) if word]
+    if not words:
+        return kind.value.upper()
+    return "".join(word.capitalize() for word in words)
+
+
+def _rule(kind: VulnKind) -> Dict[str, object]:
+    """Rule metadata straight from the kind registry, so pack-introduced
+    kinds carry their pack's title/description instead of a hard-coded
+    catalogue entry."""
+    name = _rule_name(kind)
+    description = (
+        kind.description or "Tainted input reaches a sensitive sink."
     )
     return {
-        "id": rule_id(kind_value),
+        "id": rule_id(kind.value),
         "name": name,
-        "shortDescription": {"text": name},
+        "shortDescription": {"text": kind.title or name},
         "fullDescription": {"text": description},
         "defaultConfiguration": {"level": "error"},
-        "properties": {"tags": ["security", kind_value]},
+        "properties": {"tags": ["security", kind.value]},
     }
 
 
@@ -184,7 +178,9 @@ def _incident_notification(incident: Incident) -> Dict[str, object]:
 
 def report_to_run(report: ToolReport, tool_version: str = "1.0.0") -> Dict[str, object]:
     """One SARIF ``run`` for one plugin's report."""
-    kinds_used = sorted({finding.kind.value for finding in report.findings})
+    kinds_used = sorted(
+        {finding.kind for finding in report.findings}, key=lambda kind: kind.value
+    )
     fatal = any(
         incident.severity is IncidentSeverity.FATAL for incident in report.incidents
     )
@@ -334,7 +330,7 @@ def apply_baseline(
             absent = dict(old_result)
             absent["baselineState"] = "absent"
             run.setdefault("results", []).append(absent)
-            matched.add(fingerprint)
+            matched.add(key)
             run_counts["absent"] += 1
         run.setdefault("properties", {})["baseline"] = dict(run_counts)
         for state, count in run_counts.items():

@@ -113,10 +113,22 @@ def spec_fingerprint(spec: ToolSpec) -> str:
     plugin bytes analyzed under different options must not share a
     cached report.  Shared by every store writer (single-node service,
     fleet nodes, coordinator) so they key results identically — and
-    deterministic across processes (see :func:`_canonical`)."""
-    return sha256(
-        repr((spec.name, _canonical(spec.options))).encode("utf-8")
-    ).hexdigest()[:16]
+    deterministic across processes (see :func:`_canonical`).
+
+    Beyond the options dataclass, the fingerprint folds in the
+    *resolved* knowledge-base fingerprint whenever the options name a
+    profile or rule packs: ``_canonical`` only sees pack *references*
+    (paths/names), but editing a pack file changes its content hash and
+    must invalidate stored results and dedup decisions too."""
+    parts: Tuple[object, ...] = (spec.name, _canonical(spec.options))
+    options = spec.options
+    if options is not None and (
+        getattr(options, "profile_name", None) or getattr(options, "rule_packs", ())
+    ):
+        from ..rules import resolve_profile
+
+        parts = parts + (resolve_profile(options).fingerprint(),)
+    return sha256(repr(parts).encode("utf-8")).hexdigest()[:16]
 
 
 def plugin_from_payload(store: ResultStore, payload: Dict[str, object]) -> Plugin:

@@ -10,6 +10,7 @@ from repro.difftest import (
     ConfigMatrixOracle,
     OracleOptions,
     diff_signatures,
+    pack_enabled_phpsafe,
     render_oracle_reports,
     render_slice_table,
     run_slices,
@@ -201,7 +202,7 @@ class TestSliceCatalog:
             assert piece.code.startswith("<?php")
 
     def test_reference_envelope_matches_expectations(self):
-        results = run_slices(tools=[PhpSafe()])
+        results = run_slices(tools=[pack_enabled_phpsafe()])
         mismatches = [
             f"{r.slice.name}: expected {sorted(r.slice.expected)},"
             f" got {sorted(r.reference_kinds)}"
